@@ -1,0 +1,140 @@
+//! BF16x9: the cuBLAS 12.9 `CUBLAS_COMPUTE_32F_EMULATED_16BFX9` algorithm
+//! (paper reference \[5\]; similar FMA-based approach in Henry et al. \[6\]).
+//!
+//! Each FP32 operand is cut into three BF16 terms,
+//! `A = A1 + 2^-8 A2 + 2^-16 A3`, and the product is assembled from all
+//! nine pairings: `AB = Σ_{i,j} 2^{-8(i+j-2)} A_i B_j`, each running on a
+//! BF16 tensor core with FP32 accumulation. Three 8-bit significands
+//! recover the full 24-bit FP32 significand, so BF16x9 tracks native SGEMM
+//! accuracy (the paper observes "SGEMM and BF16x9 exhibited equivalent
+//! accuracy").
+
+use gemm_dense::{MatF32, MatMulF32, Matrix};
+use gemm_engine::lowfp_gemm;
+use gemm_lowfp::BF16;
+
+/// BF16x9 SGEMM emulator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Bf16x9;
+
+impl Bf16x9 {
+    /// Emulated SGEMM via nine BF16 tensor-core products.
+    pub fn sgemm(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        let (m, k) = a.shape();
+        let (kb, n) = b.shape();
+        assert_eq!(k, kb, "inner dimensions must agree");
+        assert!(
+            a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
+            "inputs must be finite"
+        );
+        if m == 0 || n == 0 || k == 0 {
+            return Matrix::zeros(m, n);
+        }
+        let a_split = split3(a);
+        let b_split = split3(b);
+
+        // Accumulate the nine partial products, least significant first so
+        // the f32 additions lose as little as possible.
+        let mut acc = Matrix::<f32>::zeros(m, n);
+        let mut order: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .collect();
+        order.sort_by_key(|&(i, j)| std::cmp::Reverse(i + j));
+        for (i, j) in order {
+            let c = lowfp_gemm(&a_split[i], &b_split[j]);
+            let scale = 2f32.powi(-8 * (i as i32 + j as i32));
+            for (av, &cv) in acc.as_mut_slice().iter_mut().zip(c.iter()) {
+                *av += cv * scale;
+            }
+        }
+        acc
+    }
+}
+
+impl MatMulF32 for Bf16x9 {
+    fn matmul_f32(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.sgemm(a, b)
+    }
+    fn name(&self) -> String {
+        "BF16x9".to_string()
+    }
+}
+
+/// `x = t0 + 2^-8 t1 + 2^-16 t2` (each BF16, successive residuals).
+fn split3(a: &MatF32) -> [Matrix<BF16>; 3] {
+    let (m, n) = a.shape();
+    let t0 = a.map(BF16::from_f32);
+    let r1 = Matrix::from_fn(m, n, |i, j| (a[(i, j)] - t0[(i, j)].to_f32()) * 256.0);
+    let t1 = r1.map(BF16::from_f32);
+    let r2 = Matrix::from_fn(m, n, |i, j| (r1[(i, j)] - t1[(i, j)].to_f32()) * 256.0);
+    let t2 = r2.map(BF16::from_f32);
+    [t0, t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::gemm::{gemm_f32, gemm_f32_inputs_f64_acc};
+    use gemm_dense::norms::{max_relative_error, widen};
+    use gemm_dense::workload::phi_matrix_f32;
+
+    #[test]
+    fn split_reconstructs_fp32_exactly_for_most_values() {
+        let a = phi_matrix_f32(16, 16, 1.0, 9, 0);
+        let [t0, t1, t2] = split3(&a);
+        for i in 0..16 {
+            for j in 0..16 {
+                let back = t0[(i, j)].to_f32()
+                    + t1[(i, j)].to_f32() * 2f32.powi(-8)
+                    + t2[(i, j)].to_f32() * 2f32.powi(-16);
+                let err = (back - a[(i, j)]).abs() / a[(i, j)].abs().max(1e-30);
+                // 3 x 8 explicit bits cover the 24-bit significand.
+                assert!(err < 1e-7, "({i},{j}) err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sgemm_level_accuracy() {
+        let a = phi_matrix_f32(24, 40, 0.5, 13, 0);
+        let b = phi_matrix_f32(40, 24, 0.5, 13, 1);
+        let exact = gemm_f32_inputs_f64_acc(&a, &b);
+        let e_emu = max_relative_error(&widen(&Bf16x9.sgemm(&a, &b)), &exact);
+        let e_native = max_relative_error(&widen(&gemm_f32(&a, &b)), &exact);
+        // "SGEMM and BF16x9 exhibited equivalent accuracy": same order.
+        assert!(
+            e_emu < e_native * 16.0,
+            "emulated {e_emu:e} vs native {e_native:e}"
+        );
+        assert!(e_emu < 1e-5, "e_emu={e_emu:e}");
+    }
+
+    #[test]
+    fn nine_products_beat_one_bf16_product_hugely() {
+        let a = phi_matrix_f32(16, 24, 0.5, 3, 0);
+        let b = phi_matrix_f32(24, 16, 0.5, 3, 1);
+        let exact = gemm_f32_inputs_f64_acc(&a, &b);
+        let plain = lowfp_gemm(&a.map(BF16::from_f32), &b.map(BF16::from_f32));
+        let e_plain = max_relative_error(&widen(&plain), &exact);
+        let e_9 = max_relative_error(&widen(&Bf16x9.sgemm(&a, &b)), &exact);
+        assert!(e_9 * 1000.0 < e_plain, "{e_9:e} vs {e_plain:e}");
+    }
+
+    #[test]
+    fn zero_and_identity() {
+        let z = MatF32::zeros(4, 4);
+        let a = phi_matrix_f32(4, 4, 0.5, 2, 0);
+        assert!(Bf16x9.sgemm(&z, &a).iter().all(|&x| x == 0.0));
+        let eye = Matrix::from_fn(4, 4, |i, j| (i == j) as u8 as f32);
+        let c = Bf16x9.sgemm(&a, &eye);
+        for (x, y) in c.iter().zip(a.iter()) {
+            let err = (x - y).abs() / y.abs().max(1e-30);
+            assert!(err < 1e-6);
+        }
+    }
+
+    #[test]
+    fn name_matches() {
+        assert_eq!(MatMulF32::name(&Bf16x9), "BF16x9");
+    }
+}

@@ -1,0 +1,188 @@
+//! cuMpSGEMM-style SGEMM emulation on FP16 tensor cores, in the paper's
+//! comparison as "cuMpSGEMM (FP16TCEC_SCALING)" (Ootomo & Yokota 2022,
+//! references [8, 10, 12]).
+//!
+//! Each operand is split into two FP16 terms, `A ≈ A1 + s⁻¹ A2` with
+//! `s = 2^-11` (the FP16 significand width), after a power-of-two
+//! exponent-scaling pass that keeps values inside FP16's narrow exponent
+//! range (the "_SCALING" part). The product is reassembled from three
+//! FP16-tensor-core GEMMs with FP32 accumulation:
+//! `AB ≈ A1B1 + s⁻¹(A1B2 + A2B1)` — the error-correction ("EC") scheme
+//! that restores the FP32 mantissa the FP16 split cannot hold.
+
+use gemm_dense::{MatF32, MatMulF32, Matrix};
+use gemm_engine::lowfp_gemm;
+use gemm_lowfp::F16;
+
+/// The split scale `s = 2^-11`.
+pub const SPLIT_SCALE: f32 = 1.0 / 2048.0;
+
+/// cuMpSGEMM in FP16TCEC_SCALING mode.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CuMpSgemm;
+
+impl CuMpSgemm {
+    /// Emulated SGEMM.
+    pub fn sgemm(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        let (m, k) = a.shape();
+        let (kb, n) = b.shape();
+        assert_eq!(k, kb, "inner dimensions must agree");
+        assert!(
+            a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
+            "inputs must be finite"
+        );
+        if m == 0 || n == 0 || k == 0 {
+            return Matrix::zeros(m, n);
+        }
+
+        // SCALING: per-row / per-column power-of-two alignment into a range
+        // comfortably inside FP16 (row max scaled to ~2^0).
+        let shift_a: Vec<i32> = (0..m)
+            .map(|i| {
+                let mx = (0..k).map(|h| a[(i, h)].abs()).fold(0.0f32, f32::max);
+                if mx == 0.0 {
+                    0
+                } else {
+                    -(mx.log2().floor() as i32)
+                }
+            })
+            .collect();
+        let shift_b: Vec<i32> = (0..n)
+            .map(|j| {
+                let mx = b.col(j).iter().fold(0.0f32, |acc, &x| acc.max(x.abs()));
+                if mx == 0.0 {
+                    0
+                } else {
+                    -(mx.log2().floor() as i32)
+                }
+            })
+            .collect();
+        let a_scaled = Matrix::from_fn(m, k, |i, j| scale_pow2_f32(a[(i, j)], shift_a[i]));
+        let b_scaled = Matrix::from_fn(k, n, |i, j| scale_pow2_f32(b[(i, j)], shift_b[j]));
+
+        // Two-term FP16 split with error term scaled up by 2^11.
+        let (a1, a2) = split_f16(&a_scaled);
+        let (b1, b2) = split_f16(&b_scaled);
+
+        // Three tensor-core GEMMs (A2·B2 is below the FP32 target accuracy
+        // and is skipped, as in cuMpSGEMM).
+        let c11 = lowfp_gemm(&a1, &b1);
+        let c12 = lowfp_gemm(&a1, &b2);
+        let c21 = lowfp_gemm(&a2, &b1);
+
+        Matrix::from_fn(m, n, |i, j| {
+            let corr = (c12[(i, j)] + c21[(i, j)]) * SPLIT_SCALE;
+            let v = c11[(i, j)] + corr;
+            scale_pow2_f32(v, -(shift_a[i] + shift_b[j]))
+        })
+    }
+}
+
+impl MatMulF32 for CuMpSgemm {
+    fn matmul_f32(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.sgemm(a, b)
+    }
+    fn name(&self) -> String {
+        "cuMpSGEMM".to_string()
+    }
+}
+
+#[inline]
+fn scale_pow2_f32(x: f32, e: i32) -> f32 {
+    if (-120..=120).contains(&e) {
+        x * 2f32.powi(e)
+    } else {
+        let half = e / 2;
+        x * 2f32.powi(half) * 2f32.powi(e - half)
+    }
+}
+
+/// `x ≈ hi + 2^-11 lo` with both parts FP16.
+fn split_f16(a: &MatF32) -> (Matrix<F16>, Matrix<F16>) {
+    let hi = a.map(F16::from_f32);
+    let lo = Matrix::from_fn(a.rows(), a.cols(), |i, j| {
+        let res = (a[(i, j)] - hi[(i, j)].to_f32()) / SPLIT_SCALE;
+        F16::from_f32(res)
+    });
+    (hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::gemm::gemm_f32_inputs_f64_acc;
+    use gemm_dense::norms::{max_relative_error, widen};
+    use gemm_dense::workload::phi_matrix_f32;
+
+    fn rel_err(c: &MatF32, a: &MatF32, b: &MatF32) -> f64 {
+        let exact = gemm_f32_inputs_f64_acc(a, b);
+        max_relative_error(&widen(c), &exact)
+    }
+
+    #[test]
+    fn split_reconstructs_24_bits() {
+        let a = phi_matrix_f32(8, 8, 0.5, 3, 0);
+        let (hi, lo) = split_f16(&a);
+        for i in 0..8 {
+            for j in 0..8 {
+                let back = hi[(i, j)].to_f32() + lo[(i, j)].to_f32() * SPLIT_SCALE;
+                let err = (back - a[(i, j)]).abs() / a[(i, j)].abs().max(1e-30);
+                // hi carries 11 bits, lo the next 11: residual < 2^-21 of
+                // the hi magnitude (not a strict 2^-24 because lo is
+                // quantised relative to hi's exponent).
+                assert!(err < 3e-7, "({i},{j}) err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn reaches_sgemm_level_accuracy() {
+        // The right yardstick is native SGEMM on the same data: entries
+        // with cancellation inflate the componentwise max for *any* f32
+        // method, so compare against SGEMM's own error.
+        let a = phi_matrix_f32(32, 48, 0.5, 11, 0);
+        let b = phi_matrix_f32(48, 24, 0.5, 11, 1);
+        let c = CuMpSgemm.sgemm(&a, &b);
+        let err = rel_err(&c, &a, &b);
+        let err_native = rel_err(&gemm_dense::gemm::gemm_f32(&a, &b), &a, &b);
+        assert!(
+            err < err_native * 64.0,
+            "emulated {err:e} vs native {err_native:e}"
+        );
+        assert!(err < 1e-3, "err={err:e}");
+    }
+
+    #[test]
+    fn beats_plain_f16_gemm_by_orders_of_magnitude() {
+        let a = phi_matrix_f32(16, 32, 0.5, 7, 0);
+        let b = phi_matrix_f32(32, 16, 0.5, 7, 1);
+        let plain = {
+            let a16 = a.map(F16::from_f32);
+            let b16 = b.map(F16::from_f32);
+            lowfp_gemm(&a16, &b16)
+        };
+        let e_plain = rel_err(&plain, &a, &b);
+        let e_ec = rel_err(&CuMpSgemm.sgemm(&a, &b), &a, &b);
+        assert!(
+            e_ec * 100.0 < e_plain,
+            "EC {e_ec:e} should beat plain f16 {e_plain:e} by >100x"
+        );
+    }
+
+    #[test]
+    fn scaling_handles_wide_magnitudes() {
+        // Values far outside FP16's range (±2^40) — the SCALING pass must
+        // keep accuracy; an unscaled FP16 split would overflow to inf.
+        let a = phi_matrix_f32(8, 8, 0.5, 5, 0).map(|x| x * 2f32.powi(40));
+        let b = phi_matrix_f32(8, 8, 0.5, 5, 1).map(|x| x * 2f32.powi(-40));
+        let c = CuMpSgemm.sgemm(&a, &b);
+        assert!(c.iter().all(|x| x.is_finite()));
+        let err = rel_err(&c, &a, &b);
+        assert!(err < 1e-5, "err={err:e}");
+    }
+
+    #[test]
+    fn name_matches() {
+        assert_eq!(MatMulF32::name(&CuMpSgemm), "cuMpSGEMM");
+    }
+}

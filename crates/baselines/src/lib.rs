@@ -1,0 +1,25 @@
+//! # gemm-baselines
+//!
+//! Every comparator method from the paper's evaluation (§5):
+//!
+//! | Label in paper | Type | Module |
+//! |---|---|---|
+//! | `ozIMMU_EF-S` | DGEMM, Ozaki Scheme I on INT8, `S` slices | [`ozimmu`] |
+//! | `cuMpSGEMM` (FP16TCEC_SCALING) | SGEMM on FP16 tensor cores | [`cumpsgemm`] |
+//! | `BF16x9` | SGEMM via 3×3 BF16 split (cuBLAS 12.9) | [`bf16x9`] |
+//! | `TF32GEMM` | single TF32 tensor-core pass | [`tf32gemm`] |
+//!
+//! Native DGEMM / SGEMM live in `gemm-dense` ([`gemm_dense::NativeDgemm`],
+//! [`gemm_dense::NativeSgemm`]); Ozaki Scheme II is the `ozaki2` crate.
+
+#![warn(missing_docs)]
+
+pub mod bf16x9;
+pub mod cumpsgemm;
+pub mod ozimmu;
+pub mod tf32gemm;
+
+pub use bf16x9::Bf16x9;
+pub use cumpsgemm::CuMpSgemm;
+pub use ozimmu::OzImmu;
+pub use tf32gemm::Tf32Gemm;

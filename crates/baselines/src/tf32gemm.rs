@@ -1,0 +1,80 @@
+//! TF32GEMM: single-pass TF32 tensor-core matrix multiplication
+//! (`cublasGemmEx` with `CUBLAS_COMPUTE_32F_FAST_TF32` in the paper's §5).
+//!
+//! Inputs are rounded to TF32 (11-bit significands), products accumulate
+//! in FP32. This is the *low*-accuracy end of the paper's comparison: the
+//! point of Fig. 3/5 is that Ozaki Scheme II with small `N` lands between
+//! TF32 and FP32 in both accuracy and speed.
+
+use gemm_dense::{MatF32, MatMulF32};
+use gemm_engine::{lowfp_gemm, quantize};
+use gemm_lowfp::Tf32;
+
+/// TF32 tensor-core GEMM.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tf32Gemm;
+
+impl Tf32Gemm {
+    /// Single TF32 product with FP32 accumulation.
+    pub fn sgemm(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        let at = quantize::<Tf32>(a);
+        let bt = quantize::<Tf32>(b);
+        lowfp_gemm(&at, &bt)
+    }
+}
+
+impl MatMulF32 for Tf32Gemm {
+    fn matmul_f32(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.sgemm(a, b)
+    }
+    fn name(&self) -> String {
+        "TF32GEMM".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::gemm::{gemm_f32, gemm_f32_inputs_f64_acc};
+    use gemm_dense::norms::{max_relative_error, widen};
+    use gemm_dense::workload::phi_matrix_f32;
+
+    #[test]
+    fn accuracy_near_2_pow_minus_11() {
+        let a = phi_matrix_f32(24, 32, 0.5, 17, 0);
+        let b = phi_matrix_f32(32, 24, 0.5, 17, 1);
+        let exact = gemm_f32_inputs_f64_acc(&a, &b);
+        let err = max_relative_error(&widen(&Tf32Gemm.sgemm(&a, &b)), &exact);
+        // 11-bit inputs: relative error around 2^-11 ≈ 5e-4 on benign
+        // entries, inflated at cancelling ones.
+        assert!(err > 1e-6, "too accurate for tf32: {err:e}");
+        assert!(err < 1.0, "too inaccurate: {err:e}");
+    }
+
+    #[test]
+    fn clearly_worse_than_sgemm() {
+        let a = phi_matrix_f32(16, 48, 0.5, 19, 0);
+        let b = phi_matrix_f32(48, 16, 0.5, 19, 1);
+        let exact = gemm_f32_inputs_f64_acc(&a, &b);
+        let e_tf32 = max_relative_error(&widen(&Tf32Gemm.sgemm(&a, &b)), &exact);
+        let e_sgemm = max_relative_error(&widen(&gemm_f32(&a, &b)), &exact);
+        assert!(
+            e_tf32 > 50.0 * e_sgemm,
+            "tf32 {e_tf32:e} vs sgemm {e_sgemm:e}"
+        );
+    }
+
+    #[test]
+    fn exact_on_small_integers() {
+        let a = MatF32::from_fn(8, 8, |i, j| ((i + j) % 7) as f32 - 3.0);
+        let b = MatF32::from_fn(8, 8, |i, j| ((i * j) % 5) as f32 - 2.0);
+        let c = Tf32Gemm.sgemm(&a, &b);
+        let exact = gemm_f32(&a, &b);
+        assert_eq!(c, exact);
+    }
+
+    #[test]
+    fn name_matches() {
+        assert_eq!(MatMulF32::name(&Tf32Gemm), "TF32GEMM");
+    }
+}

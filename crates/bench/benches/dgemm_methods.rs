@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end DGEMM methods — the measured (CPU-substrate)
+//! analogue of Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemm_baselines::OzImmu;
+use gemm_dense::gemm::gemm_f64;
+use gemm_dense::workload::phi_matrix_f64;
+use ozaki2::{Mode, Ozaki2};
+
+fn bench_dgemm_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgemm_methods");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = phi_matrix_f64(n, n, 0.5, 5, 0);
+        let b = phi_matrix_f64(n, n, 0.5, 5, 1);
+        group.throughput(Throughput::Elements(2 * (n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("DGEMM", n), &n, |bench, _| {
+            bench.iter(|| gemm_f64(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("OS II-fast-15", n), &n, |bench, _| {
+            let m = Ozaki2::new(15, Mode::Fast);
+            bench.iter(|| m.dgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("OS II-accu-15", n), &n, |bench, _| {
+            let m = Ozaki2::new(15, Mode::Accurate);
+            bench.iter(|| m.dgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("OS II-fast-8", n), &n, |bench, _| {
+            let m = Ozaki2::new(8, Mode::Fast);
+            bench.iter(|| m.dgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("ozIMMU_EF-8", n), &n, |bench, _| {
+            let m = OzImmu::new(8);
+            bench.iter(|| m.dgemm(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dgemm_methods);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion bench: each Algorithm-1 phase in isolation — the measured
+//! counterpart of the Figs. 6–7 time breakdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemm_dense::workload::phi_matrix_f64;
+use ozaki2::accumulate::{fold_planes, FoldPrecision};
+use ozaki2::constants;
+use ozaki2::convert::residue_planes;
+use ozaki2::modred::reduce_plane;
+use ozaki2::scale::{
+    accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
+    scale_trunc_b_colmajor,
+};
+
+const N: usize = 256;
+const NMOD: usize = 15;
+
+fn bench_phases(c: &mut Criterion) {
+    let consts = constants(NMOD);
+    let a = phi_matrix_f64(N, N, 0.5, 11, 0);
+    let b = phi_matrix_f64(N, N, 0.5, 11, 1);
+
+    let mut group = c.benchmark_group("pipeline_phase");
+    group.sample_size(20);
+
+    group.bench_function("scale_fast (line 1)", |bench| {
+        bench.iter(|| {
+            let ea = fast_scale_rows(&a, consts.p_fast);
+            let eb = fast_scale_cols(&b, consts.p_fast);
+            (ea, eb)
+        });
+    });
+    group.bench_function("scale_accurate (line 1)", |bench| {
+        bench.iter(|| accurate_scale(&a, &b, consts.p_accu));
+    });
+
+    let exps_a = fast_scale_rows(&a, consts.p_fast);
+    let exps_b = fast_scale_cols(&b, consts.p_fast);
+    let mut aprime = vec![0f64; N * N];
+    let mut bprime = vec![0f64; N * N];
+    group.bench_function("trunc (lines 2-3)", |bench| {
+        bench.iter(|| {
+            scale_trunc_a_rowmajor(&a, &exps_a, &mut aprime);
+            scale_trunc_b_colmajor(&b, &exps_b, &mut bprime);
+        });
+    });
+
+    scale_trunc_a_rowmajor(&a, &exps_a, &mut aprime);
+    scale_trunc_b_colmajor(&b, &exps_b, &mut bprime);
+    let mut a8 = vec![0i8; NMOD * N * N];
+    group.bench_function("convert (lines 4-5)", |bench| {
+        bench.iter(|| residue_planes(&aprime, consts, true, &mut a8));
+    });
+
+    residue_planes(&aprime, consts, true, &mut a8);
+    let mut b8 = vec![0i8; NMOD * N * N];
+    residue_planes(&bprime, consts, true, &mut b8);
+    let mut c32 = vec![0i32; N * N];
+    group.bench_function("int8_gemm x1 (line 6)", |bench| {
+        bench.iter(|| gemm_engine::int8_gemm_rm_cm(N, N, N, &a8[..N * N], &b8[..N * N], &mut c32));
+    });
+
+    let mut u = vec![0u8; NMOD * N * N];
+    group.bench_function("mod_reduce x1 (line 7)", |bench| {
+        bench.iter(|| reduce_plane(&c32, consts.p[0], consts.p_inv_u32[0], &mut u[..N * N]));
+    });
+
+    let mut out = vec![0f64; N * N];
+    group.bench_function("fold (lines 8-12)", |bench| {
+        bench.iter(|| {
+            fold_planes(
+                &u,
+                N,
+                N,
+                consts,
+                FoldPrecision::Double,
+                &exps_a,
+                &exps_b,
+                &mut out,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: end-to-end SGEMM methods — the measured (CPU-substrate)
+//! analogue of Fig. 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gemm_baselines::{Bf16x9, CuMpSgemm, Tf32Gemm};
+use gemm_dense::gemm::gemm_f32;
+use gemm_dense::workload::phi_matrix_f32;
+use ozaki2::{Mode, Ozaki2};
+
+fn bench_sgemm_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemm_methods");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = phi_matrix_f32(n, n, 0.5, 9, 0);
+        let b = phi_matrix_f32(n, n, 0.5, 9, 1);
+        group.throughput(Throughput::Elements(2 * (n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("SGEMM", n), &n, |bench, _| {
+            bench.iter(|| gemm_f32(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("TF32GEMM", n), &n, |bench, _| {
+            bench.iter(|| Tf32Gemm.sgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("BF16x9", n), &n, |bench, _| {
+            bench.iter(|| Bf16x9.sgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("cuMpSGEMM", n), &n, |bench, _| {
+            bench.iter(|| CuMpSgemm.sgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("OS II-fast-8", n), &n, |bench, _| {
+            let m = Ozaki2::new(8, Mode::Fast);
+            bench.iter(|| m.sgemm(&a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("OS II-accu-7", n), &n, |bench, _| {
+            let m = Ozaki2::new(7, Mode::Accurate);
+            bench.iter(|| m.sgemm(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgemm_methods);
+criterion_main!(benches);

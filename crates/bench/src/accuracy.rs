@@ -1,0 +1,124 @@
+//! The Fig. 3 experiment: accuracy of every DGEMM / SGEMM method against
+//! a double-double oracle, over the paper's φ-lognormal workloads.
+//!
+//! The paper uses `m = n = 1024`, `k ∈ {1024, 16384}`; sizes here are
+//! parameters so the binary can run a scaled-down sweep by default (the
+//! error *curves* as a function of `N` are size-stable — the `k`
+//! dependence enters through `log2 k` in the truncation budget).
+
+use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64};
+use gemm_dense::{MatMulF32, MatMulF64};
+use gemm_exact::{dd_gemm, max_rel_error_vs_dd, Dd};
+use gemm_dense::Matrix;
+
+/// One measured point.
+#[derive(Clone, Debug)]
+pub struct AccuracyPoint {
+    /// Method label.
+    pub method: String,
+    /// Exponent-spread parameter.
+    pub phi: f64,
+    /// Inner dimension.
+    pub k: usize,
+    /// Max componentwise relative error vs the DD oracle.
+    pub max_rel_error: f64,
+}
+
+/// Shared precomputed workload + oracle for one `(φ, k)` cell.
+pub struct DgemmCell {
+    /// Left operand.
+    pub a: Matrix<f64>,
+    /// Right operand.
+    pub b: Matrix<f64>,
+    /// DD reference product.
+    pub exact: Matrix<Dd>,
+    /// φ used.
+    pub phi: f64,
+}
+
+impl DgemmCell {
+    /// Generate the workload (paper's generator, fixed seed) and oracle.
+    pub fn new(m: usize, n: usize, k: usize, phi: f64, seed: u64) -> Self {
+        let a = phi_matrix_f64(m, k, phi, seed, 0);
+        let b = phi_matrix_f64(k, n, phi, seed, 1);
+        let exact = dd_gemm(&a, &b);
+        Self { a, b, exact, phi }
+    }
+
+    /// Error of one method on this cell.
+    pub fn measure(&self, method: &dyn MatMulF64) -> AccuracyPoint {
+        let c = method.matmul_f64(&self.a, &self.b);
+        AccuracyPoint {
+            method: method.name(),
+            phi: self.phi,
+            k: self.a.cols(),
+            max_rel_error: max_rel_error_vs_dd(&c, &self.exact),
+        }
+    }
+}
+
+/// Shared precomputed workload + oracle for one SGEMM `(φ, k)` cell.
+pub struct SgemmCell {
+    /// Left operand.
+    pub a: Matrix<f32>,
+    /// Right operand.
+    pub b: Matrix<f32>,
+    /// DD reference product (of the f32 values, exactly).
+    pub exact: Matrix<Dd>,
+    /// φ used.
+    pub phi: f64,
+}
+
+impl SgemmCell {
+    /// Generate the workload and oracle.
+    pub fn new(m: usize, n: usize, k: usize, phi: f32, seed: u64) -> Self {
+        let a = phi_matrix_f32(m, k, phi, seed, 0);
+        let b = phi_matrix_f32(k, n, phi, seed, 1);
+        let exact = dd_gemm(&a.map(|x| x as f64), &b.map(|x| x as f64));
+        Self {
+            a,
+            b,
+            exact,
+            phi: phi as f64,
+        }
+    }
+
+    /// Error of one method on this cell.
+    pub fn measure(&self, method: &dyn MatMulF32) -> AccuracyPoint {
+        let c = method.matmul_f32(&self.a, &self.b);
+        AccuracyPoint {
+            method: method.name(),
+            phi: self.phi,
+            k: self.a.cols(),
+            max_rel_error: max_rel_error_vs_dd(&c.map(|x| x as f64), &self.exact),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::{NativeDgemm, NativeSgemm};
+    use ozaki2::{Mode, Ozaki2};
+
+    #[test]
+    fn dgemm_cell_orders_methods_correctly() {
+        let cell = DgemmCell::new(32, 32, 48, 0.5, 42);
+        let native = cell.measure(&NativeDgemm);
+        let os2_low = cell.measure(&Ozaki2::new(6, Mode::Fast));
+        let os2_high = cell.measure(&Ozaki2::new(15, Mode::Fast));
+        assert!(native.max_rel_error < 1e-13);
+        assert!(os2_low.max_rel_error > os2_high.max_rel_error);
+        assert!(os2_high.max_rel_error < 1e-11);
+    }
+
+    #[test]
+    fn sgemm_cell_basics() {
+        let cell = SgemmCell::new(24, 24, 32, 0.5, 7);
+        let native = cell.measure(&NativeSgemm);
+        let tf32 = cell.measure(&gemm_baselines::Tf32Gemm);
+        assert!(native.max_rel_error < 1e-4);
+        assert!(tf32.max_rel_error > native.max_rel_error);
+        assert_eq!(native.method, "SGEMM");
+    }
+}

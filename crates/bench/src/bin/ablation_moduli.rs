@@ -1,0 +1,68 @@
+//! Ablation: the moduli-pool choice.
+//!
+//! DESIGN.md picks the greedy maximal pairwise-coprime descending pool;
+//! the paper prints a pool whose tail reaches down to {41, 37, 29}. This
+//! binary quantifies what the pool choice costs: `log2 P(N)` decides the
+//! per-side scale budget and therefore the accuracy bits per modulus —
+//! smaller moduli buy strictly less accuracy for the same number of INT8
+//! GEMMs.
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin ablation_moduli`
+
+use gemm_bench::report::print_table;
+use gemm_exact::CrtBasis;
+
+/// A pairwise-coprime pool that wastes its tail on small values (the
+/// literal tail printed in the paper's §4.1 pool notation).
+const SMALL_TAIL_POOL: [u64; 20] = [
+    256, 255, 253, 251, 247, 241, 239, 233, 229, 227, 223, 217, 211, 199, 197, 193, 191, 41,
+    37, 29,
+];
+
+fn main() {
+    let greedy = ozaki2::MODULI;
+    // Sanity: both pools must be valid CRT bases.
+    let _ = CrtBasis::new(&greedy);
+    let _ = CrtBasis::new(&SMALL_TAIL_POOL);
+
+    let header: Vec<String> = [
+        "N",
+        "log2 P (greedy)",
+        "log2 P (small tail)",
+        "budget/side greedy",
+        "budget/side small",
+        "accuracy cost (bits)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for n in [14usize, 16, 18, 20] {
+        let lp_g: f64 = greedy[..n].iter().map(|&p| (p as f64).log2()).sum();
+        let lp_s: f64 = SMALL_TAIL_POOL[..n].iter().map(|&p| (p as f64).log2()).sum();
+        let bud_g = 0.5 * (lp_g - 1.5);
+        let bud_s = 0.5 * (lp_s - 1.5);
+        rows.push(vec![
+            n.to_string(),
+            format!("{lp_g:.2}"),
+            format!("{lp_s:.2}"),
+            format!("{bud_g:.2}"),
+            format!("{bud_s:.2}"),
+            format!("{:.2}", bud_g - bud_s),
+        ]);
+    }
+    println!("# Ablation — moduli pool: greedy maximal vs small-tail pool");
+    print_table(&mut std::io::stdout().lock(), &header, &rows);
+    println!();
+    println!("Reading: at N = 20 the small-tail pool gives up ~{:.1} bits of per-side",
+        0.5 * (greedy[17..20]
+            .iter()
+            .map(|&p| (p as f64).log2())
+            .sum::<f64>()
+            - SMALL_TAIL_POOL[17..20]
+                .iter()
+                .map(|&p| (p as f64).log2())
+                .sum::<f64>()));
+    println!("budget — every INT8 GEMM costs the same, so the greedy pool is strictly");
+    println!("better. All accuracy claims hold under either pool at the paper's N.");
+}

@@ -1,0 +1,50 @@
+//! Figure 1: TFLOPS and TOPS of AMD and NVIDIA GPUs for dense data.
+//!
+//! Prints the datasheet series behind the paper's motivation chart: the
+//! per-generation growth of FP64 / FP32 / FP16 / INT8 peak rates.
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig1_datasheet [--csv]`
+
+use gemm_bench::report::{print_csv, print_table};
+use gemm_perfmodel::FIG1_DATASHEET;
+
+fn main() {
+    let args = gemm_bench::report::Args::from_env();
+    let header: Vec<String> = ["GPU", "vendor", "year", "FP64 TFLOPS", "FP32 TFLOPS", "FP16 TFLOPS", "INT8 TOPS", "INT8/FP64"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = FIG1_DATASHEET
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                e.vendor.to_string(),
+                e.year.to_string(),
+                format!("{:.2}", e.fp64),
+                format!("{:.1}", e.fp32),
+                format!("{:.1}", e.fp16),
+                format!("{:.1}", e.int8),
+                if e.fp64 > 0.0 && e.int8 > 0.0 {
+                    format!("{:.0}x", e.int8 / e.fp64)
+                } else {
+                    "-".to_string()
+                },
+            ]
+        })
+        .collect();
+    let mut out = std::io::stdout().lock();
+    println!("# Figure 1 — dense peak rates by GPU generation");
+    if args.flag("csv") {
+        print_csv(&mut out, &header, &rows);
+    } else {
+        print_table(&mut out, &header, &rows);
+    }
+    println!();
+    println!(
+        "Takeaway: INT8 grew {:.0}x from V100 to H100 while FP64 grew {:.1}x —",
+        FIG1_DATASHEET[3].int8 / FIG1_DATASHEET[1].int8,
+        FIG1_DATASHEET[3].fp64 / FIG1_DATASHEET[1].fp64
+    );
+    println!("the gap the emulation exploits.");
+}

@@ -1,0 +1,46 @@
+//! Figure 2: the bit layout of the CRT weight splits `s_i1` / `s_i2`.
+//!
+//! Prints, for a chosen `N`, each weight `w_i = (P/p_i)·q_i` with its
+//! `β_i` budget, the number of significant bits kept in `s_i1`, and the
+//! shared-ulp alignment that makes `Σ s_i1·U_i` exact in FP64.
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig2_constants [--n=15]`
+
+use gemm_bench::report::{print_table, Args};
+use gemm_exact::I256;
+use ozaki2::constants;
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get("n").unwrap_or(15);
+    let c = constants(n);
+    println!("# Figure 2 — s_i1 / s_i2 layout for N = {n}");
+    println!("P = 2^{:.2} (exactly {} bits)", c.p_big.to_f64().log2(), c.p_big.bits());
+    println!("P1 = {:e}, P2 = {:e}, P_inv = {:e}", c.p1, c.p2, c.p_inv);
+    println!("fast budget = 2^{:.2} per side, accurate budget = 2^{:.2}", c.p_fast, c.p_accu);
+    println!();
+    let header: Vec<String> = ["i", "p_i", "bits(w_i)", "beta_i", "s_i1", "s_i2", "ulp exp"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let w_bits = c.weights[i].bits();
+            let ulp = I256::from_f64_exact(c.s1[i])
+                .abs_u256()
+                .trailing_zeros();
+            vec![
+                (i + 1).to_string(),
+                c.p[i].to_string(),
+                w_bits.to_string(),
+                c.beta[i].to_string(),
+                format!("{:e}", c.s1[i]),
+                format!("{:e}", c.s2[i]),
+                ulp.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&mut std::io::stdout().lock(), &header, &rows);
+    println!();
+    println!("All s_i1 share the common ulp (same 'ulp exp' column) — the Fig. 2 alignment.");
+}

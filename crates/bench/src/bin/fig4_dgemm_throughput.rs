@@ -1,0 +1,35 @@
+//! Figure 4: throughput of DGEMM emulation on A100 / GH200 / RTX 5080
+//! (modelled; see DESIGN.md on the device-model substitution).
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig4_dgemm_throughput [--csv]`
+
+use gemm_bench::report::{print_csv, print_table, Args};
+use gemm_perfmodel::{evaluation_devices, fig4_dgemm_throughput, SWEEP_NS};
+
+fn main() {
+    let args = Args::from_env();
+    let mut out = std::io::stdout().lock();
+    for device in evaluation_devices() {
+        println!("# Figure 4 — DGEMM emulation throughput (TFLOPS) on {}", device.name);
+        let series = fig4_dgemm_throughput(device);
+        let mut header = vec!["method".to_string()];
+        header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.label.clone()];
+                row.extend(s.points.iter().map(|&(_, v)| format!("{v:.1}")));
+                row
+            })
+            .collect();
+        if args.flag("csv") {
+            print_csv(&mut out, &header, &rows);
+        } else {
+            print_table(&mut out, &header, &rows);
+        }
+        println!();
+    }
+    println!("Expected shape (paper §5.2): emulation >> DGEMM everywhere on RTX 5080;");
+    println!("on A100/GH200 DGEMM wins at n <= 2048, OS II wins for n >= 8192 with");
+    println!("~1.4x at n = 16384; OS II above ozIMMU_EF at large n.");
+}

@@ -1,0 +1,34 @@
+//! Figure 5: throughput of SGEMM emulation on A100 / GH200 / RTX 5080
+//! (modelled; see DESIGN.md on the device-model substitution).
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig5_sgemm_throughput [--csv]`
+
+use gemm_bench::report::{print_csv, print_table, Args};
+use gemm_perfmodel::{evaluation_devices, fig5_sgemm_throughput, SWEEP_NS};
+
+fn main() {
+    let args = Args::from_env();
+    let mut out = std::io::stdout().lock();
+    for device in evaluation_devices() {
+        println!("# Figure 5 — SGEMM emulation throughput (TFLOPS) on {}", device.name);
+        let series = fig5_sgemm_throughput(device);
+        let mut header = vec!["method".to_string()];
+        header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.label.clone()];
+                row.extend(s.points.iter().map(|&(_, v)| format!("{v:.1}")));
+                row
+            })
+            .collect();
+        if args.flag("csv") {
+            print_csv(&mut out, &header, &rows);
+        } else {
+            print_table(&mut out, &header, &rows);
+        }
+        println!();
+    }
+    println!("Expected shape (paper §5.2): OS II-fast-{{7,8,9}} at 2.3–3.0x SGEMM on");
+    println!("GH200 (128–160 TFLOPS at n = 16384), sitting between SGEMM and TF32GEMM.");
+}

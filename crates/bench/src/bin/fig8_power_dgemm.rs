@@ -1,0 +1,35 @@
+//! Figure 8: power efficiency (GFLOPS/W) of DGEMM emulation on the three
+//! devices (modelled).
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig8_power_dgemm [--csv]`
+
+use gemm_bench::report::{print_csv, print_table, Args};
+use gemm_perfmodel::{evaluation_devices, fig8_dgemm_power, SWEEP_NS};
+
+fn main() {
+    let args = Args::from_env();
+    let mut out = std::io::stdout().lock();
+    for device in evaluation_devices() {
+        println!("# Figure 8 — DGEMM emulation power efficiency (GFLOPS/W) on {}", device.name);
+        let series = fig8_dgemm_power(device);
+        let mut header = vec!["method".to_string()];
+        header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.label.clone()];
+                row.extend(s.points.iter().map(|&(_, v)| format!("{v:.1}")));
+                row
+            })
+            .collect();
+        if args.flag("csv") {
+            print_csv(&mut out, &header, &rows);
+        } else {
+            print_table(&mut out, &header, &rows);
+        }
+        println!();
+    }
+    println!("Expected shape (paper §5.4): trends mirror Fig. 4, but emulation closes");
+    println!("the gap earlier (INT8 is power-efficient even at moderate sizes);");
+    println!("OS II-fast gains 20–43% over DGEMM on GH200 at n = 16384.");
+}

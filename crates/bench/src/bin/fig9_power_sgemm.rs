@@ -1,0 +1,35 @@
+//! Figure 9: power efficiency (GFLOPS/W) of SGEMM emulation on the three
+//! devices (modelled).
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin fig9_power_sgemm [--csv]`
+
+use gemm_bench::report::{print_csv, print_table, Args};
+use gemm_perfmodel::{evaluation_devices, fig9_sgemm_power, SWEEP_NS};
+
+fn main() {
+    let args = Args::from_env();
+    let mut out = std::io::stdout().lock();
+    for device in evaluation_devices() {
+        println!("# Figure 9 — SGEMM emulation power efficiency (GFLOPS/W) on {}", device.name);
+        let series = fig9_sgemm_power(device);
+        let mut header = vec!["method".to_string()];
+        header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));
+        let rows: Vec<Vec<String>> = series
+            .iter()
+            .map(|s| {
+                let mut row = vec![s.label.clone()];
+                row.extend(s.points.iter().map(|&(_, v)| format!("{v:.1}")));
+                row
+            })
+            .collect();
+        if args.flag("csv") {
+            print_csv(&mut out, &header, &rows);
+        } else {
+            print_table(&mut out, &header, &rows);
+        }
+        println!();
+    }
+    println!("Expected shape (paper §5.4): OS II-fast-{{7,8,9}} at +103–154% over SGEMM");
+    println!("on GH200 at n = 16384; on RTX 5080 INT8's 13.3x power-efficiency edge at");
+    println!("n = 1024 lets emulation match SGEMM's GFLOPS/W even at small sizes.");
+}

@@ -1,0 +1,39 @@
+//! The paper's §1 headline numbers, regenerated from the device model:
+//! DGEMM 1.4x / +43%, SGEMM 3.0x / +154% on GH200; >2x over prior
+//! emulation.
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin headline_summary`
+
+use gemm_bench::report::print_table;
+use gemm_perfmodel::{evaluation_devices, headline};
+
+fn main() {
+    let header: Vec<String> = [
+        "device",
+        "DGEMM speedup (OS II-fast-14)",
+        "DGEMM power gain",
+        "SGEMM speedup (OS II-fast-8)",
+        "SGEMM power gain",
+        "vs ozIMMU_EF-8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = evaluation_devices()
+        .into_iter()
+        .map(|d| {
+            let h = headline(d);
+            vec![
+                h.device.to_string(),
+                format!("{:.2}x", h.dgemm_speedup),
+                format!("{:+.0}%", h.dgemm_power_gain * 100.0),
+                format!("{:.2}x", h.sgemm_speedup),
+                format!("{:+.0}%", h.sgemm_power_gain * 100.0),
+                format!("{:.2}x", h.vs_prior_emulation),
+            ]
+        })
+        .collect();
+    println!("# Headline summary at n = 16384 (modelled; paper §1 claims for GH200:");
+    println!("# 1.4x DGEMM / +43% power, 3.0x SGEMM / +154% power, >2x vs prior emulation)");
+    print_table(&mut std::io::stdout().lock(), &header, &rows);
+}

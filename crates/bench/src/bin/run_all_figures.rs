@@ -1,0 +1,72 @@
+//! Regenerate every table and figure into `results/` in one command.
+//!
+//! Usage: `cargo run --release -p gemm-bench --bin run_all_figures [-- --outdir=results]`
+//!
+//! Spawns each `fig*`/`ablation*` binary (which must already be built in
+//! the same profile) and captures its stdout to `<outdir>/<name>.txt`.
+
+use gemm_bench::report::Args;
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig1_datasheet",
+    "fig2_constants",
+    "fig3_accuracy",
+    "fig4_dgemm_throughput",
+    "fig5_sgemm_throughput",
+    "fig6_breakdown_dgemm",
+    "fig7_breakdown_sgemm",
+    "fig8_power_dgemm",
+    "fig9_power_sgemm",
+    "headline_summary",
+    "ablation_rmod_steps",
+    "ablation_moduli",
+    "ablation_dd_fold",
+];
+
+fn main() {
+    let args = Args::from_env();
+    let outdir: String = args.get("outdir").unwrap_or_else(|| "results".to_string());
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+
+    // Sibling binaries live next to this executable.
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let exe: PathBuf = bin_dir.join(name);
+        eprintln!("[run_all_figures] {name} …");
+        let mut cmd = Command::new(&exe);
+        if *name == "fig6_breakdown_dgemm" || *name == "fig7_breakdown_sgemm" {
+            cmd.arg("--measured");
+        }
+        match cmd.output() {
+            Ok(out) if out.status.success() => {
+                let path = format!("{outdir}/{name}.txt");
+                std::fs::write(&path, &out.stdout).expect("write output");
+                eprintln!("[run_all_figures]   -> {path}");
+            }
+            Ok(out) => {
+                eprintln!(
+                    "[run_all_figures]   FAILED (status {:?}):\n{}",
+                    out.status.code(),
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("[run_all_figures]   could not spawn {exe:?}: {e}");
+                eprintln!("[run_all_figures]   (build first: cargo build --release -p gemm-bench)");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("All figures regenerated into {outdir}/");
+    } else {
+        println!("Completed with failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

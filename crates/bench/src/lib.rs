@@ -1,0 +1,14 @@
+//! # gemm-bench
+//!
+//! Benchmark harness: shared infrastructure for the `fig*` regeneration
+//! binaries (one per paper figure, see `src/bin/`) and the criterion
+//! microbenches (`benches/`).
+//!
+//! * [`report`] — CSV / aligned-table printing used by every binary;
+//! * [`accuracy`] — the Fig. 3 experiment: run every method over the
+//!   φ-lognormal workloads against the double-double oracle.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod report;

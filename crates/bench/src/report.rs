@@ -1,0 +1,137 @@
+//! Plain-text table / CSV emission for the figure binaries.
+
+use std::io::Write;
+
+/// Print a CSV table: header row then data rows.
+pub fn print_csv<W: Write>(out: &mut W, header: &[String], rows: &[Vec<String>]) {
+    writeln!(out, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(out, "{}", row.join(",")).expect("write row");
+    }
+}
+
+/// Print an aligned markdown-ish table for terminal reading.
+pub fn print_table<W: Write>(out: &mut W, header: &[String], rows: &[Vec<String>]) {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    writeln!(out, "{}", fmt_row(header)).expect("write header");
+    writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    )
+    .expect("write rule");
+    for row in rows {
+        assert_eq!(row.len(), ncols);
+        writeln!(out, "{}", fmt_row(row)).expect("write row");
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fmt_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// Parse a `--key=value` style argument list (tiny, no external deps).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Capture the process arguments.
+    pub fn from_env() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Construct from a fixed list (tests).
+    pub fn from_vec(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// Presence of a bare `--flag`.
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// Value of `--key=value`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        let prefix = format!("--{name}=");
+        self.raw
+            .iter()
+            .find_map(|a| a.strip_prefix(&prefix))
+            .and_then(|v| v.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let mut buf = Vec::new();
+        print_csv(
+            &mut buf,
+            &["a".into(), "b".into()],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut buf = Vec::new();
+        print_table(
+            &mut buf,
+            &["name".into(), "v".into()],
+            &[vec!["x".into(), "12345".into()]],
+        );
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("name"));
+        assert!(s.contains("12345"));
+    }
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_vec(vec!["--full".into(), "--size=512".into()]);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get::<usize>("size"), Some(512));
+        assert_eq!(a.get::<usize>("missing"), None);
+    }
+
+    #[test]
+    fn fmt_sig_ranges() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(123.4), "123");
+        assert_eq!(fmt_sig(1.5), "1.50");
+        assert_eq!(fmt_sig(0.000123), "1.230e-4");
+    }
+}

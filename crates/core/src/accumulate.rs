@@ -1,0 +1,236 @@
+//! Lines 8–12 of Algorithm 1: the weighted accumulation of the UINT8
+//! residue planes and the CRT fold back into the integer product (§4.3).
+//!
+//! `C'⁽¹⁾ = Σ s_i1 U_i` is **exact** in f64: every `s_i1` is an integer
+//! multiple of one common power of two (the β_i construction) and carries
+//! at most `53 - 8 - ⌈log2 N⌉` significant bits, so each product with a
+//! UINT8 value and the whole N-term sum stay inside 53 bits of that common
+//! ulp. `C'⁽²⁾` mops up the discarded low bits of the weights. The fold
+//!
+//! ```text
+//! Q   = round(P_inv · C'⁽¹⁾)
+//! C'' = fma(-P2, Q, fma(-P1, Q, C'⁽¹⁾) + C'⁽²⁾)
+//! ```
+//!
+//! subtracts the unique multiple of `P` (double-double `P1 + P2`), leaving
+//! `C'' ≈ rmod(A'B', P) = A'B'` by the uniqueness condition (3). The
+//! inverse diagonal scaling (line 12, exact: powers of two) is fused into
+//! the same pass.
+
+use crate::consts::Constants;
+use crate::scale::scale_by_pow2;
+use rayon::prelude::*;
+
+/// Which weight split drives the accumulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldPrecision {
+    /// DGEMM: `s1 + s2` weight split, `P` as a double-double.
+    Double,
+    /// SGEMM: single f64 weights, `s2 = 0`, `P2 = 0`.
+    Single,
+}
+
+/// Fold all residue planes into the final matrix.
+///
+/// * `u` — `N` UINT8 planes, plane-major, each `m*n` column-major;
+/// * `exps_a` / `exps_b` — the scale exponents (`μ_i = 2^{e}`), negated here;
+/// * `out` — `m*n` column-major f64.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_planes(
+    u: &[u8],
+    m: usize,
+    n: usize,
+    consts: &Constants,
+    precision: FoldPrecision,
+    exps_a: &[i32],
+    exps_b: &[i32],
+    out: &mut [f64],
+) {
+    let plane = m * n;
+    let nmod = consts.n;
+    assert_eq!(u.len(), nmod * plane, "plane buffer mismatch");
+    assert_eq!(out.len(), plane, "output buffer mismatch");
+    assert_eq!(exps_a.len(), m);
+    assert_eq!(exps_b.len(), n);
+    if plane == 0 {
+        return;
+    }
+    let (s1, s2): (&[f64], Option<&[f64]>) = match precision {
+        FoldPrecision::Double => (&consts.s1, Some(&consts.s2)),
+        FoldPrecision::Single => (&consts.s1_single, None),
+    };
+    let (p1, p2, p_inv) = (consts.p1, consts.p2, consts.p_inv);
+
+    out.par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, out_col)| {
+            let col_off = j * m;
+            let neg_eb = -exps_b[j];
+            for (i, o) in out_col.iter_mut().enumerate() {
+                let idx = col_off + i;
+                let mut c1 = 0.0f64;
+                let mut c2 = 0.0f64;
+                match s2 {
+                    Some(s2v) => {
+                        for s in 0..nmod {
+                            let us = u[s * plane + idx] as f64;
+                            c1 += s1[s] * us; // exact by construction
+                            c2 += s2v[s] * us;
+                        }
+                    }
+                    None => {
+                        for s in 0..nmod {
+                            let us = u[s * plane + idx] as f64;
+                            c1 += s1[s] * us;
+                        }
+                    }
+                }
+                let q = (p_inv * c1).round();
+                let t = q.mul_add(-p1, c1) + c2;
+                let cpp = q.mul_add(-p2, t);
+                *o = scale_by_pow2(cpp, neg_eb - exps_a[i]);
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::constants;
+    use gemm_exact::{CrtBasis, I256};
+
+    /// Scalar oracle: reconstruct rmod(Σ w_i u_i, P) exactly.
+    fn oracle(consts: &Constants, us: &[u8]) -> f64 {
+        let basis = CrtBasis::new(&consts.p);
+        let mut acc = gemm_exact::U256::ZERO;
+        for (i, &uv) in us.iter().enumerate() {
+            acc = acc.add(basis.weight(i).mul_u64(uv as u64));
+        }
+        let (_, r) = acc.div_rem(basis.p_big());
+        let half = basis.p_big().half();
+        if r > half {
+            I256::from_u256(basis.p_big().sub(r)).neg().to_f64()
+        } else {
+            I256::from_u256(r).to_f64()
+        }
+    }
+
+    fn fold_single_element(consts: &Constants, us: &[u8], prec: FoldPrecision) -> f64 {
+        let mut u = vec![0u8; consts.n];
+        u.copy_from_slice(us);
+        let mut out = [0.0f64];
+        fold_planes(&u, 1, 1, consts, prec, &[0], &[0], &mut out);
+        out[0]
+    }
+
+    #[test]
+    fn fold_matches_crt_oracle_small_n() {
+        // For N <= 8 the weight splits (s1 + s2 = w exactly) leave only the
+        // final fold roundings: the result is bit-exact below 2^53 and
+        // within a couple of ulps above.
+        for n in [2usize, 4, 6, 8] {
+            let c = constants(n);
+            let mut seed = 0x1234_5678u64;
+            for _ in 0..200 {
+                let us: Vec<u8> = (0..n)
+                    .map(|s| {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ((seed >> 33) % c.p[s]) as u8
+                    })
+                    .collect();
+                let got = fold_single_element(c, &us, FoldPrecision::Double);
+                let want = oracle(c, &us);
+                if want.abs() < 2f64.powi(50) {
+                    assert_eq!(got, want, "N={n} us={us:?}");
+                } else {
+                    let rel = ((got - want) / want).abs();
+                    assert!(rel <= 4.0 * f64::EPSILON, "N={n} rel={rel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_near_exact_large_n() {
+        // For N = 15..20 the reconstruction is exact to f64 resolution:
+        // the s2 truncation error (~2^-85 relative) is far below the final
+        // rounding at ~2^-53.
+        for n in [15usize, 18, 20] {
+            let c = constants(n);
+            let mut seed = 42u64;
+            for _ in 0..100 {
+                let us: Vec<u8> = (0..n)
+                    .map(|s| {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+                        ((seed >> 33) % c.p[s]) as u8
+                    })
+                    .collect();
+                let got = fold_single_element(c, &us, FoldPrecision::Double);
+                let want = oracle(c, &us);
+                if want != 0.0 {
+                    let rel = ((got - want) / want).abs();
+                    assert!(
+                        rel <= 8.0 * f64::EPSILON,
+                        "N={n} rel={rel} got={got} want={want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_precision_fold_absolute_error_bound() {
+        // The single-weight fold rounds each s1·u term: the absolute error
+        // is bounded by N·255·ulp(max w) — the float-GEMM error model
+        // (absolute error scales with Σ|terms|, not with the result).
+        let c = constants(8);
+        let lw_max = c.weights.iter().map(|w| w.bits()).max().unwrap() as i32;
+        let bound = 8.0 * 255.0 * 2f64.powi(lw_max - 52);
+        let mut seed = 77u64;
+        for _ in 0..100 {
+            let us: Vec<u8> = (0..8)
+                .map(|s| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(3);
+                    ((seed >> 33) % c.p[s]) as u8
+                })
+                .collect();
+            let got = fold_single_element(c, &us, FoldPrecision::Single);
+            let want = oracle(c, &us);
+            assert!(
+                (got - want).abs() <= bound,
+                "err={} bound={bound}",
+                (got - want).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_scaling_applied() {
+        let c = constants(4);
+        // Layout: planes are plane-major; with m = n = 1 and N = 4, `u`
+        // holds one element per plane.
+        let u = vec![3u8, 3, 3, 3];
+        let mut out = [0.0f64];
+        fold_planes(&u, 1, 1, c, FoldPrecision::Double, &[2], &[3], &mut out);
+        // All residues equal 3 => reconstructed integer is 3; scales 2^-5.
+        assert_eq!(out[0], 3.0 / 32.0);
+    }
+
+    #[test]
+    fn zero_planes_give_zero() {
+        let c = constants(5);
+        let u = vec![0u8; 5 * 6];
+        let mut out = [0.0f64; 6];
+        fold_planes(&u, 2, 3, c, FoldPrecision::Double, &[0, 0], &[0, 0, 0], &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn negative_values_reconstruct() {
+        // Residues of x = -7 must fold back to -7.
+        let c = constants(6);
+        let us: Vec<u8> = c.p.iter().map(|&p| ((-7i64).rem_euclid(p as i64)) as u8).collect();
+        let got = fold_single_element(c, &us, FoldPrecision::Double);
+        assert_eq!(got, -7.0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Lines 4–5 of Algorithm 1: `A'_i = rmod(A', p_i)`, `B'_i = rmod(B', p_i)`
+//! as INT8 planes, via the fast FMA-based `rmod` of §4.2.
+//!
+//! The built-in `fmod` is slow, so the paper reduces with
+//! `y ← fma(round(x·p_inv), -p, x)` followed by up to two single-precision
+//! correction steps, gated on `N` (the larger `N`, the larger the scaled
+//! integers `|a'| ≤ 2^{P'_budget}`, and the larger the first-step residual):
+//! `(N1, N2) = (13, 19)` for `b = 64` and `(5, 11)` for `b = 32`.
+//!
+//! One deliberate deviation (documented in DESIGN.md): when three steps are
+//! required (`N ≥ N2`) the second step runs in f64 before the narrowing to
+//! f32. For `N ∈ {19, 20}` the exact first-step residual can reach ~2^25,
+//! which does not round-trip through f32; keeping one more step in f64
+//! preserves exactness of the residue. Below `N2` the kernel is literally
+//! the paper's.
+
+use crate::consts::Constants;
+use rayon::prelude::*;
+
+/// Correction-step thresholds for the DGEMM (`b = 64`) kernel.
+pub const N1_F64: usize = 13;
+/// Second threshold for `b = 64`.
+pub const N2_F64: usize = 19;
+/// Correction-step thresholds for the SGEMM (`b = 32`) kernel.
+pub const N1_F32: usize = 5;
+/// Second threshold for `b = 32`.
+pub const N2_F32: usize = 11;
+
+/// Number of reduction steps for a given N and input width.
+#[inline]
+pub fn steps_for(n: usize, b64: bool) -> u8 {
+    let (n1, n2) = if b64 { (N1_F64, N2_F64) } else { (N1_F32, N2_F32) };
+    1 + (n >= n1) as u8 + (n >= n2) as u8
+}
+
+/// `rmod(x, p)` for an integer-valued f64 `x`, wrapped into INT8.
+///
+/// The result is the symmetric residue in `[-p/2, p/2]`; the single corner
+/// case `+128` (p = 256) wraps to `-128`, which is congruent mod 256.
+#[inline]
+pub fn rmod_to_i8(x: f64, p: f64, p32: f32, pinv64: f64, pinv32: f32, steps: u8) -> i8 {
+    // Step 1 (always): one f64 FMA reduction.
+    let t = (x * pinv64).round();
+    let y64 = t.mul_add(-p, x);
+    let mut y: f32;
+    if steps >= 3 {
+        // Wide-range second step in f64, then narrow.
+        let t2 = (y64 * pinv64).round();
+        y = t2.mul_add(-p, y64) as f32;
+        let t3 = (y * pinv32).round();
+        y = t3.mul_add(-p32, y);
+    } else {
+        y = y64 as f32;
+        if steps >= 2 {
+            let t2 = (y * pinv32).round();
+            y = t2.mul_add(-p32, y);
+        }
+    }
+    // Wrapping cast (Rust's `as i8` from float saturates; the paper relies
+    // on the wrap of 128 -> -128, so go through i32 -> u8).
+    (y as i32) as u8 as i8
+}
+
+/// Convert one integer-valued buffer (row-major `A'` or column-major `B'`)
+/// into `N` INT8 residue planes stored plane-major in `out`
+/// (`out[s * len + idx] = rmod(src[idx], p_s)`).
+pub fn residue_planes(src: &[f64], consts: &Constants, b64: bool, out: &mut [i8]) {
+    let len = src.len();
+    let n = consts.n;
+    assert_eq!(out.len(), n * len, "plane buffer mismatch");
+    let steps = steps_for(n, b64);
+    out.chunks_exact_mut(len)
+        .enumerate()
+        .for_each(|(s, plane)| {
+            let p = consts.p_f64[s];
+            let p32 = consts.p_f32[s];
+            let pinv64 = consts.p_inv_f64[s];
+            let pinv32 = consts.p_inv_f32[s];
+            plane
+                .par_chunks_mut(16 * 1024)
+                .zip(src.par_chunks(16 * 1024))
+                .for_each(|(dst, xs)| {
+                    for (d, &x) in dst.iter_mut().zip(xs) {
+                        *d = rmod_to_i8(x, p, p32, pinv64, pinv32, steps);
+                    }
+                });
+        });
+}
+
+/// Reference `rmod` via exact integer arithmetic (tests only).
+pub fn rmod_reference(x: f64, p: u64) -> i8 {
+    debug_assert_eq!(x.fract(), 0.0);
+    let xi = gemm_exact::I256::from_f64_exact(x);
+    let r = xi.rem_euclid_u64(p); // in [0, p)
+    let half = p / 2;
+    let signed = if p % 2 == 0 {
+        // Symmetric with the +p/2 boundary kept positive then wrapped:
+        // round-half-away on x/p maps |rem| = p/2 to the sign of x.
+        if r > half || (r == half && x < 0.0) {
+            r as i64 - p as i64
+        } else {
+            r as i64
+        }
+    } else if r > half {
+        r as i64 - p as i64
+    } else {
+        r as i64
+    };
+    (signed as i32) as u8 as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::constants;
+
+    fn check_residue(x: f64, s: usize, c: &Constants, steps: u8) {
+        let got = rmod_to_i8(
+            x,
+            c.p_f64[s],
+            c.p_f32[s],
+            c.p_inv_f64[s],
+            c.p_inv_f32[s],
+            steps,
+        );
+        let p = c.p[s];
+        // Residues must agree mod p (the i8 may legitimately differ by p
+        // only through the documented ±p/2 tie, which is still congruent).
+        let want = gemm_exact::I256::from_f64_exact(x).rem_euclid_u64(p);
+        let got_mod = (got as i64).rem_euclid(p as i64) as u64;
+        assert_eq!(got_mod, want, "x={x} p={p} got={got}");
+    }
+
+    #[test]
+    fn rmod_small_exhaustive() {
+        let c = constants(4);
+        let steps = steps_for(4, true);
+        for s in 0..4 {
+            for x in -2000i64..=2000 {
+                check_residue(x as f64, s, c, steps);
+            }
+        }
+    }
+
+    #[test]
+    fn rmod_large_values_dgemm_n15() {
+        let c = constants(15);
+        let steps = steps_for(15, true);
+        // Values up to the fast-mode magnitude bound 2^p_fast ≈ 2^58.
+        let bound = 2f64.powf(c.p_fast);
+        let mut x = 1.0f64;
+        while x < bound {
+            for s in 0..15 {
+                check_residue(x.trunc(), s, c, steps);
+                check_residue(-x.trunc(), s, c, steps);
+                check_residue((x * 0.7360328).trunc(), s, c, steps);
+            }
+            x *= 1.9173;
+        }
+    }
+
+    #[test]
+    fn rmod_extreme_n20() {
+        let c = constants(20);
+        let steps = steps_for(20, true);
+        assert_eq!(steps, 3);
+        let bound = 2f64.powf(c.p_fast); // ~2^76.9
+        let mut x = 1.0f64;
+        while x < bound {
+            for s in 0..20 {
+                check_residue(x.trunc(), s, c, steps);
+                check_residue((-x * 0.9418).trunc(), s, c, steps);
+            }
+            x *= 2.3719;
+        }
+    }
+
+    #[test]
+    fn plus_half_p_wraps_for_256() {
+        let c = constants(2);
+        // x = -128: round(-0.5) = -1 (ties away) -> y = -128 + 256 = +128,
+        // which must wrap to -128 on the INT8 cast.
+        let r = rmod_to_i8(-128.0, 256.0, 256.0, c.p_inv_f64[0], c.p_inv_f32[0], 1);
+        assert_eq!(r, -128);
+        let r2 = rmod_to_i8(128.0, 256.0, 256.0, c.p_inv_f64[0], c.p_inv_f32[0], 1);
+        assert_eq!(r2, -128);
+    }
+
+    #[test]
+    fn steps_thresholds_match_paper() {
+        assert_eq!(steps_for(2, true), 1);
+        assert_eq!(steps_for(12, true), 1);
+        assert_eq!(steps_for(13, true), 2);
+        assert_eq!(steps_for(18, true), 2);
+        assert_eq!(steps_for(19, true), 3);
+        assert_eq!(steps_for(4, false), 1);
+        assert_eq!(steps_for(5, false), 2);
+        assert_eq!(steps_for(10, false), 2);
+        assert_eq!(steps_for(11, false), 3);
+    }
+
+    #[test]
+    fn residue_planes_layout() {
+        let c = constants(3);
+        let src = [100.0f64, -100.0, 300.0, -300.0];
+        let mut out = vec![0i8; 3 * 4];
+        residue_planes(&src, c, true, &mut out);
+        for s in 0..3 {
+            for (idx, &x) in src.iter().enumerate() {
+                let want = rmod_reference(x, c.p[s]);
+                let got = out[s * 4 + idx];
+                assert_eq!(
+                    (got as i64).rem_euclid(c.p[s] as i64),
+                    (want as i64).rem_euclid(c.p[s] as i64),
+                    "s={s} idx={idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_rmod_symmetric() {
+        for p in [251u64, 256] {
+            for x in -600i64..=600 {
+                let r = rmod_reference(x as f64, p) as i64;
+                assert_eq!((x - r).rem_euclid(p as i64), 0, "x={x} p={p}");
+                assert!(r.abs() <= (p / 2) as i64, "x={x} p={p} r={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! §6 extensions: "Ozaki scheme II … can also be extended to matrix
+//! multiplication using arbitrary combinations of floating-point formats,
+//! including both homogeneous (e.g., double-double) and heterogeneous
+//! (e.g., FP16 and FP32) types."
+//!
+//! * [`dgemm_dd`] — **double-double output**: the CRT fold is evaluated in
+//!   DD arithmetic instead of the FMA chain of line 11, so the
+//!   reconstruction keeps ~`β + 53` bits of each weight. The result is
+//!   accurate beyond FP64: the limit becomes the Step-2 truncation
+//!   (~`2·p_fast - log2 k` bits), e.g. ~68 bits at `N = 20`.
+//! * [`gemm_f64xf32`] — **heterogeneous inputs**: an FP64 × FP32 product
+//!   through the same integer pipeline (the f32 operand is widened
+//!   exactly; its scale budget is identical).
+
+use crate::consts::constants;
+use crate::convert::residue_planes;
+use crate::modred::reduce_plane;
+use crate::pipeline::{Mode, K_BLOCK_MAX};
+use crate::scale::{
+    accurate_scale, fast_scale_cols, fast_scale_rows, scale_by_pow2, scale_trunc_a_rowmajor,
+    scale_trunc_b_colmajor,
+};
+use gemm_dense::{MatF32, MatF64, Matrix};
+use gemm_engine::int8_gemm_rm_cm;
+use gemm_exact::Dd;
+use rayon::prelude::*;
+
+/// Emulated product with a double-double result: `C ≈ A·B` to ~`2·p_fast`
+/// bits (beyond FP64 for large `N`).
+///
+/// # Panics
+/// On shape mismatch, non-finite input, or `k > 2^17` (the extension does
+/// not implement blocking; use [`crate::Ozaki2`] for huge `k`).
+pub fn dgemm_dd(a: &MatF64, b: &MatF64, n_moduli: usize, mode: Mode) -> Matrix<Dd> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    assert!(k <= K_BLOCK_MAX, "k > 2^17 unsupported in the DD extension");
+    assert!(
+        a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
+        "inputs must be finite"
+    );
+    let consts = constants(n_moduli);
+    let nmod = consts.n;
+    let plane = m * n;
+    let mut out = Matrix::<Dd>::zeros(m, n);
+    if plane == 0 || k == 0 {
+        return out;
+    }
+
+    let (exps_a, exps_b) = match mode {
+        Mode::Fast => (
+            fast_scale_rows(a, consts.p_fast),
+            fast_scale_cols(b, consts.p_fast),
+        ),
+        Mode::Accurate => accurate_scale(a, b, consts.p_accu),
+    };
+    let mut aprime = vec![0f64; m * k];
+    scale_trunc_a_rowmajor(a, &exps_a, &mut aprime);
+    let mut bprime = vec![0f64; k * n];
+    scale_trunc_b_colmajor(b, &exps_b, &mut bprime);
+
+    let mut a8 = vec![0i8; nmod * m * k];
+    residue_planes(&aprime, consts, true, &mut a8);
+    let mut b8 = vec![0i8; nmod * k * n];
+    residue_planes(&bprime, consts, true, &mut b8);
+
+    let mut u = vec![0u8; nmod * plane];
+    let mut c32 = vec![0i32; plane];
+    for s in 0..nmod {
+        int8_gemm_rm_cm(
+            m,
+            n,
+            k,
+            &a8[s * m * k..(s + 1) * m * k],
+            &b8[s * k * n..(s + 1) * k * n],
+            &mut c32,
+        );
+        reduce_plane(
+            &c32,
+            consts.p[s],
+            consts.p_inv_u32[s],
+            &mut u[s * plane..(s + 1) * plane],
+        );
+    }
+
+    // DD fold: c = Σ (s1 + s2)·u - P·Q, everything in double-double.
+    let p_dd = Dd::renorm(consts.p1, consts.p2);
+    out.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, out_col)| {
+            let col_off = j * m;
+            for (i, o) in out_col.iter_mut().enumerate() {
+                let idx = col_off + i;
+                let mut c1 = 0.0f64; // exact by the β construction
+                let mut c2 = Dd::ZERO;
+                for s in 0..nmod {
+                    let us = u[s * plane + idx] as f64;
+                    c1 += consts.s1[s] * us;
+                    c2 = c2.fma_acc(consts.s2[s], us);
+                }
+                let q = (consts.p_inv * c1).round();
+                let cpp = c2.add_f64(c1).sub(p_dd.mul_f64(q));
+                let e = -(exps_a[i] + exps_b[j]);
+                // Exact power-of-two scaling of both components.
+                *o = Dd {
+                    hi: scale_by_pow2(cpp.hi, e),
+                    lo: scale_by_pow2(cpp.lo, e),
+                };
+            }
+        });
+    out
+}
+
+/// Heterogeneous emulated product: `C ≈ A_f64 · B_f32` (widening the f32
+/// operand is exact, so the pipeline is the DGEMM one; the result honours
+/// the narrower operand's information content).
+pub fn gemm_f64xf32(a: &MatF64, b: &MatF32, n_moduli: usize, mode: Mode) -> MatF64 {
+    let b64 = b.map(|x| x as f64);
+    crate::Ozaki2::new(n_moduli, mode).dgemm(a, &b64)
+}
+
+/// Heterogeneous emulated product: `C ≈ A_f32 · B_f64`.
+pub fn gemm_f32xf64(a: &MatF32, b: &MatF64, n_moduli: usize, mode: Mode) -> MatF64 {
+    let a64 = a.map(|x| x as f64);
+    crate::Ozaki2::new(n_moduli, mode).dgemm(&a64, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64};
+    use gemm_exact::dd_gemm;
+
+    fn dd_rel_err(got: &Matrix<Dd>, want: &Matrix<Dd>) -> f64 {
+        got.iter()
+            .zip(want.iter())
+            .map(|(g, w)| {
+                let denom = w.to_f64().abs().max(1e-300);
+                g.sub(*w).to_f64().abs() / denom
+            })
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn dd_output_beats_f64_output() {
+        let (m, n, k) = (24, 24, 48);
+        let a = phi_matrix_f64(m, k, 0.5, 123, 0);
+        let b = phi_matrix_f64(k, n, 0.5, 123, 1);
+        let oracle = dd_gemm(&a, &b);
+        let dd = dgemm_dd(&a, &b, 20, Mode::Fast);
+        let plain = crate::Ozaki2::new(20, Mode::Fast).dgemm(&a, &b);
+        let e_dd = dd_rel_err(&dd, &oracle);
+        let e_plain = gemm_exact::max_rel_error_vs_dd(&plain, &oracle);
+        assert!(
+            e_dd < 1e-17,
+            "DD output should be beyond double precision: {e_dd:e}"
+        );
+        assert!(
+            e_dd < e_plain,
+            "DD fold ({e_dd:e}) must beat the f64 fold ({e_plain:e})"
+        );
+    }
+
+    #[test]
+    fn dd_output_converges_with_n() {
+        let (m, n, k) = (12, 12, 24);
+        let a = phi_matrix_f64(m, k, 0.5, 5, 0);
+        let b = phi_matrix_f64(k, n, 0.5, 5, 1);
+        let oracle = dd_gemm(&a, &b);
+        let mut last = f64::INFINITY;
+        for nmod in [10usize, 14, 18, 20] {
+            let e = dd_rel_err(&dgemm_dd(&a, &b, nmod, Mode::Fast), &oracle).max(1e-25);
+            assert!(e < last * 4.0, "N={nmod}: {e:e} vs {last:e}");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn heterogeneous_products_work() {
+        let (m, n, k) = (16, 16, 32);
+        let a = phi_matrix_f64(m, k, 0.5, 9, 0);
+        let b32 = phi_matrix_f32(k, n, 0.5, 9, 1);
+        let c = gemm_f64xf32(&a, &b32, 14, Mode::Fast);
+        let exact = gemm_dense::gemm::gemm_f64_naive(&a, &b32.map(|x| x as f64));
+        let err = gemm_dense::norms::max_relative_error(&c, &exact);
+        assert!(err < 1e-9, "err={err:e}");
+
+        let c2 = gemm_f32xf64(&b32.transpose(), &a.transpose(), 14, Mode::Fast);
+        assert_eq!(c2.shape(), (n, m));
+    }
+
+    #[test]
+    fn dd_integer_products_have_zero_lo() {
+        // Small integer products are exactly representable: the DD result
+        // must be (value, 0).
+        let a = Matrix::from_fn(4, 6, |i, j| (i as f64) - (j as f64));
+        let b = Matrix::from_fn(6, 4, |i, j| (2 * i) as f64 - j as f64);
+        let dd = dgemm_dd(&a, &b, 8, Mode::Fast);
+        let exact = gemm_dense::gemm::gemm_f64_naive(&a, &b);
+        for (g, w) in dd.iter().zip(exact.iter()) {
+            assert_eq!(g.hi, *w);
+            assert_eq!(g.lo, 0.0);
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! Algorithm 1, end to end: the public emulation API.
+//!
+//! [`Ozaki2`] bundles the two user-visible knobs — the number of moduli `N`
+//! (accuracy) and the computing [`Mode`] (fast vs accurate scaling) — and
+//! exposes `dgemm` / `sgemm` plus `*_with_report` variants that return the
+//! per-phase wall-clock breakdown used to regenerate Figs. 6–7.
+
+use crate::accumulate::{fold_planes, FoldPrecision};
+use crate::consts::{constants, Constants};
+use crate::convert::residue_planes;
+use crate::modred::{accumulate_block_residues, finalize_block_residues, reduce_plane};
+use crate::moduli::{N_MAX, N_MAX_SGEMM};
+use crate::scale::{
+    accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
+    scale_trunc_b_colmajor,
+};
+use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
+use gemm_engine::int8_gemm_rm_cm;
+use std::time::{Duration, Instant};
+
+/// Largest `k` per INT8 GEMM before block splitting (§4.3: products of
+/// `±128` entries stay within the wrapping-INT32 guarantee up to `2^17`).
+pub const K_BLOCK_MAX: usize = 1 << 17;
+
+/// Scaling mode (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Cauchy–Schwarz row/column-norm bound: cheapest, coarser scales.
+    Fast,
+    /// INT8 magnitude-product bound: one extra INT8 GEMM, tighter scales,
+    /// better accuracy (especially for wide exponent distributions).
+    Accurate,
+}
+
+impl Mode {
+    /// Short label used in method names ("fast" / "accu").
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Fast => "fast",
+            Mode::Accurate => "accu",
+        }
+    }
+}
+
+/// Errors surfaced by the checked entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmulationError {
+    /// An input entry was NaN or infinite.
+    NonFiniteInput,
+    /// Requested moduli count outside the supported range.
+    UnsupportedN {
+        /// The offending request.
+        n: usize,
+        /// Inclusive maximum for the precision in question.
+        max: usize,
+    },
+    /// Inner dimensions disagree.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for EmulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmulationError::NonFiniteInput => write!(f, "input contains NaN or infinity"),
+            EmulationError::UnsupportedN { n, max } => {
+                write!(f, "N = {n} outside supported range 2..={max}")
+            }
+            EmulationError::ShapeMismatch => write!(f, "inner matrix dimensions disagree"),
+        }
+    }
+}
+
+impl std::error::Error for EmulationError {}
+
+/// Wall-clock breakdown by Algorithm 1 line (Figs. 6–7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Line 1: scale-vector determination (includes the `Ā·B̄` INT8 GEMM
+    /// in accurate mode).
+    pub scale: Duration,
+    /// Lines 2–3: truncation to integer matrices (plus operand repack).
+    pub trunc: Duration,
+    /// Lines 4–5: conversion to INT8 residue planes.
+    pub convert: Duration,
+    /// Line 6: the `N` INT8 matrix multiplications.
+    pub int8_gemm: Duration,
+    /// Line 7: INT32 → UINT8 modular reduction.
+    pub mod_reduce: Duration,
+    /// Lines 8–12: weighted accumulation, CRT fold, inverse scaling.
+    pub fold: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.scale + self.trunc + self.convert + self.int8_gemm + self.mod_reduce + self.fold
+    }
+
+    /// `(label, seconds)` pairs in Algorithm-1 order.
+    pub fn as_rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("scale (line 1)", self.scale.as_secs_f64()),
+            ("trunc (lines 2-3)", self.trunc.as_secs_f64()),
+            ("convert (lines 4-5)", self.convert.as_secs_f64()),
+            ("int8 GEMM (line 6)", self.int8_gemm.as_secs_f64()),
+            ("mod (line 7)", self.mod_reduce.as_secs_f64()),
+            ("fold (lines 8-12)", self.fold.as_secs_f64()),
+        ]
+    }
+}
+
+/// Metadata returned by the `*_with_report` entry points.
+#[derive(Clone, Debug)]
+pub struct EmulationReport {
+    /// Problem shape `(m, n, k)`.
+    pub shape: (usize, usize, usize),
+    /// Number of moduli used.
+    pub n_moduli: usize,
+    /// Scaling mode.
+    pub mode: Mode,
+    /// Phase breakdown.
+    pub phases: PhaseTimes,
+    /// INT8 GEMMs issued (N per k-block, +1 in accurate mode).
+    pub int8_gemm_calls: usize,
+}
+
+/// The Ozaki Scheme II emulator.
+#[derive(Clone, Copy, Debug)]
+pub struct Ozaki2 {
+    n_moduli: usize,
+    mode: Mode,
+}
+
+impl Ozaki2 {
+    /// Create an emulator with `n ∈ 2..=20` moduli.
+    pub fn new(n_moduli: usize, mode: Mode) -> Self {
+        assert!(
+            (2..=N_MAX).contains(&n_moduli),
+            "N must be in 2..=20, got {n_moduli}"
+        );
+        Self { n_moduli, mode }
+    }
+
+    /// Number of moduli.
+    pub fn n_moduli(&self) -> usize {
+        self.n_moduli
+    }
+
+    /// Scaling mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Emulated DGEMM: `C ≈ A·B` for f64 operands.
+    ///
+    /// # Panics
+    /// On shape mismatch or non-finite input (use [`Ozaki2::try_dgemm`]
+    /// for a checked version).
+    pub fn dgemm(&self, a: &MatF64, b: &MatF64) -> MatF64 {
+        self.try_dgemm(a, b).unwrap_or_else(|e| panic!("dgemm: {e}"))
+    }
+
+    /// Checked emulated DGEMM.
+    pub fn try_dgemm(&self, a: &MatF64, b: &MatF64) -> Result<MatF64, EmulationError> {
+        self.try_dgemm_with_report(a, b).map(|(c, _)| c)
+    }
+
+    /// Emulated DGEMM returning the phase breakdown.
+    pub fn dgemm_with_report(&self, a: &MatF64, b: &MatF64) -> (MatF64, EmulationReport) {
+        self.try_dgemm_with_report(a, b)
+            .unwrap_or_else(|e| panic!("dgemm: {e}"))
+    }
+
+    /// Checked emulated DGEMM with report.
+    pub fn try_dgemm_with_report(
+        &self,
+        a: &MatF64,
+        b: &MatF64,
+    ) -> Result<(MatF64, EmulationReport), EmulationError> {
+        validate_f64(a)?;
+        validate_f64(b)?;
+        if a.cols() != b.rows() {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        Ok(emulate(a, b, self.n_moduli, self.mode, true))
+    }
+
+    /// Emulated SGEMM: `C ≈ A·B` for f32 operands.
+    ///
+    /// # Panics
+    /// On shape mismatch, non-finite input, or `N > 18` (the `b = 32`
+    /// conversion kernel's validated range).
+    pub fn sgemm(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.try_sgemm(a, b).unwrap_or_else(|e| panic!("sgemm: {e}"))
+    }
+
+    /// Checked emulated SGEMM.
+    pub fn try_sgemm(&self, a: &MatF32, b: &MatF32) -> Result<MatF32, EmulationError> {
+        self.try_sgemm_with_report(a, b).map(|(c, _)| c)
+    }
+
+    /// Emulated SGEMM returning the phase breakdown.
+    pub fn sgemm_with_report(&self, a: &MatF32, b: &MatF32) -> (MatF32, EmulationReport) {
+        self.try_sgemm_with_report(a, b)
+            .unwrap_or_else(|e| panic!("sgemm: {e}"))
+    }
+
+    /// Checked emulated SGEMM with report.
+    pub fn try_sgemm_with_report(
+        &self,
+        a: &MatF32,
+        b: &MatF32,
+    ) -> Result<(MatF32, EmulationReport), EmulationError> {
+        if self.n_moduli > N_MAX_SGEMM {
+            return Err(EmulationError::UnsupportedN {
+                n: self.n_moduli,
+                max: N_MAX_SGEMM,
+            });
+        }
+        validate_f32(a)?;
+        validate_f32(b)?;
+        if a.cols() != b.rows() {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        // Widening is exact; the power-of-two scales and truncation commute
+        // with it, so the computed A', B' match a native f32 pipeline.
+        let a64 = a.map(|x| x as f64);
+        let b64 = b.map(|x| x as f64);
+        let (c64, report) = emulate(&a64, &b64, self.n_moduli, self.mode, false);
+        Ok((c64.map(|x| x as f32), report))
+    }
+}
+
+impl MatMulF64 for Ozaki2 {
+    fn matmul_f64(&self, a: &MatF64, b: &MatF64) -> MatF64 {
+        self.dgemm(a, b)
+    }
+    fn name(&self) -> String {
+        format!("OS II-{}-{}", self.mode.label(), self.n_moduli)
+    }
+}
+
+impl MatMulF32 for Ozaki2 {
+    fn matmul_f32(&self, a: &MatF32, b: &MatF32) -> MatF32 {
+        self.sgemm(a, b)
+    }
+    fn name(&self) -> String {
+        format!("OS II-{}-{}", self.mode.label(), self.n_moduli)
+    }
+}
+
+fn validate_f64(a: &MatF64) -> Result<(), EmulationError> {
+    if a.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(EmulationError::NonFiniteInput)
+    }
+}
+
+fn validate_f32(a: &MatF32) -> Result<(), EmulationError> {
+    if a.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(EmulationError::NonFiniteInput)
+    }
+}
+
+/// The shared Algorithm-1 body. `b64` selects the DGEMM weight split and
+/// conversion thresholds; the SGEMM wrapper widens/narrows around it.
+fn emulate(
+    a: &MatF64,
+    b: &MatF64,
+    n_moduli: usize,
+    mode: Mode,
+    b64: bool,
+) -> (MatF64, EmulationReport) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let consts: &Constants = constants(n_moduli);
+    let nmod = consts.n;
+    let plane = m * n;
+    let mut phases = PhaseTimes::default();
+    let mut gemm_calls = 0usize;
+
+    if m == 0 || n == 0 || k == 0 {
+        return (
+            Matrix::zeros(m, n),
+            EmulationReport {
+                shape: (m, n, k),
+                n_moduli: nmod,
+                mode,
+                phases,
+                int8_gemm_calls: 0,
+            },
+        );
+    }
+
+    // ---- Line 1: scale vectors ------------------------------------------
+    let t0 = Instant::now();
+    let (exps_a, exps_b) = match mode {
+        Mode::Fast => (
+            fast_scale_rows(a, consts.p_fast),
+            fast_scale_cols(b, consts.p_fast),
+        ),
+        Mode::Accurate => {
+            gemm_calls += 1; // the Ā·B̄ estimation GEMM
+            accurate_scale(a, b, consts.p_accu)
+        }
+    };
+    phases.scale = t0.elapsed();
+
+    // ---- Lines 2–3: truncation ------------------------------------------
+    let t0 = Instant::now();
+    let mut aprime_rm = vec![0.0f64; m * k];
+    scale_trunc_a_rowmajor(a, &exps_a, &mut aprime_rm);
+    let mut bprime_cm = vec![0.0f64; k * n];
+    scale_trunc_b_colmajor(b, &exps_b, &mut bprime_cm);
+    phases.trunc = t0.elapsed();
+
+    // ---- Lines 4–5: residue planes --------------------------------------
+    let t0 = Instant::now();
+    let mut a8 = vec![0i8; nmod * m * k];
+    residue_planes(&aprime_rm, consts, b64, &mut a8);
+    let mut b8 = vec![0i8; nmod * k * n];
+    residue_planes(&bprime_cm, consts, b64, &mut b8);
+    drop(aprime_rm);
+    drop(bprime_cm);
+    phases.convert = t0.elapsed();
+
+    // ---- Lines 6–7: INT8 GEMMs and modular reduction --------------------
+    let mut u = vec![0u8; nmod * plane];
+    let mut c32 = vec![0i32; plane];
+    if k <= K_BLOCK_MAX {
+        for s in 0..nmod {
+            let t0 = Instant::now();
+            int8_gemm_rm_cm(
+                m,
+                n,
+                k,
+                &a8[s * m * k..(s + 1) * m * k],
+                &b8[s * k * n..(s + 1) * k * n],
+                &mut c32,
+            );
+            gemm_calls += 1;
+            phases.int8_gemm += t0.elapsed();
+            let t0 = Instant::now();
+            reduce_plane(
+                &c32,
+                consts.p[s],
+                consts.p_inv_u32[s],
+                &mut u[s * plane..(s + 1) * plane],
+            );
+            phases.mod_reduce += t0.elapsed();
+        }
+    } else {
+        // k-blocking: reduce each block's products mod p, accumulate the
+        // residues in i32, reduce once more at the end.
+        let mut racc = vec![0i32; plane];
+        for s in 0..nmod {
+            racc.fill(0);
+            let a_plane = &a8[s * m * k..(s + 1) * m * k];
+            let b_plane = &b8[s * k * n..(s + 1) * k * n];
+            let mut h0 = 0usize;
+            while h0 < k {
+                let kb = K_BLOCK_MAX.min(k - h0);
+                // Gather the k-block of both operands (A rows / B cols are
+                // k-contiguous, so these are dense subslices).
+                let t0 = Instant::now();
+                let a_blk: Vec<i8> = (0..m)
+                    .flat_map(|i| a_plane[i * k + h0..i * k + h0 + kb].iter().copied())
+                    .collect();
+                let b_blk: Vec<i8> = (0..n)
+                    .flat_map(|j| b_plane[j * k + h0..j * k + h0 + kb].iter().copied())
+                    .collect();
+                int8_gemm_rm_cm(m, n, kb, &a_blk, &b_blk, &mut c32);
+                gemm_calls += 1;
+                phases.int8_gemm += t0.elapsed();
+                let t0 = Instant::now();
+                accumulate_block_residues(&c32, consts.p[s], consts.p_inv_u32[s], &mut racc);
+                phases.mod_reduce += t0.elapsed();
+                h0 += kb;
+            }
+            let t0 = Instant::now();
+            finalize_block_residues(
+                &racc,
+                consts.p[s],
+                consts.p_inv_u32[s],
+                &mut u[s * plane..(s + 1) * plane],
+            );
+            phases.mod_reduce += t0.elapsed();
+        }
+    }
+    drop(a8);
+    drop(b8);
+    drop(c32);
+
+    // ---- Lines 8–12: fold ------------------------------------------------
+    let t0 = Instant::now();
+    let mut out = Matrix::<f64>::zeros(m, n);
+    let precision = if b64 {
+        FoldPrecision::Double
+    } else {
+        FoldPrecision::Single
+    };
+    fold_planes(
+        &u,
+        m,
+        n,
+        consts,
+        precision,
+        &exps_a,
+        &exps_b,
+        out.as_mut_slice(),
+    );
+    phases.fold = t0.elapsed();
+
+    (
+        out,
+        EmulationReport {
+            shape: (m, n, k),
+            n_moduli: nmod,
+            mode,
+            phases,
+            int8_gemm_calls: gemm_calls,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::gemm::gemm_f64_naive;
+    use gemm_dense::norms::max_relative_error;
+    use gemm_dense::workload::{phi_matrix_f64, uniform_matrix_f64};
+
+    #[test]
+    fn dgemm_small_uniform_high_accuracy() {
+        let a = uniform_matrix_f64(24, 32, 7, 0);
+        let b = uniform_matrix_f64(32, 16, 7, 1);
+        let exact = gemm_f64_naive(&a, &b);
+        for n in [8usize, 12, 15] {
+            let c = Ozaki2::new(n, Mode::Fast).dgemm(&a, &b);
+            let err = max_relative_error(&c, &exact);
+            // k = 32 keeps even N = 8 well above DGEMM accuracy here.
+            let budget = match n {
+                8 => 1e-4,
+                12 => 1e-9,
+                _ => 1e-13,
+            };
+            assert!(err < budget, "N={n} err={err:e}");
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_n() {
+        let a = phi_matrix_f64(16, 48, 0.5, 3, 0);
+        let b = phi_matrix_f64(48, 16, 0.5, 3, 1);
+        let exact = gemm_f64_naive(&a, &b);
+        let mut last = f64::INFINITY;
+        for n in [4usize, 8, 12, 15] {
+            let c = Ozaki2::new(n, Mode::Fast).dgemm(&a, &b);
+            let err = max_relative_error(&c, &exact).max(1e-18);
+            assert!(
+                err < last * 2.0,
+                "error should not regress: N={n} err={err:e} last={last:e}"
+            );
+            last = err;
+        }
+        assert!(last < 1e-12, "N=15 should be near double precision: {last:e}");
+    }
+
+    #[test]
+    fn accurate_mode_at_least_as_good_on_wide_phi() {
+        let a = phi_matrix_f64(16, 32, 3.0, 11, 0);
+        let b = phi_matrix_f64(32, 16, 3.0, 11, 1);
+        let exact = gemm_f64_naive(&a, &b);
+        let ef = max_relative_error(&Ozaki2::new(12, Mode::Fast).dgemm(&a, &b), &exact);
+        let ea = max_relative_error(&Ozaki2::new(12, Mode::Accurate).dgemm(&a, &b), &exact);
+        assert!(
+            ea <= ef * 1.5,
+            "accurate mode should not be worse: fast={ef:e} accu={ea:e}"
+        );
+    }
+
+    #[test]
+    fn sgemm_reaches_single_precision() {
+        let a = gemm_dense::workload::phi_matrix_f32(24, 32, 0.5, 5, 0);
+        let b = gemm_dense::workload::phi_matrix_f32(32, 24, 0.5, 5, 1);
+        let a64 = a.map(|x| x as f64);
+        let b64 = b.map(|x| x as f64);
+        let exact = gemm_f64_naive(&a64, &b64);
+        let c = Ozaki2::new(8, Mode::Fast).sgemm(&a, &b);
+        let err = max_relative_error(&c.map(|x| x as f64), &exact);
+        assert!(err < 1e-6, "err={err:e}");
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let mut a = uniform_matrix_f64(4, 4, 1, 0);
+        a[(1, 2)] = f64::NAN;
+        let b = uniform_matrix_f64(4, 4, 1, 1);
+        assert_eq!(
+            Ozaki2::new(8, Mode::Fast).try_dgemm(&a, &b),
+            Err(EmulationError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = uniform_matrix_f64(4, 5, 1, 0);
+        let b = uniform_matrix_f64(4, 4, 1, 1);
+        assert_eq!(
+            Ozaki2::new(8, Mode::Fast).try_dgemm(&a, &b),
+            Err(EmulationError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn sgemm_caps_n_at_18() {
+        let a = gemm_dense::workload::phi_matrix_f32(4, 4, 0.5, 1, 0);
+        let b = gemm_dense::workload::phi_matrix_f32(4, 4, 0.5, 1, 1);
+        let r = Ozaki2::new(20, Mode::Fast).try_sgemm(&a, &b);
+        assert_eq!(
+            r.unwrap_err(),
+            EmulationError::UnsupportedN { n: 20, max: 18 }
+        );
+    }
+
+    #[test]
+    fn report_counts_int8_gemms() {
+        let a = uniform_matrix_f64(8, 8, 2, 0);
+        let b = uniform_matrix_f64(8, 8, 2, 1);
+        let (_, rep) = Ozaki2::new(9, Mode::Fast).dgemm_with_report(&a, &b);
+        assert_eq!(rep.int8_gemm_calls, 9);
+        let (_, rep) = Ozaki2::new(9, Mode::Accurate).dgemm_with_report(&a, &b);
+        assert_eq!(rep.int8_gemm_calls, 10); // +1 estimation GEMM
+        assert_eq!(rep.shape, (8, 8, 8));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = MatF64::zeros(0, 4);
+        let b = MatF64::zeros(4, 3);
+        let c = Ozaki2::new(4, Mode::Fast).dgemm(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(
+            MatMulF64::name(&Ozaki2::new(14, Mode::Fast)),
+            "OS II-fast-14"
+        );
+        assert_eq!(
+            MatMulF64::name(&Ozaki2::new(8, Mode::Accurate)),
+            "OS II-accu-8"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = phi_matrix_f64(16, 16, 1.0, 9, 0);
+        let b = phi_matrix_f64(16, 16, 1.0, 9, 1);
+        let c1 = Ozaki2::new(10, Mode::Fast).dgemm(&a, &b);
+        let c2 = Ozaki2::new(10, Mode::Fast).dgemm(&a, &b);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,377 @@
+//! Step 1–3 of Algorithm 1: diagonal scale determination and truncation
+//! (§4.2 of the paper).
+//!
+//! Both modes pick power-of-two scales `μ_i`, `ν_j` so that the uniqueness
+//! condition (3) `2 Σ_h |a'_ih||b'_hj| < P` holds:
+//!
+//! * **fast mode** bounds the sum with Cauchy–Schwarz using per-row /
+//!   per-column 2-norms computed with a certified round-up surrogate;
+//! * **accurate mode** bounds it with an actual INT8 product of 6-bit
+//!   magnitude estimates `Ā·B̄`, which is tighter (less truncation, better
+//!   accuracy) at the cost of one extra INT8 GEMM.
+//!
+//! Scales are represented by their exponents (`μ_i = 2^{e_i}`), so the
+//! inverse scaling in Step 4 is exact.
+
+use crate::consts::Constants;
+use gemm_dense::{MatF64, Matrix};
+use gemm_engine::int8_gemm;
+use gemm_exact::roundup;
+
+/// `⌊log2 |x|⌋` for finite nonzero `x`, exact (bit manipulation, handles
+/// subnormals).
+#[inline]
+pub fn ilog2_abs(x: f64) -> i32 {
+    debug_assert!(x != 0.0 && x.is_finite());
+    let bits = x.abs().to_bits();
+    let exp_field = (bits >> 52) as i32;
+    if exp_field > 0 {
+        exp_field - 1023
+    } else {
+        // Subnormal: value = mant * 2^-1074.
+        let mant = bits & ((1u64 << 52) - 1);
+        63 - mant.leading_zeros() as i32 - 1074
+    }
+}
+
+/// `x * 2^e`, safe for exponents beyond the normal range (split into two
+/// in-range multiplications; each power of two is exact).
+#[inline]
+pub fn scale_by_pow2(x: f64, e: i32) -> f64 {
+    if (-969..=970).contains(&e) {
+        x * 2f64.powi(e)
+    } else {
+        let half = e / 2;
+        x * 2f64.powi(half) * 2f64.powi(e - half)
+    }
+}
+
+/// Per-row fast-mode scale exponents for `A` (`μ_i = 2^{e_i}`).
+///
+/// Implements `e_i = ⌊budget − max(1, 0.51·log2 Σ_h ã_ih²)⌋ − m_i` where
+/// `m_i = ⌊log2 max_h |a_ih|⌋` and `ã` is the row pre-normalised by `2^-m_i`
+/// (the normalisation keeps the sum of squares in `[1, 4k]`, immune to
+/// overflow, exactly as the paper's formula is structured).
+pub fn fast_scale_rows(a: &MatF64, budget: f64) -> Vec<i32> {
+    let (m, k) = a.shape();
+    let mut row_max = vec![0.0f64; m];
+    for h in 0..k {
+        for (rm, &x) in row_max.iter_mut().zip(a.col(h)) {
+            let ax = x.abs();
+            if ax > *rm {
+                *rm = ax;
+            }
+        }
+    }
+    let m_exp: Vec<i32> = row_max
+        .iter()
+        .map(|&r| if r == 0.0 { 0 } else { ilog2_abs(r) })
+        .collect();
+    let inv_scale: Vec<f64> = m_exp.iter().map(|&e| scale_by_pow2(1.0, -e)).collect();
+    let mut norm_sq = vec![0.0f64; m];
+    for h in 0..k {
+        for ((ns, &s), &x) in norm_sq.iter_mut().zip(&inv_scale).zip(a.col(h)) {
+            let t = x * s;
+            *ns += t * t;
+        }
+    }
+    norm_sq
+        .iter()
+        .zip(&m_exp)
+        .zip(&row_max)
+        .map(|((&ns, &me), &rm)| {
+            if rm == 0.0 {
+                return 0;
+            }
+            let upper = roundup::inflate(ns, k);
+            let t = (0.51 * upper.log2()).max(1.0);
+            (budget - t).floor() as i32 - me
+        })
+        .collect()
+}
+
+/// Per-column fast-mode scale exponents for `B` (`ν_j = 2^{e_j}`).
+pub fn fast_scale_cols(b: &MatF64, budget: f64) -> Vec<i32> {
+    let (_k, n) = b.shape();
+    (0..n)
+        .map(|j| {
+            let col = b.col(j);
+            let cm = col.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
+            if cm == 0.0 {
+                return 0;
+            }
+            let me = ilog2_abs(cm);
+            let s = scale_by_pow2(1.0, -me);
+            let upper = roundup::sum_sq_upper(col.iter().map(|&x| x * s));
+            let t = (0.51 * upper.log2()).max(1.0);
+            (budget - t).floor() as i32 - me
+        })
+        .collect()
+}
+
+/// Accurate-mode scale exponents for both operands (§4.2).
+///
+/// Returns `(e_a, e_b)` and performs one INT8 GEMM of the 6-bit magnitude
+/// estimates internally.
+pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32>) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+
+    // μ'_i = 2^{5 - ⌊log2 max_h |a_ih|⌋}: scales the row max into [32, 64).
+    let mut row_max = vec![0.0f64; m];
+    for h in 0..k {
+        for (rm, &x) in row_max.iter_mut().zip(a.col(h)) {
+            let ax = x.abs();
+            if ax > *rm {
+                *rm = ax;
+            }
+        }
+    }
+    let mu_prime: Vec<i32> = row_max
+        .iter()
+        .map(|&r| if r == 0.0 { 0 } else { 5 - ilog2_abs(r) })
+        .collect();
+    let col_max: Vec<f64> = (0..n)
+        .map(|j| b.col(j).iter().fold(0.0f64, |acc, &x| acc.max(x.abs())))
+        .collect();
+    let nu_prime: Vec<i32> = col_max
+        .iter()
+        .map(|&c| if c == 0.0 { 0 } else { 5 - ilog2_abs(c) })
+        .collect();
+
+    // Ā = ⌈μ' |A|⌉, B̄ = ⌈|B| ν'⌉ — 6-bit magnitudes (≤ 64), INT8-safe.
+    let a_bar = Matrix::from_fn(m, k, |i, j| {
+        let v = (scale_by_pow2(a[(i, j)].abs(), mu_prime[i])).ceil();
+        debug_assert!(v <= 64.0);
+        v as i8
+    });
+    let b_bar = Matrix::from_fn(k, n, |i, j| {
+        let v = (scale_by_pow2(b[(i, j)].abs(), nu_prime[j])).ceil();
+        debug_assert!(v <= 64.0);
+        v as i8
+    });
+
+    // C̄ = Ā·B̄ estimates Σ|a||b| per (row, col) pair. Products are ≤ 4096,
+    // so the i32 accumulator is exact for k ≤ 2^19; block above that.
+    const K_EST_BLOCK: usize = 1 << 19;
+    let c_bar: Matrix<i64> = if k <= K_EST_BLOCK {
+        int8_gemm(&a_bar, &b_bar).map(|x| x as i64)
+    } else {
+        let mut acc = Matrix::<i64>::zeros(m, n);
+        let mut h0 = 0;
+        while h0 < k {
+            let kb = K_EST_BLOCK.min(k - h0);
+            let a_blk = Matrix::from_fn(m, kb, |i, j| a_bar[(i, h0 + j)]);
+            let b_blk = Matrix::from_fn(kb, n, |i, j| b_bar[(h0 + i, j)]);
+            let c_blk = int8_gemm(&a_blk, &b_blk);
+            for (av, &cv) in acc.as_mut_slice().iter_mut().zip(c_blk.iter()) {
+                *av += cv as i64;
+            }
+            h0 += kb;
+        }
+        acc
+    };
+
+    // Row / column maxima of C̄ (clamped to >= 1: a zero row estimate means
+    // the product row is exactly zero, any scale works).
+    let mut row_cmax = vec![1i64; m];
+    let mut col_cmax = vec![1i64; n];
+    for j in 0..n {
+        for (i, &c) in c_bar.col(j).iter().enumerate() {
+            if c > row_cmax[i] {
+                row_cmax[i] = c;
+            }
+            if c > col_cmax[j] {
+                col_cmax[j] = c;
+            }
+        }
+    }
+
+    let e_a: Vec<i32> = mu_prime
+        .iter()
+        .zip(&row_cmax)
+        .map(|(&mp, &cm)| mp + (budget - 0.51 * (cm as f64).log2()).floor() as i32)
+        .collect();
+    let e_b: Vec<i32> = nu_prime
+        .iter()
+        .zip(&col_cmax)
+        .map(|(&np, &cm)| np + (budget - 0.51 * (cm as f64).log2()).floor() as i32)
+        .collect();
+    (e_a, e_b)
+}
+
+/// Step 2 fused with the row-major repack: `A'^T` laid out row-major,
+/// `out[i*k + h] = trunc(2^{e_i} · a_ih)`, via cache-blocked transpose.
+pub fn scale_trunc_a_rowmajor(a: &MatF64, exps: &[i32], out: &mut [f64]) {
+    let (m, k) = a.shape();
+    assert_eq!(exps.len(), m);
+    assert_eq!(out.len(), m * k);
+    const TILE: usize = 64;
+    let a_data = a.as_slice();
+    for j0 in (0..k).step_by(TILE) {
+        let j1 = (j0 + TILE).min(k);
+        for i0 in (0..m).step_by(TILE) {
+            let i1 = (i0 + TILE).min(m);
+            for j in j0..j1 {
+                let col = &a_data[j * m..(j + 1) * m];
+                for i in i0..i1 {
+                    out[i * k + j] = scale_by_pow2(col[i], exps[i]).trunc();
+                }
+            }
+        }
+    }
+}
+
+/// Step 3: `B'` stays column-major; `out[h + j*k] = trunc(2^{e_j} · b_hj)`.
+pub fn scale_trunc_b_colmajor(b: &MatF64, exps: &[i32], out: &mut [f64]) {
+    let (k, n) = b.shape();
+    assert_eq!(exps.len(), n);
+    assert_eq!(out.len(), k * n);
+    for j in 0..n {
+        let scale = exps[j];
+        let src = b.col(j);
+        let dst = &mut out[j * k..(j + 1) * k];
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d = scale_by_pow2(x, scale).trunc();
+        }
+    }
+}
+
+/// Check the uniqueness condition (3) directly (test/diagnostic use):
+/// `2 max_ij Σ_h |a'_ih||b'_hj| < P`, evaluated with certified upper-bound
+/// arithmetic on a sample of (i, j) pairs or exhaustively for small shapes.
+pub fn condition3_holds(
+    aprime_rm: &[f64],
+    bprime_cm: &[f64],
+    m: usize,
+    n: usize,
+    k: usize,
+    consts: &Constants,
+) -> bool {
+    let p_log2 = consts.p_big.to_f64().log2();
+    for i in 0..m {
+        let a_row = &aprime_rm[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_col = &bprime_cm[j * k..(j + 1) * k];
+            let dot = roundup::dot_abs_upper(a_row.iter().zip(b_col.iter()));
+            if dot > 0.0 && (2.0 * dot).log2() >= p_log2 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::workload::phi_matrix_f64;
+
+    #[test]
+    fn ilog2_matches_log2_floor() {
+        for &x in &[1.0, 1.5, 2.0, 3.9, 0.5, 0.49, 1e300, 1e-300, 7.25e-310] {
+            assert_eq!(ilog2_abs(x), x.abs().log2().floor() as i32, "x={x}");
+            assert_eq!(ilog2_abs(-x), ilog2_abs(x));
+        }
+    }
+
+    #[test]
+    fn scale_by_pow2_extremes() {
+        assert_eq!(scale_by_pow2(1.0, 10), 1024.0);
+        assert_eq!(scale_by_pow2(1.0, -10), 1.0 / 1024.0);
+        // Beyond the single-multiply range: 2^-1000 * 2^1500 = 2^500, which
+        // a naive `x * 2f64.powi(1500)` would turn into infinity.
+        let x = scale_by_pow2(2f64.powi(-1000), 1500);
+        assert_eq!(x, 2f64.powi(500));
+        let y = scale_by_pow2(2f64.powi(1000), -1500);
+        assert_eq!(y, 2f64.powi(-500));
+    }
+
+    #[test]
+    fn fast_scale_respects_budget() {
+        let budget = 30.0;
+        let a = phi_matrix_f64(16, 64, 1.0, 7, 0);
+        let exps = fast_scale_rows(&a, budget);
+        for i in 0..16 {
+            // 2-norm of the scaled, truncated row must stay under 2^budget.
+            let nrm: f64 = (0..64)
+                .map(|h| {
+                    let v = scale_by_pow2(a[(i, h)], exps[i]).trunc();
+                    v * v
+                })
+                .sum::<f64>()
+                .sqrt();
+            assert!(
+                nrm.log2() <= budget + 1e-9,
+                "row {i}: |a'| = 2^{}",
+                nrm.log2()
+            );
+            // And not wastefully small (within ~3 bits of the budget for a
+            // well-conditioned random row).
+            assert!(nrm.log2() > budget - 4.0, "row {i}: |a'| = 2^{}", nrm.log2());
+        }
+    }
+
+    #[test]
+    fn fast_scale_cols_matches_rows_of_transpose() {
+        let b = phi_matrix_f64(32, 8, 0.5, 3, 1);
+        let cols = fast_scale_cols(&b, 25.0);
+        let rows = fast_scale_rows(&b.transpose(), 25.0);
+        assert_eq!(cols, rows);
+    }
+
+    #[test]
+    fn zero_rows_get_neutral_scale() {
+        let mut a = phi_matrix_f64(4, 8, 0.5, 1, 0);
+        for h in 0..8 {
+            a[(2, h)] = 0.0;
+        }
+        let exps = fast_scale_rows(&a, 30.0);
+        assert_eq!(exps[2], 0);
+    }
+
+    #[test]
+    fn trunc_outputs_are_integers() {
+        let a = phi_matrix_f64(8, 8, 2.0, 11, 0);
+        let exps = fast_scale_rows(&a, 20.0);
+        let mut out = vec![0f64; 64];
+        scale_trunc_a_rowmajor(&a, &exps, &mut out);
+        assert!(out.iter().all(|x| x.fract() == 0.0));
+    }
+
+    #[test]
+    fn b_trunc_column_layout() {
+        let b = phi_matrix_f64(6, 3, 0.5, 13, 1);
+        let exps = fast_scale_cols(&b, 20.0);
+        let mut out = vec![0f64; 18];
+        scale_trunc_b_colmajor(&b, &exps, &mut out);
+        for j in 0..3 {
+            for h in 0..6 {
+                let want = scale_by_pow2(b[(h, j)], exps[j]).trunc();
+                assert_eq!(out[h + j * 6], want);
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_scale_tighter_than_fast() {
+        // Accurate mode should grant at least as many bits as fast mode on
+        // a generic random instance (it bounds the true sum, not the
+        // Cauchy–Schwarz overestimate).
+        let a = phi_matrix_f64(24, 48, 1.0, 5, 0);
+        let b = phi_matrix_f64(48, 24, 1.0, 5, 1);
+        let budget = 25.0;
+        let fast = fast_scale_rows(&a, budget);
+        let (accu, _) = accurate_scale(&a, &b, budget + 0.25);
+        let better: i32 = fast
+            .iter()
+            .zip(&accu)
+            .map(|(&f, &acc)| (acc - f).signum())
+            .sum();
+        assert!(
+            better > 0,
+            "accurate mode should usually keep more bits: fast={fast:?} accu={accu:?}"
+        );
+    }
+}

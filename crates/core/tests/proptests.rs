@@ -1,0 +1,160 @@
+//! Property-based tests for the Ozaki Scheme II core: kernel exactness,
+//! the uniqueness condition (3), and end-to-end reconstruction.
+
+use gemm_dense::Matrix;
+use ozaki2::consts::constants;
+use ozaki2::convert::{rmod_to_i8, steps_for};
+use ozaki2::modred::mod_i32_to_u8;
+use ozaki2::scale::{condition3_holds, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor, scale_trunc_b_colmajor};
+use ozaki2::{Mode, Ozaki2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mulhi_mod_matches_rem_euclid(x in any::<i32>(), pidx in 0usize..20) {
+        let c = constants(20);
+        let p = c.p[pidx];
+        prop_assert_eq!(
+            mod_i32_to_u8(x, p as i32, c.p_inv_u32[pidx]) as i64,
+            (x as i64).rem_euclid(p as i64)
+        );
+    }
+
+    #[test]
+    fn rmod_congruent_over_pipeline_domain(
+        mant in -(1i64 << 53)..(1i64 << 53),
+        shift in 0u32..18,
+        nmod in 2usize..=20,
+        pidx_seed in any::<u32>(),
+    ) {
+        // Values of the form (53-bit integer) << shift cover the integer
+        // f64s the truncation step can produce up to 2^71.
+        let c = constants(nmod);
+        let pidx = (pidx_seed as usize) % nmod;
+        let x = (mant as f64) * 2f64.powi(shift as i32);
+        let steps = steps_for(nmod, true);
+        // Restrict to the fast-mode magnitude budget for this N.
+        prop_assume!(x.abs() <= 2f64.powf(c.p_fast));
+        let r = rmod_to_i8(
+            x,
+            c.p_f64[pidx],
+            c.p_f32[pidx],
+            c.p_inv_f64[pidx],
+            c.p_inv_f32[pidx],
+            steps,
+        );
+        let want = gemm_exact::I256::from_f64_exact(x).rem_euclid_u64(c.p[pidx]);
+        prop_assert_eq!(
+            (r as i64).rem_euclid(c.p[pidx] as i64) as u64,
+            want,
+            "x={} p={}", x, c.p[pidx]
+        );
+    }
+
+    #[test]
+    fn condition3_holds_for_random_workloads(
+        seed in any::<u64>(),
+        nmod in 3usize..=18,
+        phi in 0.0f64..3.0,
+    ) {
+        let (m, n, k) = (8usize, 8usize, 24usize);
+        let a = gemm_dense::workload::phi_matrix_f64(m, k, phi, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f64(k, n, phi, seed, 1);
+        let c = constants(nmod);
+        let ea = fast_scale_rows(&a, c.p_fast);
+        let eb = fast_scale_cols(&b, c.p_fast);
+        let mut ap = vec![0f64; m * k];
+        scale_trunc_a_rowmajor(&a, &ea, &mut ap);
+        let mut bp = vec![0f64; k * n];
+        scale_trunc_b_colmajor(&b, &eb, &mut bp);
+        prop_assert!(
+            condition3_holds(&ap, &bp, m, n, k, c),
+            "uniqueness condition violated: N={} phi={}", nmod, phi
+        );
+    }
+
+    #[test]
+    fn integer_inputs_reconstruct(
+        seed in any::<u64>(),
+        nmod in 4usize..=16,
+        accurate in any::<bool>(),
+    ) {
+        // Small integer matrices. For N <= 10 the scaled product C'' fits
+        // the fold's exact window (c1 and q·P1 share enough ulp headroom)
+        // and the result is bit-exact; for larger N the final FMA chain of
+        // line 11 rounds once at the C'' magnitude, so the contract is
+        // "within 2 ulp of the true integer".
+        let (m, n, k) = (6usize, 5usize, 9usize);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as i64 % 101) - 50
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next() as f64);
+        let b = Matrix::from_fn(k, n, |_, _| next() as f64);
+        let mode = if accurate { Mode::Accurate } else { Mode::Fast };
+        let got = Ozaki2::new(nmod, mode).dgemm(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for h in 0..k {
+                    acc += (a[(i, h)] as i64) * (b[(h, j)] as i64);
+                }
+                let want = acc as f64;
+                if nmod <= 10 {
+                    prop_assert_eq!(got[(i, j)], want, "({},{}) N={}", i, j, nmod);
+                } else {
+                    let tol = 4.0 * f64::EPSILON * want.abs().max(1.0);
+                    prop_assert!(
+                        (got[(i, j)] - want).abs() <= tol,
+                        "({},{}) N={}: got {} want {}", i, j, nmod, got[(i, j)], want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emulated_error_bounded_by_budget(
+        seed in any::<u64>(),
+        nmod in 10usize..=16,
+    ) {
+        // For phi = 0.5 workloads the componentwise error must stay below
+        // ~2^(-4(N-?) ...): use a generous analytic envelope: the per-
+        // operand truncation keeps ~(p_fast - log2 k) bits, giving
+        // relative error <= 2^-(p_fast - log2 k - 6) on entries without
+        // cancellation; test the normwise error which is cancellation-free.
+        let (m, n, k) = (16usize, 16usize, 32usize);
+        let a = gemm_dense::workload::phi_matrix_f64(m, k, 0.5, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f64(k, n, 0.5, seed, 1);
+        let exact = gemm_dense::gemm::gemm_f64_naive(&a, &b);
+        let got = Ozaki2::new(nmod, Mode::Fast).dgemm(&a, &b);
+        let c = constants(nmod);
+        let bound = 2f64.powf(-(c.p_fast - (k as f64).log2() - 8.0));
+        let err = gemm_dense::norms::normwise_relative_error(&got, &exact);
+        prop_assert!(err <= bound.max(1e-14), "N={} err={:e} bound={:e}", nmod, err, bound);
+    }
+
+    #[test]
+    fn sgemm_dgemm_consistent_on_f32_inputs(seed in any::<u64>(), nmod in 6usize..=12) {
+        // Running f32 data through sgemm must give (after widening) the
+        // same result as widening first and running dgemm with the same
+        // constants ... up to the output rounding to f32.
+        let (m, n, k) = (8usize, 8usize, 12usize);
+        let a32 = gemm_dense::workload::phi_matrix_f32(m, k, 0.5, seed, 0);
+        let b32 = gemm_dense::workload::phi_matrix_f32(k, n, 0.5, seed, 1);
+        let c32 = Ozaki2::new(nmod, Mode::Fast).sgemm(&a32, &b32);
+        let exact = gemm_dense::gemm::gemm_f64_naive(
+            &a32.map(|x| x as f64),
+            &b32.map(|x| x as f64),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let rel = ((c32[(i, j)] as f64 - exact[(i, j)]) / exact[(i, j)].abs().max(1e-20)).abs();
+                prop_assert!(rel < 1e-2, "({},{}) rel={}", i, j, rel);
+            }
+        }
+    }
+}

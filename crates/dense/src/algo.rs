@@ -1,0 +1,73 @@
+//! Algorithm traits shared by every GEMM method in the comparison.
+//!
+//! The paper's §5 compares eight methods; implementing these traits lets the
+//! accuracy harness, the benches, and the examples treat native GEMM, the
+//! Ozaki-scheme emulations, and the low-precision baselines uniformly.
+
+use crate::matrix::Matrix;
+
+/// A double-precision matrix-multiplication method (`C ≈ A·B`).
+pub trait MatMulF64 {
+    /// Compute the (possibly emulated) product.
+    fn matmul_f64(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64>;
+    /// Display name used in reports ("DGEMM", "OS II-fast-14", ...).
+    fn name(&self) -> String;
+}
+
+/// A single-precision matrix-multiplication method (`C ≈ A·B`).
+pub trait MatMulF32 {
+    /// Compute the (possibly emulated) product.
+    fn matmul_f32(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32>;
+    /// Display name used in reports ("SGEMM", "OS II-fast-8", ...).
+    fn name(&self) -> String;
+}
+
+/// Native DGEMM (classical IEEE double-precision product).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeDgemm;
+
+impl MatMulF64 for NativeDgemm {
+    fn matmul_f64(&self, a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<f64> {
+        crate::gemm::gemm_f64(a, b)
+    }
+    fn name(&self) -> String {
+        "DGEMM".to_string()
+    }
+}
+
+/// Native SGEMM (classical IEEE single-precision product).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NativeSgemm;
+
+impl MatMulF32 for NativeSgemm {
+    fn matmul_f32(&self, a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+        crate::gemm::gemm_f32(a, b)
+    }
+    fn name(&self) -> String {
+        "SGEMM".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_names() {
+        assert_eq!(NativeDgemm.name(), "DGEMM");
+        assert_eq!(NativeSgemm.name(), "SGEMM");
+    }
+
+    #[test]
+    fn trait_object_dispatch() {
+        let methods: Vec<Box<dyn MatMulF64>> = vec![Box::new(NativeDgemm)];
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let c = methods[0].matmul_f64(&a, &b);
+        // [[0,1],[1,2]] * [[0,1],[2,3]] = [[2,3],[4,7]]
+        assert_eq!(c[(0, 0)], 2.0);
+        assert_eq!(c[(0, 1)], 3.0);
+        assert_eq!(c[(1, 0)], 4.0);
+        assert_eq!(c[(1, 1)], 7.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Reference floating-point GEMM kernels.
+//!
+//! These play the role of cuBLAS's native DGEMM / SGEMM in the paper's
+//! comparisons: classical IEEE-754 matrix products with one rounding per
+//! accumulation step. The blocked/parallel variants are the production
+//! entry points; the naive ones exist as independent oracles for tests.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Number of C columns processed per rayon task. Large enough to amortise
+/// scheduling, small enough to load-balance on a few cores.
+const COL_CHUNK: usize = 8;
+
+/// Panel width in `k` for the axpy inner loop; keeps the streamed slice of
+/// `A` within L2 for typical sizes.
+const K_BLOCK: usize = 256;
+
+macro_rules! impl_gemm_float {
+    ($name:ident, $naive:ident, $t:ty, $doc:expr) => {
+        #[doc = $doc]
+        ///
+        /// Computes `C = A * B` with `A: m x k`, `B: k x n`, both column-major.
+        ///
+        /// # Panics
+        /// If the inner dimensions disagree.
+        pub fn $name(a: &Matrix<$t>, b: &Matrix<$t>) -> Matrix<$t> {
+            let (m, k) = a.shape();
+            let (kb, n) = b.shape();
+            assert_eq!(k, kb, "inner dimensions must agree: {k} vs {kb}");
+            let mut c = Matrix::<$t>::zeros(m, n);
+            if m == 0 || n == 0 || k == 0 {
+                return c;
+            }
+            let a_data = a.as_slice();
+            let b_data = b.as_slice();
+            c.as_mut_slice()
+                .par_chunks_mut(m * COL_CHUNK)
+                .enumerate()
+                .for_each(|(chunk_idx, c_chunk)| {
+                    let j0 = chunk_idx * COL_CHUNK;
+                    for (dj, c_col) in c_chunk.chunks_exact_mut(m).enumerate() {
+                        let j = j0 + dj;
+                        let b_col = &b_data[j * k..(j + 1) * k];
+                        // jki order: c[:,j] += b[h,j] * a[:,h], axpy over
+                        // contiguous columns of A; panelled over k.
+                        for (h0, b_panel) in b_col.chunks(K_BLOCK).enumerate() {
+                            let h_base = h0 * K_BLOCK;
+                            for (dh, &bhj) in b_panel.iter().enumerate() {
+                                if bhj == 0.0 {
+                                    continue;
+                                }
+                                let h = h_base + dh;
+                                let a_col = &a_data[h * m..(h + 1) * m];
+                                for (ci, &ai) in c_col.iter_mut().zip(a_col) {
+                                    *ci += bhj * ai;
+                                }
+                            }
+                        }
+                    }
+                });
+            c
+        }
+
+        /// Naive triple-loop oracle for the same product (test use only).
+        pub fn $naive(a: &Matrix<$t>, b: &Matrix<$t>) -> Matrix<$t> {
+            let (m, k) = a.shape();
+            let (kb, n) = b.shape();
+            assert_eq!(k, kb, "inner dimensions must agree");
+            Matrix::from_fn(m, n, |i, j| {
+                let mut acc: $t = 0.0;
+                for h in 0..k {
+                    acc += a[(i, h)] * b[(h, j)];
+                }
+                acc
+            })
+        }
+    };
+}
+
+impl_gemm_float!(
+    gemm_f64,
+    gemm_f64_naive,
+    f64,
+    "Double-precision GEMM (the native-DGEMM stand-in)."
+);
+impl_gemm_float!(
+    gemm_f32,
+    gemm_f32_naive,
+    f32,
+    "Single-precision GEMM (the native-SGEMM stand-in)."
+);
+
+/// `C = A * B` where operands are `f64` and accumulation is `f64`, but the
+/// per-element products are first rounded to `f32`. Only used by tests that
+/// need a "worse than SGEMM" comparison point.
+pub fn gemm_f32_inputs_f64_acc(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f64> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = 0f64;
+        for h in 0..k {
+            acc += a[(i, h)] as f64 * b[(h, j)] as f64;
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Philox4x32;
+
+    fn random_mat_f64(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+        let mut rng = Philox4x32::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.uniform_f64() - 0.5)
+    }
+
+    #[test]
+    fn blocked_matches_naive_f64() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 65, 17), (64, 128, 96)] {
+            let a = random_mat_f64(m, k, 42 + m as u64);
+            let b = random_mat_f64(k, n, 17 + n as u64);
+            let c1 = gemm_f64(&a, &b);
+            let c2 = gemm_f64_naive(&a, &b);
+            for (x, y) in c1.iter().zip(c2.iter()) {
+                assert!(
+                    (x - y).abs() <= 1e-12 * y.abs().max(1.0),
+                    "blocked={x} naive={y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_f32() {
+        let mut rng = Philox4x32::new(7);
+        let a = Matrix::from_fn(40, 30, |_, _| rng.uniform_f32() - 0.5);
+        let b = Matrix::from_fn(30, 50, |_, _| rng.uniform_f32() - 0.5);
+        let c1 = gemm_f32(&a, &b);
+        let c2 = gemm_f32_naive(&a, &b);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn identity_product() {
+        let n = 24;
+        let a = random_mat_f64(n, n, 3);
+        let eye = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
+        let c = gemm_f64(&a, &eye);
+        for (x, y) in c.iter().zip(a.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        let b = Matrix::<f64>::zeros(4, 2);
+        let _ = gemm_f64(&a, &b);
+    }
+
+    #[test]
+    fn empty_dims_ok() {
+        let a = Matrix::<f64>::zeros(0, 5);
+        let b = Matrix::<f64>::zeros(5, 4);
+        let c = gemm_f64(&a, &b);
+        assert_eq!(c.shape(), (0, 4));
+    }
+}

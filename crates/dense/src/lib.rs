@@ -1,0 +1,21 @@
+//! # gemm-dense
+//!
+//! Dense-matrix substrate for the GEMMul8 reproduction: column-major
+//! [`matrix::Matrix`] storage, reference f32/f64 GEMM (the stand-in
+//! for native cuBLAS SGEMM/DGEMM), the cuRAND-compatible Philox4x32-10
+//! generator, the paper's φ-lognormal workload generators, error metrics,
+//! and the [`algo::MatMulF64`] / [`algo::MatMulF32`]
+//! traits every compared method implements.
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod gemm;
+pub mod matrix;
+pub mod norms;
+pub mod rng;
+pub mod workload;
+
+pub use algo::{MatMulF32, MatMulF64, NativeDgemm, NativeSgemm};
+pub use matrix::{MatF32, MatF64, MatI32, MatI8, MatU8, Matrix};
+pub use rng::Philox4x32;

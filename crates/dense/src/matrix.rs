@@ -1,0 +1,257 @@
+//! Column-major dense matrix storage.
+//!
+//! The emulation pipeline and all baselines operate on BLAS-style
+//! column-major matrices (`A[i + j*rows]`), matching the cuBLAS convention
+//! used by the paper's reference implementation. A handful of packing
+//! helpers produce row-major copies where a kernel wants contiguous rows.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense column-major matrix over an element type `T`.
+///
+/// Invariant: `data.len() == rows * cols`; element `(i, j)` lives at
+/// `data[i + j * rows]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Zero-initialised (well, `T::default()`-initialised) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Build a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing column-major buffer.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw column-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the raw column-major buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Contiguous column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable contiguous column `j`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy of row `i` (rows are strided in column-major storage).
+    pub fn row_copy(&self, i: usize) -> Vec<T> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Apply `f` elementwise, producing a new matrix of the same shape.
+    pub fn map<U: Copy>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Row-major copy of the element buffer (`out[i*cols + j] = a[(i,j)]`).
+    ///
+    /// Used by kernels that want contiguous rows of `A` for dot products.
+    pub fn to_row_major(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.push(self[(i, j)]);
+            }
+        }
+        out
+    }
+
+    /// Iterator over all elements in storage (column-major) order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+}
+
+impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Copy> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            if show_cols < self.cols {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Convenience aliases used across the workspace.
+pub type MatF64 = Matrix<f64>;
+/// Single-precision matrix.
+pub type MatF32 = Matrix<f32>;
+/// INT8 matrix (engine input).
+pub type MatI8 = Matrix<i8>;
+/// Unsigned INT8 matrix (`U_i` in Algorithm 1).
+pub type MatU8 = Matrix<u8>;
+/// INT32 matrix (engine accumulator output).
+pub type MatI32 = Matrix<i32>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_index_round_trip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (10 * i + j) as i32);
+        assert_eq!(m.shape(), (3, 4));
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], (10 * i + j) as i32);
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_column_major() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i, j));
+        assert_eq!(
+            m.as_slice(),
+            &[(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn col_is_contiguous() {
+        let m = Matrix::from_fn(4, 2, |i, j| i as i64 + 100 * j as i64);
+        assert_eq!(m.col(1), &[100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(5, 7, |i, j| i as i32 * 31 + j as i32);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| 10 * i as i32 + j as i32);
+        assert_eq!(m.to_row_major(), vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        let d = m.map(|x| x * 2.0);
+        assert_eq!(d.shape(), (3, 3));
+        assert_eq!(d[(1, 2)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1_i32, 2, 3]);
+    }
+
+    #[test]
+    fn row_copy_matches_elements() {
+        let m = Matrix::from_fn(3, 4, |i, j| i as i32 - j as i32);
+        assert_eq!(m.row_copy(2), vec![2, 1, 0, -1]);
+    }
+}

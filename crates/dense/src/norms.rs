@@ -1,0 +1,114 @@
+//! Norms and error metrics used by the accuracy experiments (Fig. 3).
+
+use crate::matrix::Matrix;
+
+/// Largest absolute entry.
+pub fn max_abs_f64(a: &Matrix<f64>) -> f64 {
+    a.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Frobenius norm.
+pub fn frobenius_f64(a: &Matrix<f64>) -> f64 {
+    a.iter().map(|&x| x * x).sum::<f64>().sqrt()
+}
+
+/// Maximum componentwise relative error of `approx` against `exact`:
+/// `max_ij |approx - exact| / |exact|`, with entries whose exact value is
+/// zero contributing `|approx|` scaled by the largest exact magnitude
+/// (so a spurious nonzero on a zero entry still registers).
+///
+/// This is the paper's Fig. 3 metric.
+pub fn max_relative_error(approx: &Matrix<f64>, exact: &Matrix<f64>) -> f64 {
+    assert_eq!(approx.shape(), exact.shape(), "shape mismatch");
+    let scale = max_abs_f64(exact).max(f64::MIN_POSITIVE);
+    approx
+        .iter()
+        .zip(exact.iter())
+        .map(|(&x, &e)| {
+            if e != 0.0 {
+                ((x - e) / e).abs()
+            } else {
+                x.abs() / scale
+            }
+        })
+        .fold(0.0f64, f64::max)
+}
+
+/// Median componentwise relative error — robust variant used to sanity-check
+/// that the max is not driven by a single pathological entry.
+pub fn median_relative_error(approx: &Matrix<f64>, exact: &Matrix<f64>) -> f64 {
+    assert_eq!(approx.shape(), exact.shape(), "shape mismatch");
+    let mut errs: Vec<f64> = approx
+        .iter()
+        .zip(exact.iter())
+        .filter(|(_, &e)| e != 0.0)
+        .map(|(&x, &e)| ((x - e) / e).abs())
+        .collect();
+    if errs.is_empty() {
+        return 0.0;
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    errs[errs.len() / 2]
+}
+
+/// Normwise relative error in the max norm:
+/// `max|approx - exact| / max|exact|`.
+pub fn normwise_relative_error(approx: &Matrix<f64>, exact: &Matrix<f64>) -> f64 {
+    assert_eq!(approx.shape(), exact.shape(), "shape mismatch");
+    let denom = max_abs_f64(exact).max(f64::MIN_POSITIVE);
+    let num = approx
+        .iter()
+        .zip(exact.iter())
+        .map(|(&x, &e)| (x - e).abs())
+        .fold(0.0f64, f64::max);
+    num / denom
+}
+
+/// Convert an `f32` matrix to `f64` (for error evaluation against a double
+/// or extended-precision reference).
+pub fn widen(a: &Matrix<f32>) -> Matrix<f64> {
+    a.map(|x| x as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_has_zero_error() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64 + 1.0);
+        assert_eq!(max_relative_error(&a, &a), 0.0);
+        assert_eq!(normwise_relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_relative_error() {
+        let exact = Matrix::from_fn(1, 2, |_, j| if j == 0 { 2.0 } else { 4.0 });
+        let approx = Matrix::from_fn(1, 2, |_, j| if j == 0 { 2.002 } else { 4.0 });
+        let e = max_relative_error(&approx, &exact);
+        assert!((e - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_exact_entry_uses_scale() {
+        let exact = Matrix::from_fn(1, 2, |_, j| if j == 0 { 0.0 } else { 10.0 });
+        let approx = Matrix::from_fn(1, 2, |_, j| if j == 0 { 1.0 } else { 10.0 });
+        // |1 - 0| / 10 = 0.1
+        assert!((max_relative_error(&approx, &exact) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frobenius_of_unit_vector() {
+        let a = Matrix::from_fn(3, 1, |i, _| if i == 0 { 3.0 } else { 4.0 * (i == 1) as u8 as f64 });
+        assert!((frobenius_f64(&a) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_ignores_single_outlier() {
+        let exact = Matrix::from_fn(1, 5, |_, _| 1.0);
+        let mut approx = exact.clone();
+        approx[(0, 0)] = 2.0; // one huge error
+        assert!(max_relative_error(&approx, &exact) > 0.5);
+        assert!(median_relative_error(&approx, &exact) < 1e-15);
+    }
+}

@@ -1,0 +1,219 @@
+//! Philox4x32-10 counter-based RNG — the default generator of cuRAND.
+//!
+//! The paper generates its workloads with the cuRAND API under a fixed seed;
+//! we reimplement the same generator family so the workload distribution is
+//! faithful and every experiment is bit-deterministic. Reference: Salmon et
+//! al., "Parallel random numbers: as easy as 1, 2, 3" (SC'11).
+
+/// Philox 4x32 multipliers and Weyl key increments (from the Random123 paper).
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+const PHILOX_ROUNDS: usize = 10;
+
+/// Counter-based Philox4x32-10 generator with a small output buffer.
+#[derive(Clone, Debug)]
+pub struct Philox4x32 {
+    key: [u32; 2],
+    counter: [u32; 4],
+    /// Unconsumed outputs of the most recent block.
+    buf: [u32; 4],
+    buf_pos: usize,
+    /// Cached second output of Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn mulhilo(a: u32, b: u32) -> (u32, u32) {
+    let prod = (a as u64) * (b as u64);
+    ((prod >> 32) as u32, prod as u32)
+}
+
+#[inline]
+fn philox_round(ctr: [u32; 4], key: [u32; 2]) -> [u32; 4] {
+    let (hi0, lo0) = mulhilo(PHILOX_M0, ctr[0]);
+    let (hi1, lo1) = mulhilo(PHILOX_M1, ctr[2]);
+    [hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0]
+}
+
+/// One full 10-round Philox4x32 block function.
+pub fn philox4x32_10(mut ctr: [u32; 4], mut key: [u32; 2]) -> [u32; 4] {
+    for _ in 0..PHILOX_ROUNDS {
+        ctr = philox_round(ctr, key);
+        key[0] = key[0].wrapping_add(PHILOX_W0);
+        key[1] = key[1].wrapping_add(PHILOX_W1);
+    }
+    ctr
+}
+
+impl Philox4x32 {
+    /// Create a generator from a 64-bit seed (counter starts at zero).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            key: [seed as u32, (seed >> 32) as u32],
+            counter: [0; 4],
+            buf: [0; 4],
+            buf_pos: 4, // empty: forces a block on first use
+            gauss_spare: None,
+        }
+    }
+
+    /// Create a generator positioned on an independent subsequence, e.g. one
+    /// per matrix in a workload. Distinct `stream` values never collide
+    /// because they occupy the high counter word.
+    pub fn new_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Self::new(seed);
+        rng.counter[2] = stream as u32;
+        rng.counter[3] = (stream >> 32) as u32;
+        rng
+    }
+
+    #[inline]
+    fn advance_counter(&mut self) {
+        // 128-bit increment, low word first.
+        for w in self.counter.iter_mut() {
+            let (v, carry) = w.overflowing_add(1);
+            *w = v;
+            if !carry {
+                break;
+            }
+        }
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.buf_pos == 4 {
+            self.buf = philox4x32_10(self.counter, self.key);
+            self.advance_counter();
+            self.buf_pos = 0;
+        }
+        let v = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        v
+    }
+
+    /// Next raw 64-bit output (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform draw in `(0, 1]`, matching cuRAND's `curand_uniform` range
+    /// convention (zero excluded, one included).
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        // (x + 1) * 2^-64 over the full 64-bit draw: never 0, can reach 1.
+        (self.next_u64() as f64 + 1.0) * (1.0 / 18_446_744_073_709_551_616.0)
+    }
+
+    /// Uniform draw in `(0, 1]` as `f32`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        (self.next_u32() as f32 + 1.0) * (1.0 / 4_294_967_296.0)
+    }
+
+    /// Standard normal draw via Box–Muller (cuRAND's `curand_normal` uses the
+    /// same transform). The second value of each pair is cached.
+    pub fn normal_f64(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        let u1 = self.uniform_f64(); // in (0,1]: log is finite
+        let u2 = self.uniform_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Standard normal draw as `f32`.
+    pub fn normal_f32(&mut self) -> f32 {
+        self.normal_f64() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Philox4x32::new(1234);
+        let mut b = Philox4x32::new(1234);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Philox4x32::new(1);
+        let mut b = Philox4x32::new(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams nearly identical: {same}/64 matches");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = Philox4x32::new_stream(9, 0);
+        let mut b = Philox4x32::new_stream(9, 1);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn known_answer_philox_zero() {
+        // Zero key/counter test vector for philox4x32-10, from the Random123
+        // distribution (kat_vectors): philox 4x32 10 zeros =>
+        // 6627e8d5 e169c58d bc57ac4c 9b00dbd8
+        let out = philox4x32_10([0; 4], [0; 2]);
+        assert_eq!(out, [0x6627_e8d5, 0xe169_c58d, 0xbc57_ac4c, 0x9b00_dbd8]);
+    }
+
+    #[test]
+    fn known_answer_philox_ones() {
+        // all-ones test vector: counter/key = ff..f =>
+        // 408f276d 41c83b0e a20bc7c6 6d5451fd
+        let out = philox4x32_10([u32::MAX; 4], [u32::MAX; 2]);
+        assert_eq!(out, [0x408f_276d, 0x41c8_3b0e, 0xa20b_c7c6, 0x6d54_51fd]);
+    }
+
+    #[test]
+    fn uniform_in_half_open_unit_interval() {
+        let mut rng = Philox4x32::new(5);
+        for _ in 0..10_000 {
+            let u = rng.uniform_f64();
+            assert!(u > 0.0 && u <= 1.0, "u={u}");
+            let v = rng.uniform_f32();
+            assert!(v > 0.0 && v <= 1.0, "v={v}");
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Philox4x32::new(99);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.normal_f64();
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn counter_increment_carries() {
+        let mut rng = Philox4x32::new(0);
+        rng.counter = [u32::MAX, u32::MAX, 0, 0];
+        rng.advance_counter();
+        assert_eq!(rng.counter, [0, 0, 1, 0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload generators from the paper's evaluation (§5).
+//!
+//! The main generator draws `a_ij = (rand − 0.5) · exp(φ · randn)` where
+//! `rand ∈ (0,1]` is uniform and `randn` is standard normal, both from a
+//! fixed-seed Philox stream (the cuRAND generator family). `φ` controls the
+//! exponent spread; `φ = 0.5` is empirically comparable to HPL's matrix
+//! multiplications.
+
+use crate::matrix::Matrix;
+use crate::rng::Philox4x32;
+
+/// `φ` value the paper identifies as HPL-like.
+pub const PHI_HPL: f64 = 0.5;
+
+/// Generate the paper's φ-lognormal test matrix in double precision.
+///
+/// `stream` selects an independent Philox subsequence so that `A` and `B`
+/// of one experiment never share draws.
+pub fn phi_matrix_f64(rows: usize, cols: usize, phi: f64, seed: u64, stream: u64) -> Matrix<f64> {
+    let mut rng = Philox4x32::new_stream(seed, stream);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u = rng.uniform_f64();
+        let z = rng.normal_f64();
+        (u - 0.5) * (phi * z).exp()
+    })
+}
+
+/// Generate the paper's φ-lognormal test matrix in single precision.
+pub fn phi_matrix_f32(rows: usize, cols: usize, phi: f32, seed: u64, stream: u64) -> Matrix<f32> {
+    let mut rng = Philox4x32::new_stream(seed, stream);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u = rng.uniform_f32();
+        let z = rng.normal_f32();
+        (u - 0.5) * (phi * z).exp()
+    })
+}
+
+/// Uniform `(-0.5, 0.5]` matrix (the φ = 0 special case, used by unit tests).
+pub fn uniform_matrix_f64(rows: usize, cols: usize, seed: u64, stream: u64) -> Matrix<f64> {
+    let mut rng = Philox4x32::new_stream(seed, stream);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_f64() - 0.5)
+}
+
+/// All-positive matrix — adversarial for scaling because row/column sums do
+/// not cancel, which maximises `Σ_h |a_ih||b_hj|` relative to `‖a‖‖b‖`.
+pub fn positive_matrix_f64(rows: usize, cols: usize, seed: u64, stream: u64) -> Matrix<f64> {
+    let mut rng = Philox4x32::new_stream(seed, stream);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_f64())
+}
+
+/// Matrix with exponentially graded rows: row `i` is scaled by `2^(-g*i)`.
+/// Stresses the per-row diagonal scaling (μ) of the emulation.
+pub fn row_graded_matrix_f64(
+    rows: usize,
+    cols: usize,
+    grade: f64,
+    seed: u64,
+    stream: u64,
+) -> Matrix<f64> {
+    let mut rng = Philox4x32::new_stream(seed, stream);
+    Matrix::from_fn(rows, cols, |i, _| {
+        (rng.uniform_f64() - 0.5) * (-grade * i as f64).exp2()
+    })
+}
+
+/// HPL-style LU test system: returns `(A, b)` with `A` φ=0.5 lognormal and a
+/// right-hand side chosen so the exact solution is the all-ones vector is
+/// *approximated*; used by the HPL example and integration tests.
+pub fn hpl_like_system(n: usize, seed: u64) -> (Matrix<f64>, Vec<f64>) {
+    let a = phi_matrix_f64(n, n, PHI_HPL, seed, 0);
+    let b = (0..n)
+        .map(|i| (0..n).map(|j| a[(i, j)]).sum())
+        .collect::<Vec<f64>>();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_workloads() {
+        let a = phi_matrix_f64(16, 16, 0.5, 42, 0);
+        let b = phi_matrix_f64(16, 16, 0.5, 42, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let a = phi_matrix_f64(16, 16, 0.5, 42, 0);
+        let b = phi_matrix_f64(16, 16, 0.5, 42, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phi_widens_dynamic_range() {
+        let narrow = phi_matrix_f64(64, 64, 0.5, 7, 0);
+        let wide = phi_matrix_f64(64, 64, 4.0, 7, 0);
+        let range = |m: &Matrix<f64>| {
+            let mut lo = f64::INFINITY;
+            let mut hi = 0.0f64;
+            for &x in m.iter() {
+                let a = x.abs();
+                if a > 0.0 {
+                    lo = lo.min(a);
+                    hi = hi.max(a);
+                }
+            }
+            hi / lo
+        };
+        assert!(
+            range(&wide) > 100.0 * range(&narrow),
+            "wide range {} vs narrow {}",
+            range(&wide),
+            range(&narrow)
+        );
+    }
+
+    #[test]
+    fn values_are_centered() {
+        let a = phi_matrix_f64(128, 128, 0.5, 3, 0);
+        let mean: f64 = a.iter().sum::<f64>() / (128.0 * 128.0);
+        assert!(mean.abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn hpl_system_rhs_is_row_sums() {
+        let (a, b) = hpl_like_system(10, 5);
+        for i in 0..10 {
+            let s: f64 = (0..10).map(|j| a[(i, j)]).sum();
+            assert_eq!(b[i], s);
+        }
+    }
+
+    #[test]
+    fn row_graded_scales_rows() {
+        let a = row_graded_matrix_f64(8, 64, 4.0, 1, 0);
+        let row_max = |i: usize| {
+            (0..64)
+                .map(|j| a[(i, j)].abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(row_max(0) > 100.0 * row_max(7));
+    }
+}

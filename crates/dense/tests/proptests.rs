@@ -1,0 +1,111 @@
+//! Property-based tests for the dense substrate.
+
+use gemm_dense::gemm::{gemm_f32, gemm_f32_naive, gemm_f64, gemm_f64_naive};
+use gemm_dense::norms::{frobenius_f64, max_abs_f64, max_relative_error};
+use gemm_dense::{Matrix, Philox4x32};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_f64_matches_naive(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.uniform_f64() - 0.5);
+        let b = Matrix::from_fn(k, n, |_, _| rng.uniform_f64() - 0.5);
+        let c1 = gemm_f64(&a, &b);
+        let c2 = gemm_f64_naive(&a, &b);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            prop_assert!((x - y).abs() <= 1e-12 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gemm_f32_matches_naive(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(m, k, |_, _| rng.uniform_f32() - 0.5);
+        let b = Matrix::from_fn(k, n, |_, _| rng.uniform_f32() - 0.5);
+        let c1 = gemm_f32(&a, &b);
+        let c2 = gemm_f32_naive(&a, &b);
+        for (x, y) in c1.iter().zip(c2.iter()) {
+            prop_assert!((x - y).abs() <= 1e-4 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_involution(m in 1usize..20, n in 1usize..20, seed in any::<u64>()) {
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rng.next_u32());
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn row_major_matches_indexing(m in 1usize..12, n in 1usize..12, seed in any::<u64>()) {
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rng.next_u32());
+        let rm = a.to_row_major();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(rm[i * n + j], a[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn philox_streams_deterministic(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut r1 = Philox4x32::new_stream(seed, stream);
+        let mut r2 = Philox4x32::new_stream(seed, stream);
+        for _ in 0..16 {
+            prop_assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_half_open_interval(seed in any::<u64>()) {
+        let mut rng = Philox4x32::new(seed);
+        for _ in 0..64 {
+            let u = rng.uniform_f64();
+            prop_assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn norms_are_consistent(seed in any::<u64>(), m in 1usize..10, n in 1usize..10) {
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(m, n, |_, _| rng.uniform_f64() - 0.5);
+        let fro = frobenius_f64(&a);
+        let mx = max_abs_f64(&a);
+        prop_assert!(fro >= mx - 1e-15);
+        prop_assert!(fro <= mx * ((m * n) as f64).sqrt() + 1e-15);
+        prop_assert_eq!(max_relative_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_for_gemm_error(seed in any::<u64>()) {
+        // gemm(a, b+c) ~ gemm(a,b) + gemm(a,c) up to rounding.
+        let mut rng = Philox4x32::new(seed);
+        let a = Matrix::from_fn(6, 6, |_, _| rng.uniform_f64() - 0.5);
+        let b = Matrix::from_fn(6, 6, |_, _| rng.uniform_f64() - 0.5);
+        let c = Matrix::from_fn(6, 6, |_, _| rng.uniform_f64() - 0.5);
+        let bc = Matrix::from_fn(6, 6, |i, j| b[(i, j)] + c[(i, j)]);
+        let lhs = gemm_f64(&a, &bc);
+        let rhs_b = gemm_f64(&a, &b);
+        let rhs_c = gemm_f64(&a, &c);
+        for i in 0..6 {
+            for j in 0..6 {
+                let d = (lhs[(i, j)] - rhs_b[(i, j)] - rhs_c[(i, j)]).abs();
+                prop_assert!(d < 1e-12);
+            }
+        }
+    }
+}

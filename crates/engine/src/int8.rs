@@ -1,0 +1,158 @@
+//! The simulated INT8 matrix engine.
+//!
+//! Semantics mirror the GPU unit the paper targets (`mma.s8.s32` /
+//! cublasGemmEx with `CUDA_R_8I` inputs and `CUDA_R_32I` accumulation):
+//!
+//! * inputs are signed 8-bit integers;
+//! * every product enters a 32-bit accumulator;
+//! * accumulation **wraps** on overflow (two's complement) — the paper
+//!   exploits exactly this at `k = 2^17`, where `(A'_1 B'_1)_ij` may reach
+//!   `2^31` and wraps to `-2^31` without harming the mod-256 residue.
+//!
+//! The hot entry point takes a row-major packed `A` and column-major `B`
+//! so the inner dot products run over contiguous memory.
+
+use crate::stats::INT8_STATS;
+use gemm_dense::{MatI32, MatI8, Matrix};
+use rayon::prelude::*;
+
+/// Columns of `C` per rayon task.
+const COL_CHUNK: usize = 4;
+
+/// Wrapping dot product of two i8 slices with i32 accumulation.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Pairwise products fit in i16 but are widened straight to i32; release
+    // i32 addition wraps, which is exactly the unit's semantics (made
+    // explicit with wrapping_add so debug builds agree).
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc = acc.wrapping_add(x as i32 * y as i32);
+    }
+    acc
+}
+
+/// Hot-path GEMM: `C = A * B` with `A` packed row-major (`m x k`),
+/// `B` column-major (`k x n`), `C` column-major (`m x n`), all contiguous.
+///
+/// # Panics
+/// If any buffer length disagrees with the shape.
+pub fn int8_gemm_rm_cm(m: usize, n: usize, k: usize, a_rm: &[i8], b_cm: &[i8], c_cm: &mut [i32]) {
+    assert_eq!(a_rm.len(), m * k, "A buffer mismatch");
+    assert_eq!(b_cm.len(), k * n, "B buffer mismatch");
+    assert_eq!(c_cm.len(), m * n, "C buffer mismatch");
+    INT8_STATS.record_gemm(m, n, k);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c_cm.fill(0);
+        return;
+    }
+    c_cm.par_chunks_mut(m * COL_CHUNK)
+        .enumerate()
+        .for_each(|(chunk_idx, c_chunk)| {
+            let j0 = chunk_idx * COL_CHUNK;
+            for (dj, c_col) in c_chunk.chunks_exact_mut(m).enumerate() {
+                let j = j0 + dj;
+                let b_col = &b_cm[j * k..(j + 1) * k];
+                for (i, ci) in c_col.iter_mut().enumerate() {
+                    let a_row = &a_rm[i * k..(i + 1) * k];
+                    *ci = dot_i8(a_row, b_col);
+                }
+            }
+        });
+}
+
+/// Convenience GEMM over [`Matrix`] operands (packs `A` internally).
+pub fn int8_gemm(a: &MatI8, b: &MatI8) -> MatI32 {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    let a_rm = a.to_row_major();
+    let mut c = Matrix::<i32>::zeros(m, n);
+    int8_gemm_rm_cm(m, n, k, &a_rm, b.as_slice(), c.as_mut_slice());
+    c
+}
+
+/// Naive oracle with the same wrapping semantics (tests only).
+pub fn int8_gemm_naive(a: &MatI8, b: &MatI8) -> MatI32 {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = 0i32;
+        for h in 0..k {
+            acc = acc.wrapping_add(a[(i, h)] as i32 * b[(h, j)] as i32);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_mat(rows: usize, cols: usize, salt: i32) -> MatI8 {
+        Matrix::from_fn(rows, cols, |i, j| {
+            (((i as i32 * 31 + j as i32 * 17 + salt) % 255) - 127) as i8
+        })
+    }
+
+    #[test]
+    fn matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 33, 9), (32, 64, 48)] {
+            let a = pattern_mat(m, k, 1);
+            let b = pattern_mat(k, n, 2);
+            assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn full_range_values() {
+        // Include the extreme values -128 and 127.
+        let a = Matrix::from_fn(2, 3, |i, j| if (i + j) % 2 == 0 { -128 } else { 127 });
+        let b = Matrix::from_fn(3, 2, |i, j| if (i * j) % 2 == 0 { 127 } else { -128 });
+        let c = int8_gemm(&a, &b);
+        assert_eq!(c, int8_gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn accumulator_wraps_at_2_pow_31() {
+        // k = 2^17 products of (-128)*(-128) = 2^14 each: sum = 2^31,
+        // which wraps to i32::MIN — the exact behaviour §4.3 relies on.
+        let k = 1 << 17;
+        let a = Matrix::from_fn(1, k, |_, _| -128i8);
+        let b = Matrix::from_fn(k, 1, |_, _| -128i8);
+        let c = int8_gemm(&a, &b);
+        assert_eq!(c[(0, 0)], i32::MIN);
+        // And the mod-256 residue is unharmed: -2^31 ≡ 0 ≡ 2^31 (mod 256).
+        assert_eq!((c[(0, 0)] as i64).rem_euclid(256), 0);
+    }
+
+    #[test]
+    fn zero_k_gives_zero_matrix() {
+        let a = Matrix::<i8>::zeros(3, 0);
+        let b = Matrix::<i8>::zeros(0, 2);
+        let c = int8_gemm(&a, &b);
+        assert!(c.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn records_stats() {
+        INT8_STATS.reset();
+        let a = pattern_mat(4, 8, 3);
+        let b = pattern_mat(8, 2, 4);
+        let _ = int8_gemm(&a, &b);
+        assert_eq!(INT8_STATS.calls(), 1);
+        assert_eq!(INT8_STATS.macs(), 4 * 8 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "A buffer mismatch")]
+    fn buffer_length_checked() {
+        let mut c = vec![0i32; 4];
+        int8_gemm_rm_cm(2, 2, 2, &[0i8; 3], &[0i8; 4], &mut c);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gemm-engine
+//!
+//! Simulated matrix engines — the "hardware" substrate of the reproduction:
+//!
+//! * [`int8`] — the INT8 matrix engine (`i8 × i8 → i32`, wrapping INT32
+//!   accumulation) that Ozaki Scheme I/II run on;
+//! * [`tensor`] — FP16/BF16/TF32 tensor-core engines with FP32 accumulation
+//!   that the SGEMM baselines run on;
+//! * [`stats`] — global invocation counters consumed by tests and the
+//!   device model.
+
+#![warn(missing_docs)]
+
+pub mod int8;
+pub mod stats;
+pub mod tensor;
+
+pub use int8::{int8_gemm, int8_gemm_naive, int8_gemm_rm_cm};
+pub use stats::{EngineStats, INT8_STATS, LOWFP_STATS};
+pub use tensor::{dequantize, lowfp_gemm, quantize};

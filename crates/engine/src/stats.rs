@@ -1,0 +1,78 @@
+//! Engine invocation counters.
+//!
+//! The device model and several tests need to know how many engine calls
+//! and multiply-accumulate operations a pipeline issued (e.g. Ozaki Scheme
+//! II issues exactly `N` INT8 GEMMs per product in fast mode, `N + 1` in
+//! accurate mode). Counters are global atomics: cheap, thread-safe, and
+//! reset-able per experiment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global counters for the INT8 engine.
+pub static INT8_STATS: EngineStats = EngineStats::new();
+/// Global counters for the low-precision (FP16/BF16/TF32) engines.
+pub static LOWFP_STATS: EngineStats = EngineStats::new();
+
+/// Invocation and work counters for one engine class.
+#[derive(Debug)]
+pub struct EngineStats {
+    calls: AtomicU64,
+    macs: AtomicU64,
+}
+
+impl EngineStats {
+    /// New zeroed counter set.
+    pub const fn new() -> Self {
+        Self {
+            calls: AtomicU64::new(0),
+            macs: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one GEMM call of the given shape.
+    #[inline]
+    pub fn record_gemm(&self, m: usize, n: usize, k: usize) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.macs
+            .fetch_add((m * n) as u64 * k as u64, Ordering::Relaxed);
+    }
+
+    /// Number of GEMM calls since the last reset.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Number of multiply-accumulate operations since the last reset.
+    pub fn macs(&self) -> u64 {
+        self.macs.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.macs.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_resets() {
+        let s = EngineStats::new();
+        s.record_gemm(4, 5, 6);
+        s.record_gemm(2, 2, 2);
+        assert_eq!(s.calls(), 2);
+        assert_eq!(s.macs(), 4 * 5 * 6 + 8);
+        s.reset();
+        assert_eq!(s.calls(), 0);
+        assert_eq!(s.macs(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the simulated matrix engines.
+
+use gemm_dense::Matrix;
+use gemm_engine::{int8_gemm, int8_gemm_naive, lowfp_gemm, quantize};
+use gemm_lowfp::{BF16, F16};
+use proptest::prelude::*;
+
+fn arb_i8_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<i8>> {
+    proptest::collection::vec(any::<i8>(), rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matches_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (s >> 33) as i64 as i8
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        prop_assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn arbitrary_values_match(a in arb_i8_matrix(5, 7), b in arb_i8_matrix(7, 4)) {
+        prop_assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn linearity_in_scalar(a in arb_i8_matrix(4, 6), b in arb_i8_matrix(6, 3)) {
+        // C(A, B) + C(A, B) == C(A, 2B) as long as 2B stays in range —
+        // verify via i32 doubling instead to avoid range issues.
+        let c = int8_gemm(&a, &b);
+        let doubled = int8_gemm_naive(&a, &b).map(|x| x.wrapping_mul(2));
+        let sum = c.map(|x| x.wrapping_mul(2));
+        prop_assert_eq!(doubled, sum);
+    }
+
+    #[test]
+    fn f16_engine_matches_f64_within_fp32_rounding(
+        seed in any::<u64>(),
+        m in 1usize..10,
+        k in 1usize..32,
+        n in 1usize..10,
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 40) as f32 / 256.0) - 32.0
+        };
+        let a32 = Matrix::from_fn(m, k, |_, _| next());
+        let b32 = Matrix::from_fn(k, n, |_, _| next());
+        let a = quantize::<F16>(&a32);
+        let b = quantize::<F16>(&b32);
+        let c = lowfp_gemm(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0f64;
+                let mut mag = 0f64;
+                for h in 0..k {
+                    let p = a[(i, h)].to_f32() as f64 * b[(h, j)].to_f32() as f64;
+                    want += p;
+                    mag += p.abs();
+                }
+                let bound = (k as f64) * 1.2e-7 * mag + 1e-30;
+                prop_assert!(
+                    (c[(i, j)] as f64 - want).abs() <= bound,
+                    "({}, {}): got {} want {}", i, j, c[(i, j)], want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_quantize_bounded(xs in proptest::collection::vec(-1e20f32..1e20f32, 12)) {
+        let m = Matrix::from_vec(3, 4, xs);
+        let q = quantize::<BF16>(&m);
+        for (orig, low) in m.iter().zip(q.iter()) {
+            let err = (low.to_f32() - orig).abs();
+            prop_assert!(err <= orig.abs() * 2f32.powi(-8) + f32::MIN_POSITIVE);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Exact Chinese-Remainder-Theorem machinery (Theorem 1 of the paper) and
+//! an exact integer GEMM — the oracles against which the fast emulation
+//! pipeline is verified bit for bit.
+
+use crate::wide::{mul_i128, rmod_i256, I256, U256};
+use gemm_dense::Matrix;
+
+/// Greatest common divisor (Euclid).
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular multiplicative inverse of `a` modulo `p` (requires gcd = 1).
+pub fn modinv_u64(a: u64, p: u64) -> u64 {
+    let (mut old_r, mut r) = (a as i128, p as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    assert_eq!(old_r, 1, "modinv: {a} not invertible mod {p}");
+    old_s.rem_euclid(p as i128) as u64
+}
+
+/// A CRT basis: pairwise-coprime moduli with precomputed exact weights
+/// `w_i = (P/p_i) · q_i` where `q_i = (P/p_i)^(-1) mod p_i`.
+#[derive(Clone, Debug)]
+pub struct CrtBasis {
+    moduli: Vec<u64>,
+    p_big: U256,
+    weights: Vec<U256>,
+}
+
+impl CrtBasis {
+    /// Build a basis. Panics if the moduli are not pairwise coprime or if
+    /// the product would not fit far below 2^255.
+    pub fn new(moduli: &[u64]) -> Self {
+        assert!(!moduli.is_empty(), "need at least one modulus");
+        for (s, &ps) in moduli.iter().enumerate() {
+            assert!(ps >= 2, "modulus must be >= 2");
+            for &pt in &moduli[s + 1..] {
+                assert_eq!(
+                    gcd_u64(ps, pt),
+                    1,
+                    "moduli {ps} and {pt} are not coprime"
+                );
+            }
+        }
+        let mut p_big = U256::ONE;
+        for &p in moduli {
+            p_big = p_big.mul_u64(p);
+        }
+        assert!(p_big.bits() < 200, "modulus product too large");
+        let weights = moduli
+            .iter()
+            .map(|&p| {
+                let (p_over, rem) = p_big.div_rem_u64(p);
+                debug_assert_eq!(rem, 0);
+                let q = modinv_u64(p_over.rem_u64(p), p);
+                p_over.mul_u64(q)
+            })
+            .collect();
+        Self {
+            moduli: moduli.to_vec(),
+            p_big,
+            weights,
+        }
+    }
+
+    /// The moduli.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// `P = Π p_i` exactly.
+    pub fn p_big(&self) -> U256 {
+        self.p_big
+    }
+
+    /// Exact weight `w_i = (P/p_i) q_i`.
+    pub fn weight(&self, i: usize) -> U256 {
+        self.weights[i]
+    }
+
+    /// Reconstruct the unique `x` with `x ≡ y_i (mod p_i)` and
+    /// `|x| <= P/2` from residues `y_i ∈ [0, p_i)`.
+    pub fn reconstruct(&self, residues: &[u64]) -> I256 {
+        assert_eq!(residues.len(), self.moduli.len());
+        let mut acc = U256::ZERO;
+        for (w, &y) in self.weights.iter().zip(residues) {
+            acc = acc.add(w.mul_u64(y));
+        }
+        rmod_i256(I256::from_u256_reduce(acc, &self.p_big), &self.p_big)
+    }
+
+    /// Residues of an exact integer: `y_i = x mod p_i ∈ [0, p_i)`.
+    pub fn residues(&self, x: I256) -> Vec<u64> {
+        self.moduli.iter().map(|&p| x.rem_euclid_u64(p)).collect()
+    }
+}
+
+impl I256 {
+    /// Helper: reduce an unsigned accumulator below a modulus before the
+    /// signed fold (the accumulator can exceed 255 bits' signed range
+    /// conceptually, so reduce as unsigned first).
+    fn from_u256_reduce(acc: U256, p: &U256) -> I256 {
+        let (_, r) = acc.div_rem(*p);
+        I256::from_u256(r)
+    }
+}
+
+/// Exact integer GEMM: inputs are integer-valued f64 matrices (as produced
+/// by the truncation step of the emulation); output entries are exact I256.
+///
+/// Test-oracle only — O(mnk) bignum operations.
+pub fn gemm_exact_i256(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<I256> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = I256::ZERO;
+        for h in 0..k {
+            let x = a[(i, h)];
+            let y = b[(h, j)];
+            debug_assert!(x.fract() == 0.0 && y.fract() == 0.0, "inputs must be integers");
+            acc = acc.add(mul_i128(x as i128, y as i128));
+        }
+        acc
+    })
+}
+
+/// Exact residue matrix `(A·B) mod p` for integer-valued f64 inputs.
+pub fn gemm_exact_residues(a: &Matrix<f64>, b: &Matrix<f64>, p: u64) -> Matrix<u8> {
+    let exact = gemm_exact_i256(a, b);
+    exact.map(|x| {
+        let r = x.rem_euclid_u64(p);
+        debug_assert!(r < 256);
+        r as u8
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(256, 255), 1);
+        assert_eq!(gcd_u64(0, 7), 7);
+    }
+
+    #[test]
+    fn modinv_small() {
+        for p in [251u64, 256, 173, 255] {
+            for a in 2..p {
+                if gcd_u64(a, p) != 1 {
+                    continue;
+                }
+                let inv = modinv_u64(a, p);
+                assert_eq!((a as u128 * inv as u128) % p as u128, 1, "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not invertible")]
+    fn modinv_rejects_noncoprime() {
+        modinv_u64(8, 256);
+    }
+
+    #[test]
+    fn crt_round_trip_small() {
+        let basis = CrtBasis::new(&[256, 255, 253, 251]);
+        for &x in &[0i128, 1, -1, 123456, -999999, 2_000_000_000] {
+            let xi = I256::from_i128(x);
+            let res = basis.residues(xi);
+            let back = basis.reconstruct(&res);
+            assert_eq!(back.to_f64(), x as f64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn crt_range_limits() {
+        let basis = CrtBasis::new(&[7, 11, 13]); // P = 1001
+        // Every |x| <= 500 must round-trip.
+        for x in -500i128..=500 {
+            let back = basis.reconstruct(&basis.residues(I256::from_i128(x)));
+            assert_eq!(back.to_f64() as i128, x, "x={x}");
+        }
+        // x = 501 aliases to 501 - 1001 = -500.
+        let back = basis.reconstruct(&basis.residues(I256::from_i128(501)));
+        assert_eq!(back.to_f64() as i128, -500);
+    }
+
+    #[test]
+    #[should_panic(expected = "not coprime")]
+    fn rejects_noncoprime_moduli() {
+        CrtBasis::new(&[256, 254]);
+    }
+
+    #[test]
+    fn weights_are_one_mod_self_zero_mod_others() {
+        let moduli = [256u64, 255, 253, 251, 247];
+        let basis = CrtBasis::new(&moduli);
+        for (i, &pi) in moduli.iter().enumerate() {
+            let w = basis.weight(i);
+            assert_eq!(w.rem_u64(pi), 1, "w_{i} mod p_{i}");
+            for (j, &pj) in moduli.iter().enumerate() {
+                if i != j {
+                    assert_eq!(w.rem_u64(pj), 0, "w_{i} mod p_{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_gemm_small_integers() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i as f64) * 2.0 - j as f64);
+        let b = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let c = gemm_exact_i256(&a, &b);
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut want = 0i64;
+                for h in 0..4 {
+                    want += (a[(i, h)] as i64) * (b[(h, j)] as i64);
+                }
+                assert_eq!(c[(i, j)].to_f64(), want as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_gemm_huge_values_beyond_f64() {
+        // Entries ~2^60: products ~2^120, sums exceed f64's exact range.
+        let v = (1u64 << 60) as f64;
+        let a = Matrix::from_fn(1, 3, |_, _| v);
+        let b = Matrix::from_fn(3, 1, |_, _| v);
+        let c = gemm_exact_i256(&a, &b);
+        // 3 * 2^120
+        let expect = U256::ONE.shl(120).mul_u64(3);
+        assert_eq!(c[(0, 0)].abs_u256(), expect);
+    }
+
+    #[test]
+    fn residue_gemm_matches_modulo() {
+        let a = Matrix::from_fn(2, 3, |i, j| ((i * 3 + j) as f64) - 4.0);
+        let b = Matrix::from_fn(3, 2, |i, j| ((i + 2 * j) as f64) - 1.0);
+        let r = gemm_exact_residues(&a, &b, 251);
+        let c = gemm_exact_i256(&a, &b);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(r[(i, j)] as u64, c[(i, j)].rem_euclid_u64(251));
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Double-double ("DD") arithmetic: ~106-bit significands from pairs of
+//! doubles, following Dekker/Bailey/QD conventions.
+//!
+//! Role in the reproduction: the accuracy experiments (Fig. 3) need a
+//! reference product more accurate than anything being measured; a DD-
+//! accumulated GEMM gives ~1e-31 relative accuracy, two orders of magnitude
+//! below the 1e-16 resolution required. The paper also stores `P = Π p_i`
+//! as a double-double (`P1`, `P2`) — that split is produced here.
+
+use crate::eft::{fast_two_sum, two_prod, two_sum};
+use gemm_dense::Matrix;
+use rayon::prelude::*;
+
+/// Unevaluated sum of two doubles with `|lo| <= ulp(hi)/2`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Dd {
+    /// Leading component.
+    pub hi: f64,
+    /// Trailing component.
+    pub lo: f64,
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+
+    /// Lift a double.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+
+    /// Build from components, renormalising so `|lo| <= ulp(hi)/2`.
+    #[inline]
+    pub fn renorm(hi: f64, lo: f64) -> Self {
+        let (s, e) = two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// Round to the nearest double.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Exact DD + f64.
+    #[inline]
+    pub fn add_f64(self, b: f64) -> Dd {
+        let (s, e) = two_sum(self.hi, b);
+        let (hi, lo) = fast_two_sum(s, e + self.lo);
+        Dd { hi, lo }
+    }
+
+    /// DD + DD (Bailey's accurate variant).
+    #[inline]
+    pub fn add(self, b: Dd) -> Dd {
+        let (s1, e1) = two_sum(self.hi, b.hi);
+        let (s2, e2) = two_sum(self.lo, b.lo);
+        let (hi, t) = fast_two_sum(s1, e1 + s2);
+        let (hi, lo) = fast_two_sum(hi, t + e2);
+        Dd { hi, lo }
+    }
+
+    /// Negation.
+    #[inline]
+    pub fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+
+    /// DD - DD.
+    #[inline]
+    pub fn sub(self, b: Dd) -> Dd {
+        self.add(b.neg())
+    }
+
+    /// DD * f64.
+    #[inline]
+    pub fn mul_f64(self, b: f64) -> Dd {
+        let (p, e) = two_prod(self.hi, b);
+        let (hi, lo) = fast_two_sum(p, e + self.lo * b);
+        Dd { hi, lo }
+    }
+
+    /// DD * DD.
+    #[inline]
+    pub fn mul(self, b: Dd) -> Dd {
+        let (p, e) = two_prod(self.hi, b.hi);
+        let cross = self.hi * b.lo + self.lo * b.hi;
+        let (hi, lo) = fast_two_sum(p, e + cross);
+        Dd { hi, lo }
+    }
+
+    /// DD / DD (one Newton correction on the double quotient).
+    pub fn div(self, b: Dd) -> Dd {
+        let q1 = self.hi / b.hi;
+        let r = self.sub(b.mul_f64(q1));
+        let q2 = r.hi / b.hi;
+        let r2 = r.sub(b.mul_f64(q2));
+        let q3 = r2.hi / b.hi;
+        Dd::renorm(q1, q2).add_f64(q3)
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Dd {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            self.neg()
+        } else {
+            self
+        }
+    }
+
+    /// Accumulate the exact product `a * b` (both f64) onto `self`.
+    #[inline]
+    pub fn fma_acc(self, a: f64, b: f64) -> Dd {
+        let (p, e) = two_prod(a, b);
+        self.add(Dd { hi: p, lo: e })
+    }
+}
+
+/// Reference GEMM with double-double accumulation: every `a_ih * b_hj`
+/// product enters exactly (TwoProd) and is accumulated in DD.
+///
+/// Accuracy: relative error O(k · 2^-106) — the oracle for Fig. 3.
+pub fn dd_gemm(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<Dd> {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must agree");
+    let mut c = Matrix::<Dd>::zeros(m, n);
+    if m == 0 || n == 0 {
+        return c;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    c.as_mut_slice()
+        .par_chunks_mut(m)
+        .enumerate()
+        .for_each(|(j, c_col)| {
+            let b_col = &b_data[j * k..(j + 1) * k];
+            for (h, &bhj) in b_col.iter().enumerate() {
+                if bhj == 0.0 {
+                    continue;
+                }
+                let a_col = &a_data[h * m..(h + 1) * m];
+                for (ci, &aih) in c_col.iter_mut().zip(a_col) {
+                    *ci = ci.fma_acc(aih, bhj);
+                }
+            }
+        });
+    c
+}
+
+/// Max componentwise relative error of an f64 matrix against a DD reference.
+pub fn max_rel_error_vs_dd(approx: &Matrix<f64>, exact: &Matrix<Dd>) -> f64 {
+    assert_eq!(approx.shape(), exact.shape());
+    let scale = exact
+        .iter()
+        .fold(0.0f64, |m, d| m.max(d.to_f64().abs()))
+        .max(f64::MIN_POSITIVE);
+    approx
+        .iter()
+        .zip(exact.iter())
+        .map(|(&x, &e)| {
+            let ev = e.to_f64();
+            if ev != 0.0 {
+                // (x - e) evaluated in DD to avoid cancellation noise.
+                Dd::from_f64(x).sub(e).to_f64().abs() / ev.abs()
+            } else {
+                x.abs() / scale
+            }
+        })
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_f64_keeps_tiny_term() {
+        let x = Dd::from_f64(1.0).add_f64(2f64.powi(-80));
+        assert_eq!(x.hi, 1.0);
+        assert_eq!(x.lo, 2f64.powi(-80));
+        assert_eq!(x.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn dd_add_associates_better_than_f64() {
+        let big = 1e20;
+        let tiny = 1.0;
+        let s = Dd::from_f64(big).add_f64(tiny).add_f64(-big);
+        assert_eq!(s.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn mul_exactness() {
+        let a = Dd::from_f64(1.0 + 2f64.powi(-40));
+        let b = Dd::from_f64(1.0 - 2f64.powi(-40));
+        // (1+e)(1-e) = 1 - e^2 with e^2 = 2^-80, representable in DD.
+        let p = a.mul(b);
+        assert_eq!(p.hi, 1.0);
+        assert_eq!(p.lo, -(2f64.powi(-80)));
+    }
+
+    #[test]
+    fn div_recovers_factor() {
+        let a = Dd::from_f64(std::f64::consts::PI);
+        let b = Dd::from_f64(std::f64::consts::E);
+        let q = a.mul(b).div(b);
+        let err = q.sub(a).to_f64().abs();
+        assert!(err < 1e-30, "err={err}");
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        let x = Dd::renorm(-3.0, 1e-20);
+        assert!(x.abs().hi > 0.0);
+        assert_eq!(x.neg().neg(), x);
+    }
+
+    #[test]
+    fn dd_gemm_matches_integer_products_exactly() {
+        // Integer matrices small enough that DD holds products exactly.
+        let a = Matrix::from_fn(5, 6, |i, j| ((i * 7 + j) as f64) - 10.0);
+        let b = Matrix::from_fn(6, 4, |i, j| ((i * 3 + 2 * j) as f64) - 5.0);
+        let c = dd_gemm(&a, &b);
+        for i in 0..5 {
+            for j in 0..4 {
+                let mut exact = 0i64;
+                for h in 0..6 {
+                    exact += (a[(i, h)] as i64) * (b[(h, j)] as i64);
+                }
+                assert_eq!(c[(i, j)].to_f64(), exact as f64);
+                assert_eq!(c[(i, j)].lo, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dd_gemm_beats_f64_gemm_on_cancellation() {
+        // Rows designed to cancel catastrophically in f64.
+        let a = Matrix::from_fn(1, 4, |_, j| match j {
+            0 => 1e16,
+            1 => 3.14159,
+            2 => -1e16,
+            _ => 2.71828,
+        });
+        let b = Matrix::from_fn(4, 1, |_, _| 1.0);
+        let dd = dd_gemm(&a, &b);
+        assert_eq!(dd[(0, 0)].to_f64(), 3.14159 + 2.71828);
+    }
+
+    #[test]
+    fn max_rel_error_detects_perturbation() {
+        let a = Matrix::from_fn(3, 3, |i, j| (i + j + 1) as f64);
+        let b = Matrix::from_fn(3, 3, |i, j| (2 * i + j + 1) as f64);
+        let exact = dd_gemm(&a, &b);
+        let mut approx = Matrix::<f64>::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                approx[(i, j)] = exact[(i, j)].to_f64();
+            }
+        }
+        assert_eq!(max_rel_error_vs_dd(&approx, &exact), 0.0);
+        approx[(1, 1)] *= 1.0 + 1e-10;
+        let e = max_rel_error_vs_dd(&approx, &exact);
+        assert!((e - 1e-10).abs() < 1e-12, "e={e}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # gemm-exact
+//!
+//! Exact and extended-precision arithmetic substrate:
+//!
+//! * [`eft`] — error-free transformations (TwoSum / TwoProd / compensated sums);
+//! * [`dd`] — double-double arithmetic and the DD-accumulated reference GEMM
+//!   used as the accuracy oracle for Fig. 3;
+//! * [`wide`] — fixed-width [`wide::U256`] / [`wide::I256`]
+//!   integers for exact constant construction (`P`, CRT weights) and the
+//!   bit-exactness oracle;
+//! * [`crt`] — exact Chinese-Remainder reconstruction and exact integer GEMM;
+//! * [`roundup`] — certified upper-bound (round-up-mode surrogate) sums used
+//!   by the scaling step.
+
+#![warn(missing_docs)]
+
+pub mod crt;
+pub mod dd;
+pub mod eft;
+pub mod roundup;
+pub mod wide;
+
+pub use crt::{gcd_u64, modinv_u64, CrtBasis};
+pub use dd::{dd_gemm, max_rel_error_vs_dd, Dd};
+pub use eft::{fast_two_sum, neumaier_sum, two_prod, two_sum};
+pub use wide::{mul_i128, rmod_i256, I256, U256};

@@ -1,0 +1,90 @@
+//! Directed-rounding surrogates.
+//!
+//! The paper computes the row/column sums of squares "using floating-point
+//! arithmetic in round-up mode" so the Cauchy–Schwarz bound in (7) is a
+//! guaranteed overestimate. Changing the CPU rounding mode is not portable
+//! (and not expressible in stable Rust), so we compute in round-to-nearest
+//! and inflate by a rigorous a-priori bound on the accumulated error:
+//! for a nonnegative sum of n terms, the RN result `ŝ` satisfies
+//! `s <= ŝ · (1 + ε)^(n+2)` with ε = 2^-52, so `ŝ · (1 + (n+3)·ε)` is a
+//! certified upper bound (we use a factor-2 safety margin on top).
+
+/// Machine epsilon for f64 (2^-52).
+pub const EPS: f64 = 2.220446049250313e-16;
+
+/// Certified upper bound on `Σ x_i^2`.
+pub fn sum_sq_upper<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let mut s = 0.0f64;
+    let mut n = 0usize;
+    for x in xs {
+        s += x * x;
+        n += 1;
+    }
+    inflate(s, n)
+}
+
+/// Certified upper bound on `Σ |x_i| |y_i|` (dot product of magnitudes).
+pub fn dot_abs_upper<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a f64, &'a f64)>,
+{
+    let mut s = 0.0f64;
+    let mut n = 0usize;
+    for (x, y) in pairs {
+        s += x.abs() * y.abs();
+        n += 1;
+    }
+    inflate(s, n)
+}
+
+/// Inflate a round-to-nearest nonnegative sum of `n` products into a
+/// certified upper bound on the exact value.
+#[inline]
+pub fn inflate(s: f64, n: usize) -> f64 {
+    debug_assert!(s >= 0.0);
+    s * (1.0 + 2.0 * (n as f64 + 3.0) * EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_dominates_exact_value() {
+        // Values chosen so the RN sum rounds *down* repeatedly.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| 1.0 + (i as f64) * 1e-8)
+            .collect();
+        let upper = sum_sq_upper(xs.iter().copied());
+        // Exact reference via double-double.
+        let mut exact = crate::dd::Dd::ZERO;
+        for &x in &xs {
+            exact = exact.fma_acc(x, x);
+        }
+        assert!(upper >= exact.to_f64(), "upper={upper} exact={}", exact.to_f64());
+        // And tight to within a few ULPs' worth of slack.
+        assert!(upper <= exact.to_f64() * (1.0 + 1e-10));
+    }
+
+    #[test]
+    fn zero_sum() {
+        assert_eq!(sum_sq_upper(std::iter::empty()), 0.0);
+        assert_eq!(sum_sq_upper([0.0, 0.0].into_iter()), 0.0);
+    }
+
+    #[test]
+    fn dot_abs_ignores_signs() {
+        let x = [1.0, -2.0, 3.0];
+        let y = [-4.0, 5.0, -6.0];
+        let d = dot_abs_upper(x.iter().zip(y.iter()));
+        assert!(d >= 4.0 + 10.0 + 18.0);
+        assert!(d <= 32.0 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn inflate_monotone() {
+        let s = 1e10;
+        assert!(inflate(s, 10) < inflate(s, 1_000_000));
+        assert!(inflate(s, 10) > s);
+    }
+}

@@ -1,0 +1,635 @@
+//! Fixed-width 256-bit integers.
+//!
+//! `P = Π p_i` reaches ~2^156 for N = 20 moduli and the exact CRT weights
+//! `(P/p_i)·q_i` reach ~2^164; products `A'B'` reach ~2^167 for the largest
+//! supported `k`. All fit comfortably in 256 bits, so a fixed-width type is
+//! the right tool (no heap, no external bignum dependency). Used to build
+//! the constant tables exactly and as the bit-exactness oracle in tests.
+
+use std::cmp::Ordering;
+
+/// Unsigned 256-bit integer, little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// Maximum representable value (2^256 - 1).
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Lift a u64.
+    #[inline]
+    pub const fn from_u64(x: u64) -> Self {
+        U256([x, 0, 0, 0])
+    }
+
+    /// Lift a u128.
+    #[inline]
+    pub const fn from_u128(x: u128) -> Self {
+        U256([x as u64, (x >> 64) as u64, 0, 0])
+    }
+
+    /// True if zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Position of the most significant set bit plus one (0 for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Value of bit `i` (little-endian bit numbering).
+    #[inline]
+    pub fn bit(&self, i: u32) -> bool {
+        debug_assert!(i < 256);
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set_bit(&mut self, i: u32) {
+        debug_assert!(i < 256);
+        self.0[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    /// Addition with carry-out flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Checked addition (panics on overflow in debug, wraps in release via
+    /// explicit assert — our domain never overflows).
+    pub fn add(self, rhs: U256) -> U256 {
+        let (v, c) = self.overflowing_add(rhs);
+        debug_assert!(!c, "U256 addition overflow");
+        v
+    }
+
+    /// Wrapping subtraction (two's complement borrow chain).
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        U256(out)
+    }
+
+    /// Subtraction that debug-asserts `self >= rhs`.
+    pub fn sub(self, rhs: U256) -> U256 {
+        debug_assert!(self >= rhs, "U256 subtraction underflow");
+        self.wrapping_sub(rhs)
+    }
+
+    /// Left shift by `n < 256` bits.
+    pub fn shl(self, n: u32) -> U256 {
+        if n == 0 {
+            return self;
+        }
+        debug_assert!(n < 256);
+        let limb = (n / 64) as usize;
+        let off = n % 64;
+        let mut out = [0u64; 4];
+        for i in (limb..4).rev() {
+            let lo = self.0[i - limb] << off;
+            let hi = if off > 0 && i > limb {
+                self.0[i - limb - 1] >> (64 - off)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+        U256(out)
+    }
+
+    /// Right shift by `n < 256` bits.
+    pub fn shr(self, n: u32) -> U256 {
+        if n == 0 {
+            return self;
+        }
+        debug_assert!(n < 256);
+        let limb = (n / 64) as usize;
+        let off = n % 64;
+        let mut out = [0u64; 4];
+        for i in 0..(4 - limb) {
+            let lo = self.0[i + limb] >> off;
+            let hi = if off > 0 && i + limb + 1 < 4 {
+                self.0[i + limb + 1] << (64 - off)
+            } else {
+                0
+            };
+            out[i] = lo | hi;
+        }
+        U256(out)
+    }
+
+    /// Multiply by a u64, panicking on overflow (debug).
+    pub fn mul_u64(self, m: u64) -> U256 {
+        let mut out = [0u64; 4];
+        let mut carry: u64 = 0;
+        for i in 0..4 {
+            let prod = self.0[i] as u128 * m as u128 + carry as u128;
+            out[i] = prod as u64;
+            carry = (prod >> 64) as u64;
+        }
+        debug_assert_eq!(carry, 0, "U256 mul_u64 overflow");
+        U256(out)
+    }
+
+    /// Divide by a u64, returning `(quotient, remainder)`.
+    pub fn div_rem_u64(self, d: u64) -> (U256, u64) {
+        assert!(d != 0, "division by zero");
+        let mut out = [0u64; 4];
+        let mut rem: u128 = 0;
+        for i in (0..4).rev() {
+            let cur = (rem << 64) | self.0[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (U256(out), rem as u64)
+    }
+
+    /// Remainder modulo a u64.
+    #[inline]
+    pub fn rem_u64(self, d: u64) -> u64 {
+        self.div_rem_u64(d).1
+    }
+
+    /// Full division: `(self / d, self % d)` via binary long division.
+    /// O(256) bit steps — used only in constant construction and tests.
+    pub fn div_rem(self, d: U256) -> (U256, U256) {
+        assert!(!d.is_zero(), "division by zero");
+        if self < d {
+            return (U256::ZERO, self);
+        }
+        let mut q = U256::ZERO;
+        let mut r = U256::ZERO;
+        for i in (0..self.bits()).rev() {
+            r = r.shl(1);
+            if self.bit(i) {
+                r.0[0] |= 1;
+            }
+            if r >= d {
+                r = r.sub(d);
+                q.set_bit(i);
+            }
+        }
+        (q, r)
+    }
+
+    /// Keep only the top `nbits` significant bits (zero the rest).
+    /// Used to build `s_i1` = the upper `β_i` bits of the CRT weight.
+    pub fn truncate_top_bits(self, nbits: u32) -> U256 {
+        let total = self.bits();
+        if total <= nbits {
+            return self;
+        }
+        let drop = total - nbits;
+        self.shr(drop).shl(drop)
+    }
+
+    /// Convert to f64 with round-to-nearest-even.
+    pub fn to_f64(self) -> f64 {
+        let n = self.bits();
+        if n == 0 {
+            return 0.0;
+        }
+        if n <= 53 {
+            return self.0[0] as f64;
+        }
+        let shift = n - 53;
+        let top = self.shr(shift).0[0]; // exactly 53 bits
+        let guard = self.bit(shift - 1);
+        let sticky = if shift >= 2 {
+            !self.low_bits_zero(shift - 1)
+        } else {
+            false
+        };
+        let mut mant = top;
+        if guard && (sticky || (mant & 1) == 1) {
+            mant += 1;
+        }
+        mant as f64 * 2f64.powi(shift as i32)
+    }
+
+    /// True if bits `[0, k)` are all zero.
+    fn low_bits_zero(&self, k: u32) -> bool {
+        for i in 0..k {
+            if self.bit(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Low 64 bits.
+    #[inline]
+    pub fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Number of trailing zero bits (256 for zero).
+    pub fn trailing_zeros(&self) -> u32 {
+        for i in 0..4 {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + self.0[i].trailing_zeros();
+            }
+        }
+        256
+    }
+
+    /// Halve (shift right by one).
+    pub fn half(self) -> U256 {
+        self.shr(1)
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Signed 256-bit integer, two's-complement over [`U256`] limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct I256(pub [u64; 4]);
+
+impl I256 {
+    /// Zero.
+    pub const ZERO: I256 = I256([0; 4]);
+
+    /// Lift an i128.
+    pub fn from_i128(x: i128) -> Self {
+        let ext = if x < 0 { u64::MAX } else { 0 };
+        I256([x as u64, (x >> 64) as u64, ext, ext])
+    }
+
+    /// Lift an unsigned value (must fit in 255 bits).
+    pub fn from_u256(x: U256) -> Self {
+        debug_assert!(x.bits() < 256, "U256 value too large for I256");
+        I256(x.0)
+    }
+
+    /// True if negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.0[3] >> 63 == 1
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(self) -> I256 {
+        let mut out = [0u64; 4];
+        let mut carry = 1u64;
+        for i in 0..4 {
+            let (v, c) = (!self.0[i]).overflowing_add(carry);
+            out[i] = v;
+            carry = c as u64;
+        }
+        I256(out)
+    }
+
+    /// Addition (wrapping; our domain never overflows 256 bits).
+    pub fn add(self, rhs: I256) -> I256 {
+        let (v, _) = U256(self.0).overflowing_add(U256(rhs.0));
+        I256(v.0)
+    }
+
+    /// Subtraction.
+    pub fn sub(self, rhs: I256) -> I256 {
+        self.add(rhs.neg())
+    }
+
+    /// Magnitude as U256.
+    pub fn abs_u256(self) -> U256 {
+        if self.is_negative() {
+            U256(self.neg().0)
+        } else {
+            U256(self.0)
+        }
+    }
+
+    /// Convert to f64 (round-to-nearest-even on the magnitude).
+    pub fn to_f64(self) -> f64 {
+        let mag = self.abs_u256().to_f64();
+        if self.is_negative() {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Exact conversion of an integer-valued f64 (e.g. `P1 = double(P)`,
+    /// which is a 53-bit integer scaled by a power of two).
+    ///
+    /// # Panics
+    /// If `x` is not a finite integer or exceeds 255 bits.
+    pub fn from_f64_exact(x: f64) -> I256 {
+        assert!(x.is_finite() && x.fract() == 0.0, "not an integer: {x}");
+        if x == 0.0 {
+            return I256::ZERO;
+        }
+        let bits = x.abs().to_bits();
+        let exp_field = (bits >> 52) & 0x7ff;
+        assert!(exp_field > 0, "subnormal integers are impossible");
+        let exp = exp_field as i32 - 1023 - 52;
+        let mant = (bits & ((1u64 << 52) - 1)) | (1u64 << 52);
+        let mag = if exp >= 0 {
+            assert!(exp < 200, "f64 integer too large for I256 domain");
+            U256::from_u64(mant).shl(exp as u32)
+        } else {
+            // x is an integer, so the shifted-out bits are zero.
+            debug_assert!(mant.trailing_zeros() >= (-exp) as u32);
+            U256::from_u64(mant >> (-exp) as u32)
+        };
+        let v = I256::from_u256(mag);
+        if x < 0.0 {
+            v.neg()
+        } else {
+            v
+        }
+    }
+
+    /// Euclidean remainder modulo a small u64 (result in `[0, p)`).
+    pub fn rem_euclid_u64(self, p: u64) -> u64 {
+        let r = self.abs_u256().rem_u64(p);
+        if self.is_negative() && r != 0 {
+            p - r
+        } else {
+            r
+        }
+    }
+
+    /// Compare.
+    pub fn cmp_signed(&self, other: &I256) -> Ordering {
+        match (self.is_negative(), other.is_negative()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            // Same sign: two's complement compares like unsigned.
+            _ => U256(self.0).cmp(&U256(other.0)),
+        }
+    }
+}
+
+/// Exact product of two i128 values as an I256 (inputs up to ~2^126).
+pub fn mul_i128(a: i128, b: i128) -> I256 {
+    let neg = (a < 0) != (b < 0);
+    let ua = a.unsigned_abs();
+    let ub = b.unsigned_abs();
+    // Schoolbook on 64-bit halves.
+    let (a0, a1) = (ua as u64, (ua >> 64) as u64);
+    let (b0, b1) = (ub as u64, (ub >> 64) as u64);
+    let p00 = a0 as u128 * b0 as u128;
+    let p01 = a0 as u128 * b1 as u128;
+    let p10 = a1 as u128 * b0 as u128;
+    let p11 = a1 as u128 * b1 as u128;
+    let mut limbs = [0u64; 4];
+    limbs[0] = p00 as u64;
+    // Middle column: (p00 >> 64) + lo(p01) + lo(p10), with carries upward.
+    let mid = (p00 >> 64) + (p01 as u64 as u128) + (p10 as u64 as u128);
+    limbs[1] = mid as u64;
+    let hi = (mid >> 64) + (p01 >> 64) + (p10 >> 64) + (p11 as u64 as u128);
+    limbs[2] = hi as u64;
+    limbs[3] = ((hi >> 64) + (p11 >> 64)) as u64;
+    let mag = I256(limbs);
+    if neg {
+        mag.neg()
+    } else {
+        mag
+    }
+}
+
+/// Symmetric remainder: the unique `r ≡ x (mod p)` with `-p/2 <= r < p/2`
+/// (ties at exactly `p/2` map to the negative representative, matching
+/// truncation of `round(x/p)` half-away-from-zero for positive x).
+pub fn rmod_i256(x: I256, p: &U256) -> I256 {
+    let mag = x.abs_u256();
+    let (_, r) = mag.div_rem(*p);
+    // r in [0, p)
+    let twice = r.shl(1);
+    let reduced = if twice > *p || (twice == *p) {
+        // representative beyond half: fold to r - p (negative magnitude p-r)
+        I256::from_u256(p.sub(r)).neg()
+    } else {
+        I256::from_u256(r)
+    };
+    if x.is_negative() {
+        reduced.neg()
+    } else {
+        reduced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = U256([u64::MAX, 3, 0, 1]);
+        let b = U256([5, u64::MAX, 7, 0]);
+        assert_eq!(a.add(b).sub(b), a);
+    }
+
+    #[test]
+    fn carry_chain() {
+        let a = U256([u64::MAX, u64::MAX, 0, 0]);
+        let s = a.add(U256::ONE);
+        assert_eq!(s, U256([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn shifts_invert() {
+        let a = U256([0xDEAD_BEEF, 0x1234, 0, 0]);
+        for n in [1u32, 7, 63, 64, 65, 100] {
+            assert_eq!(a.shl(n).shr(n), a, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bits_counts_msb() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!(U256::from_u64(256).bits(), 9);
+        assert_eq!(U256::ONE.shl(200).bits(), 201);
+    }
+
+    #[test]
+    fn mul_div_u64_round_trip() {
+        let a = U256::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let m = 0xfedc_ba98u64;
+        let prod = a.mul_u64(m);
+        let (q, r) = prod.div_rem_u64(m);
+        assert_eq!(q, a);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_u128() {
+        let x = 0xffee_ddcc_bbaa_9988_7766_5544_3322_1100u128;
+        let d = 251u64;
+        let (q, r) = U256::from_u128(x).div_rem_u64(d);
+        assert_eq!(q, U256::from_u128(x / d as u128));
+        assert_eq!(r as u128, x % d as u128);
+    }
+
+    #[test]
+    fn full_div_rem() {
+        let a = U256::from_u128(u128::MAX).mul_u64(12345);
+        let d = U256::from_u64(9999);
+        let (q, r) = a.div_rem(d);
+        assert!(r < d);
+        assert_eq!(q.mul_u64(9999).add(r), a);
+    }
+
+    #[test]
+    fn to_f64_small_exact() {
+        for v in [0u64, 1, 2, 1 << 52, (1 << 53) - 1] {
+            assert_eq!(U256::from_u64(v).to_f64(), v as f64);
+        }
+    }
+
+    #[test]
+    fn to_f64_rounds_to_nearest_even() {
+        // 2^53 + 1 ties: rounds to 2^53 (even mantissa).
+        let x = U256::from_u64((1 << 53) + 1);
+        assert_eq!(x.to_f64(), 9007199254740992.0);
+        // 2^53 + 3 ties up to 2^53 + 4.
+        let y = U256::from_u64((1 << 53) + 3);
+        assert_eq!(y.to_f64(), 9007199254740996.0);
+        // 2^53 + 2 is exact.
+        let z = U256::from_u64((1 << 53) + 2);
+        assert_eq!(z.to_f64(), 9007199254740994.0);
+    }
+
+    #[test]
+    fn to_f64_matches_u128_cast() {
+        // Rust's u128 -> f64 cast is RNE, compare against it.
+        let samples = [
+            0x0001_0000_0000_0000_0001u128,
+            0xffff_ffff_ffff_ffff_ffff_ffff_ffff_ffffu128,
+            0x8000_0000_0000_0400_0000_0000_0000_0001u128,
+            12345678901234567890123456789u128,
+        ];
+        for &x in &samples {
+            assert_eq!(U256::from_u128(x).to_f64(), x as f64, "x={x}");
+        }
+    }
+
+    #[test]
+    fn truncate_top_bits_keeps_leading() {
+        let x = U256::from_u64(0b1011_1101);
+        let t = x.truncate_top_bits(4);
+        assert_eq!(t, U256::from_u64(0b1011_0000));
+        // No-op when already narrow enough.
+        assert_eq!(x.truncate_top_bits(64), x);
+    }
+
+    #[test]
+    fn i256_from_i128_round_trip_via_f64() {
+        for &x in &[0i128, 1, -1, 123456789, -987654321, i64::MAX as i128] {
+            assert_eq!(I256::from_i128(x).to_f64(), x as f64);
+        }
+    }
+
+    #[test]
+    fn i256_neg_add() {
+        let a = I256::from_i128(-12345);
+        assert_eq!(a.neg(), I256::from_i128(12345));
+        assert_eq!(a.add(I256::from_i128(12345)), I256::ZERO);
+    }
+
+    #[test]
+    fn mul_i128_matches_native_when_small() {
+        let cases = [
+            (0i128, 5i128),
+            (123, 456),
+            (-123, 456),
+            (123, -456),
+            (-123, -456),
+            (i64::MAX as i128, i64::MAX as i128),
+        ];
+        for (a, b) in cases {
+            assert_eq!(mul_i128(a, b).to_f64(), (a * b) as f64, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn mul_i128_huge() {
+        // 2^75 * 2^75 = 2^150 — overflows i128, exact in I256.
+        let big = 1i128 << 75;
+        let p = mul_i128(big, big);
+        assert_eq!(p.to_f64(), 2f64.powi(150));
+        let n = mul_i128(-big, big);
+        assert_eq!(n.to_f64(), -(2f64.powi(150)));
+    }
+
+    #[test]
+    fn rem_euclid_matches_i128() {
+        for &x in &[0i128, 17, -17, 255, -256, 1_000_003, -1_000_003] {
+            for &p in &[251u64, 256, 173] {
+                assert_eq!(
+                    I256::from_i128(x).rem_euclid_u64(p) as i128,
+                    x.rem_euclid(p as i128),
+                    "x={x} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rmod_symmetric_range() {
+        let p = U256::from_u64(251);
+        for x in -1000i128..1000 {
+            let r = rmod_i256(I256::from_i128(x), &p).to_f64() as i128;
+            assert!((-125..=125).contains(&r), "x={x} r={r}");
+            assert_eq!((x - r).rem_euclid(251), 0, "x={x} r={r}");
+        }
+    }
+
+    #[test]
+    fn cmp_signed_orders_correctly() {
+        let vals = [-100i128, -1, 0, 1, 100];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(
+                    I256::from_i128(a).cmp_signed(&I256::from_i128(b)),
+                    a.cmp(&b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the exact-arithmetic substrate.
+
+use gemm_exact::{
+    fast_two_sum, gcd_u64, modinv_u64, mul_i128, rmod_i256, two_prod, two_sum, CrtBasis, Dd,
+    I256, U256,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn two_sum_residual_identity(a in -1e15f64..1e15, b in -1e15f64..1e15) {
+        let (s, e) = two_sum(a, b);
+        // s is the rounded sum and (s, e) re-normalises to itself.
+        prop_assert_eq!(s, a + b);
+        let (s2, e2) = two_sum(s, e);
+        prop_assert_eq!(s2, s);
+        prop_assert_eq!(e2, e);
+    }
+
+    #[test]
+    fn fast_two_sum_agrees_when_ordered(a in -1e12f64..1e12, b in -1e6f64..1e6) {
+        let (hi, lo) = if a.abs() >= b.abs() { (a, b) } else { (b, a) };
+        prop_assert_eq!(fast_two_sum(hi, lo), two_sum(hi, lo));
+    }
+
+    #[test]
+    fn two_prod_exact_via_integers(a in -(1i64 << 26)..(1i64 << 26), b in -(1i64 << 26)..(1i64 << 26)) {
+        // For integer inputs below 2^26 the product fits 53 bits: e == 0.
+        let (p, e) = two_prod(a as f64, b as f64);
+        prop_assert_eq!(p, (a * b) as f64);
+        prop_assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn two_prod_residual_reconstructs(a in -1e10f64..1e10, b in -1e10f64..1e10) {
+        let (p, e) = two_prod(a, b);
+        // Verify a*b = p + e using exact 256-bit arithmetic on scaled
+        // integer representations (scale by 2^60 keeps everything integral
+        // only for dyadics, so instead check through DD consistency).
+        let dd = Dd::from_f64(a).mul_f64(b);
+        let diff = dd.sub(Dd::renorm(p, e)).to_f64().abs();
+        prop_assert!(diff <= p.abs() * 1e-30 + 1e-300);
+    }
+
+    #[test]
+    fn dd_add_commutes(a in -1e10f64..1e10, b in -1e10f64..1e10, c in -1e-6f64..1e-6) {
+        let x = Dd::renorm(a, c);
+        let y = Dd::from_f64(b);
+        let s1 = x.add(y);
+        let s2 = y.add(x);
+        prop_assert_eq!(s1.hi, s2.hi);
+        prop_assert_eq!(s1.lo, s2.lo);
+    }
+
+    #[test]
+    fn dd_mul_div_round_trip(a in 1e-8f64..1e8, b in 1e-8f64..1e8) {
+        let x = Dd::from_f64(a);
+        let y = Dd::from_f64(b);
+        let back = x.mul(y).div(y);
+        let rel = back.sub(x).to_f64().abs() / a;
+        prop_assert!(rel < 1e-29, "rel={rel}");
+    }
+
+    #[test]
+    fn u256_add_sub_round_trip(a in any::<[u64; 3]>(), b in any::<[u64; 3]>()) {
+        let x = U256([a[0], a[1], a[2], 0]);
+        let y = U256([b[0], b[1], b[2], 0]);
+        prop_assert_eq!(x.add(y).sub(y), x);
+    }
+
+    #[test]
+    fn u256_mul_div_u64_round_trip(a in any::<[u64; 2]>(), m in 1u64..u64::MAX) {
+        let x = U256([a[0], a[1], 0, 0]);
+        let (q, r) = x.mul_u64(m).div_rem_u64(m);
+        prop_assert_eq!(q, x);
+        prop_assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn u256_shifts_invert(a in any::<[u64; 2]>(), n in 0u32..128) {
+        let x = U256([a[0], a[1], 0, 0]);
+        prop_assert_eq!(x.shl(n).shr(n), x);
+    }
+
+    #[test]
+    fn u256_to_f64_matches_u128_cast(x in any::<u128>()) {
+        prop_assert_eq!(U256::from_u128(x).to_f64(), x as f64);
+    }
+
+    #[test]
+    fn u256_div_rem_reconstructs(a in any::<[u64; 3]>(), b in any::<[u64; 2]>()) {
+        let x = U256([a[0], a[1], a[2], 0]);
+        let d = U256([b[0] | 1, b[1], 0, 0]); // nonzero
+        let (q, r) = x.div_rem(d);
+        prop_assert!(r < d);
+        // q*d + r == x, verified with mul_u64 chunks: multiply via shifts.
+        // Use f64 check plus small-case exactness instead: reconstruct
+        // through div_rem of the rebuilt value only when q fits 64 bits.
+        if q.bits() <= 64 {
+            let back = d.mul_u64(q.low_u64()).add(r);
+            prop_assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn i256_mul_i128_matches_native(a in -(1i128 << 62)..(1i128 << 62), b in -(1i128 << 62)..(1i128 << 62)) {
+        // Products below 2^124 also fit i128: compare against native.
+        let exact = a.checked_mul(b);
+        prop_assume!(exact.is_some());
+        let got = mul_i128(a, b);
+        prop_assert_eq!(got, I256::from_i128(exact.unwrap()));
+    }
+
+    #[test]
+    fn i256_rem_euclid_matches_i128(x in any::<i128>(), p in 2u64..1000) {
+        prop_assert_eq!(
+            I256::from_i128(x).rem_euclid_u64(p) as i128,
+            x.rem_euclid(p as i128)
+        );
+    }
+
+    #[test]
+    fn rmod_range_and_congruence(x in -(1i128 << 100)..(1i128 << 100), pidx in 0usize..6) {
+        let ps = [256u64, 255, 253, 251, 247, 241];
+        let p = ps[pidx];
+        let r = rmod_i256(I256::from_i128(x), &U256::from_u64(p));
+        let rv = r.to_f64() as i128;
+        prop_assert!(rv.abs() <= (p / 2) as i128);
+        prop_assert_eq!((x - rv).rem_euclid(p as i128), 0);
+    }
+
+    #[test]
+    fn crt_round_trip_within_range(x in -(1i128 << 40)..(1i128 << 40)) {
+        let basis = CrtBasis::new(&[256, 255, 253, 251, 247, 241, 239]);
+        // P(7) ~ 2^55.7 >> 2^41: round trip must be exact.
+        let back = basis.reconstruct(&basis.residues(I256::from_i128(x)));
+        prop_assert_eq!(back.to_f64() as i128, x);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 1u64..100_000, p in 2u64..100_000) {
+        prop_assume!(gcd_u64(a, p) == 1);
+        let inv = modinv_u64(a % p, p);
+        prop_assume!(a % p != 0);
+        prop_assert_eq!((a as u128 * inv as u128) % p as u128, 1);
+    }
+
+    #[test]
+    fn from_f64_exact_round_trips(x in -(1i64 << 52)..(1i64 << 52)) {
+        let v = I256::from_f64_exact(x as f64);
+        prop_assert_eq!(v.to_f64(), x as f64);
+    }
+}

@@ -1,0 +1,123 @@
+//! bfloat16 implemented in software.
+//!
+//! Layout: 1 sign bit, 8 exponent bits (same range as f32), 8 mantissa bits
+//! (7 stored). Conversion from `f32` is round-to-nearest-even on the top 16
+//! bits, matching CUDA `__float2bfloat16_rn`.
+
+/// Software bfloat16 value (bit-pattern newtype).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BF16(pub u16);
+
+impl BF16 {
+    /// Positive infinity.
+    pub const INFINITY: BF16 = BF16(0x7f80);
+    /// Largest finite value.
+    pub const MAX: BF16 = BF16(0x7f7f);
+    /// Number of significand bits including the implicit bit.
+    pub const SIG_BITS: u32 = 8;
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let b = x.to_bits();
+        if (b & 0x7f80_0000) == 0x7f80_0000 && (b & 0x007f_ffff) != 0 {
+            // NaN: truncating could turn it into Inf, so force a quiet bit.
+            return BF16(((b >> 16) as u16) | 0x0040);
+        }
+        let lsb = (b >> 16) & 1;
+        // RNE; mantissa carry propagates into the exponent and, at the top of
+        // the range, correctly produces infinity.
+        let rounded = b.wrapping_add(0x7fff + lsb) >> 16;
+        BF16(rounded as u16)
+    }
+
+    /// Convert to `f32` (always exact: left-shift by 16).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7f80) == 0x7f80 && (self.0 & 0x007f) != 0
+    }
+
+    /// True if the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7f80
+    }
+}
+
+impl std::fmt::Display for BF16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(x: f32) -> f32 {
+        BF16::from_f32(x).to_f32()
+    }
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -256..=256 {
+            let x = i as f32;
+            assert_eq!(round_trip(x), x, "integer {i} must be exact in bf16");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(BF16::from_f32(1.0).0, 0x3f80);
+        assert_eq!(BF16::from_f32(-1.0).0, 0xbf80);
+        assert_eq!(BF16::from_f32(2.0).0, 0x4000);
+    }
+
+    #[test]
+    fn rne_tie_to_even() {
+        // 1 + 2^-8 ties between 1.0 (even) and 1 + 2^-7.
+        assert_eq!(round_trip(1.0 + 2.0_f32.powi(-8)), 1.0);
+        // 1 + 3*2^-8 ties up to 1 + 2^-6... nearest even mantissa.
+        assert_eq!(
+            round_trip(1.0 + 3.0 * 2.0_f32.powi(-8)),
+            1.0 + 2.0 * 2.0_f32.powi(-7)
+        );
+    }
+
+    #[test]
+    fn exponent_range_matches_f32() {
+        // f32::MAX has an all-ones mantissa: RNE carries it up to infinity.
+        assert_eq!(round_trip(f32::MAX), f32::INFINITY);
+        // A large value stays within 2^-8 relative error.
+        let x = 1e38f32;
+        assert!(((round_trip(x) - x) / x).abs() <= 2.0_f32.powi(-8));
+        // MIN_POSITIVE survives (bf16 has the same exponent range).
+        assert_eq!(round_trip(f32::MIN_POSITIVE), f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(BF16::from_f32(f32::NAN).is_nan());
+        let snan = f32::from_bits(0x7f80_0001);
+        assert!(BF16::from_f32(snan).is_nan());
+    }
+
+    #[test]
+    fn infinity_passthrough() {
+        assert!(BF16::from_f32(f32::INFINITY).is_infinite());
+        assert_eq!(BF16::from_f32(f32::NEG_INFINITY).0, 0xff80);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_all_finite_bf16() {
+        for bits in 0..=0xffffu16 {
+            let h = BF16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            assert_eq!(BF16::from_f32(h.to_f32()).0, bits, "bits {bits:#06x}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! IEEE-754 binary16 implemented in software.
+//!
+//! Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+//! Conversion from `f32` uses round-to-nearest-even including the
+//! subnormal range, matching the behaviour of CUDA `__float2half_rn`.
+
+/// Software IEEE binary16 value (bit-pattern newtype).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct F16(pub u16);
+
+const F16_EXP_MASK: u16 = 0x7c00;
+const F16_MAN_MASK: u16 = 0x03ff;
+const F16_SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7c00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7bff);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value (2^-24).
+    pub const MIN_POSITIVE_SUBNORMAL: F16 = F16(0x0001);
+    /// Number of significand bits including the implicit bit.
+    pub const SIG_BITS: u32 = 11;
+
+    /// Convert from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let b = x.to_bits();
+        let sign = ((b >> 16) & (F16_SIGN_MASK as u32)) as u16;
+        let exp = ((b >> 23) & 0xff) as i32;
+        let man = b & 0x007f_ffff;
+
+        if exp == 0xff {
+            // Inf or NaN. Preserve NaN-ness with a quiet bit.
+            return if man == 0 {
+                F16(sign | F16_EXP_MASK)
+            } else {
+                F16(sign | F16_EXP_MASK | 0x0200 | ((man >> 13) as u16 & F16_MAN_MASK))
+            };
+        }
+        if exp == 0 {
+            // f32 subnormals are < 2^-126, far below half of the smallest
+            // f16 subnormal (2^-25): they all round to (signed) zero.
+            return F16(sign);
+        }
+
+        let e16 = exp - 127 + 15;
+        let sig = 0x0080_0000u32 | man; // 24-bit significand
+
+        if e16 >= 31 {
+            // Overflows even before rounding.
+            return F16(sign | F16_EXP_MASK);
+        }
+        if e16 <= 0 {
+            // Subnormal (or zero) result: shift the significand so that ulp
+            // = 2^-24 and round. A round-up into 0x0400 lands exactly on the
+            // smallest normal bit pattern, which is the correct result.
+            if e16 < -10 {
+                return F16(sign);
+            }
+            let shift = (14 - e16) as u32; // in [14, 24]
+            let lsb = (sig >> shift) & 1;
+            let half = (1u32 << (shift - 1)) - 1;
+            let rounded = (sig + half + lsb) >> shift;
+            return F16(sign | rounded as u16);
+        }
+
+        // Normal range: drop 13 mantissa bits with RNE; carry may bump the
+        // exponent (possibly to infinity, which is the correct rounding).
+        let lsb = (sig >> 13) & 1;
+        let rounded = (sig + 0x0fff + lsb) >> 13; // in [0x400, 0x800]
+        let (rounded, e16) = if rounded == 0x800 {
+            (0x400u32, e16 + 1)
+        } else {
+            (rounded, e16)
+        };
+        if e16 >= 31 {
+            return F16(sign | F16_EXP_MASK);
+        }
+        F16(sign | ((e16 as u16) << 10) | (rounded as u16 & F16_MAN_MASK))
+    }
+
+    /// Convert to `f32` (always exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & F16_SIGN_MASK) as u32) << 16;
+        let exp = ((self.0 & F16_EXP_MASK) >> 10) as u32;
+        let man = (self.0 & F16_MAN_MASK) as u32;
+        let bits = match (exp, man) {
+            (0, 0) => sign,
+            (0, _) => {
+                // Subnormal: value = man * 2^-24 with man in [1, 0x3ff];
+                // normalise into f32's exponent range.
+                let t = 31 - man.leading_zeros(); // MSB position, 0..=9
+                let exp32 = 127 - 24 + t;
+                let man32 = (man << (23 - t)) & 0x007f_ffff;
+                sign | (exp32 << 23) | man32
+            }
+            (0x1f, 0) => sign | 0x7f80_0000,
+            (0x1f, _) => sign | 0x7fc0_0000 | (man << 13),
+            _ => sign | ((exp + 127 - 15) << 23) | (man << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & F16_EXP_MASK) == F16_EXP_MASK && (self.0 & F16_MAN_MASK) != 0
+    }
+
+    /// True if the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !F16_SIGN_MASK) == F16_EXP_MASK
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(x: f32) -> f32 {
+        F16::from_f32(x).to_f32()
+    }
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(round_trip(x), x, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(F16::from_f32(1.0).0, 0x3c00);
+        assert_eq!(F16::from_f32(-2.0).0, 0xc000);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7bff);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0_f32.powi(-14));
+        assert_eq!(F16::MIN_POSITIVE_SUBNORMAL.to_f32(), 2.0_f32.powi(-24));
+    }
+
+    #[test]
+    fn overflow_rounds_to_infinity() {
+        // 65520 is the midpoint between 65504 and 65536: ties-to-even → inf.
+        assert!(F16::from_f32(65520.0).is_infinite());
+        assert_eq!(F16::from_f32(65519.0).0, F16::MAX.0);
+        assert!(F16::from_f32(1e10).is_infinite());
+        assert!(F16::from_f32(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn underflow_and_subnormals() {
+        let min_sub = 2.0_f32.powi(-24);
+        assert_eq!(round_trip(min_sub), min_sub);
+        // Half the smallest subnormal ties to even (zero).
+        assert_eq!(round_trip(min_sub / 2.0), 0.0);
+        // Slightly above half rounds up to the smallest subnormal.
+        assert_eq!(round_trip(min_sub * 0.75), min_sub);
+        // 1.5 * min_sub ties: rounds to even mantissa (2 * min_sub).
+        assert_eq!(round_trip(min_sub * 1.5), 2.0 * min_sub);
+        // f32 subnormals collapse to zero.
+        assert_eq!(round_trip(f32::MIN_POSITIVE / 2.0), 0.0);
+    }
+
+    #[test]
+    fn rne_ties() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10 → even → 1.0
+        let tie = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(round_trip(tie), 1.0);
+        // 1 + 3*2^-11 ties up to 1 + 2*2^-10... even mantissa
+        let tie2 = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(round_trip(tie2), 1.0 + 2.0 * 2.0_f32.powi(-10));
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn signed_zero() {
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+    }
+
+    #[test]
+    fn exhaustive_round_trip_all_finite_f16() {
+        // Every finite f16 bit pattern must survive f16 -> f32 -> f16.
+        for bits in 0..=0xffffu16 {
+            let h = F16(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.0, bits, "bits {bits:#06x}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! # gemm-lowfp
+//!
+//! Software implementations of the low-precision floating-point formats the
+//! paper's baselines run on: IEEE binary16 ([`F16`]), bfloat16 ([`BF16`])
+//! and NVIDIA TF32 ([`Tf32`]). Each conversion from `f32` performs
+//! round-to-nearest-even exactly like the corresponding GPU conversion
+//! instruction, so the baseline emulations (cuMpSGEMM, BF16x9, TF32GEMM)
+//! reproduce the hardware's rounding behaviour bit for bit.
+
+#![warn(missing_docs)]
+
+pub mod bf16;
+pub mod f16;
+pub mod tf32;
+
+pub use bf16::BF16;
+pub use f16::F16;
+pub use tf32::Tf32;
+
+/// Common interface for the software low-precision formats, used by the
+/// generic tensor-core engine in `gemm-engine`.
+pub trait LowFloat: Copy + Send + Sync + 'static {
+    /// Significand width (including the implicit bit); determines which
+    /// products are exact in f32.
+    const SIG_BITS: u32;
+    /// Human-readable format name.
+    const NAME: &'static str;
+    /// Round an `f32` into this format (round-to-nearest-even).
+    fn from_f32(x: f32) -> Self;
+    /// Widen back to `f32` (always exact for these formats).
+    fn to_f32(self) -> f32;
+}
+
+impl LowFloat for F16 {
+    const SIG_BITS: u32 = 11;
+    const NAME: &'static str = "fp16";
+    fn from_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+}
+
+impl LowFloat for BF16 {
+    const SIG_BITS: u32 = 8;
+    const NAME: &'static str = "bf16";
+    fn from_f32(x: f32) -> Self {
+        BF16::from_f32(x)
+    }
+    fn to_f32(self) -> f32 {
+        BF16::to_f32(self)
+    }
+}
+
+impl LowFloat for Tf32 {
+    const SIG_BITS: u32 = 11;
+    const NAME: &'static str = "tf32";
+    fn from_f32(x: f32) -> Self {
+        Tf32::from_f32(x)
+    }
+    fn to_f32(self) -> f32 {
+        Tf32::to_f32(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ulp_bound<T: LowFloat>() -> f32 {
+        2.0_f32.powi(-(T::SIG_BITS as i32))
+    }
+
+    fn check_round_error<T: LowFloat>(values: &[f32]) {
+        for &x in values {
+            let r = T::from_f32(x).to_f32();
+            let err = ((r - x) / x).abs();
+            assert!(
+                err <= ulp_bound::<T>(),
+                "{}: x={x} r={r} err={err}",
+                T::NAME
+            );
+        }
+    }
+
+    #[test]
+    fn generic_rounding_error_bounds() {
+        let values = [1.0f32, 1.5, 0.1, 3.14159, 100.7, 0.001234];
+        check_round_error::<F16>(&values);
+        check_round_error::<BF16>(&values);
+        check_round_error::<Tf32>(&values);
+    }
+
+    #[test]
+    fn names_and_sig_bits() {
+        assert_eq!(F16::NAME, "fp16");
+        assert_eq!(BF16::NAME, "bf16");
+        assert_eq!(Tf32::NAME, "tf32");
+        assert_eq!(<F16 as LowFloat>::SIG_BITS, 11);
+        assert_eq!(<BF16 as LowFloat>::SIG_BITS, 8);
+        assert_eq!(<Tf32 as LowFloat>::SIG_BITS, 11);
+    }
+
+    #[test]
+    fn products_of_two_values_exact_in_f32() {
+        // The tensor-core model multiplies in f32; an (SIG_BITS x SIG_BITS)
+        // product has <= 22 significant bits, exact in f32's 24.
+        let a = F16::from_f32(1.0009766); // 1 + 2^-10
+        let b = F16::from_f32(1.9990234); // 2 - 2^-10
+        let p = a.to_f32() * b.to_f32();
+        let exact = a.to_f32() as f64 * b.to_f32() as f64;
+        assert_eq!(p as f64, exact);
+    }
+}

@@ -1,0 +1,119 @@
+//! NVIDIA TF32 ("TensorFloat-32") implemented in software.
+//!
+//! TF32 keeps the f32 exponent range (8 bits) but only 10 explicit mantissa
+//! bits (11-bit significand). We represent a TF32 value as an `f32` whose 13
+//! low mantissa bits are zero; conversion rounds to nearest-even exactly as
+//! the Tensor Core input-conversion stage does.
+
+/// Software TF32 value, stored as an `f32` with the low 13 mantissa bits
+/// clear.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Tf32(f32);
+
+impl Tf32 {
+    /// Number of significand bits including the implicit bit.
+    pub const SIG_BITS: u32 = 11;
+
+    /// Convert from `f32` with round-to-nearest-even at 10 mantissa bits.
+    pub fn from_f32(x: f32) -> Self {
+        let b = x.to_bits();
+        if (b & 0x7f80_0000) == 0x7f80_0000 {
+            // Inf / NaN pass through unchanged.
+            return Tf32(x);
+        }
+        let lsb = (b >> 13) & 1;
+        let rounded = b.wrapping_add(0x0fff + lsb) & !0x1fff;
+        Tf32(f32::from_bits(rounded))
+    }
+
+    /// The exactly-representable `f32` value.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        self.0
+    }
+
+    /// Raw bit pattern of the underlying f32.
+    pub fn to_bits(self) -> u32 {
+        self.0.to_bits()
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+}
+
+impl std::fmt::Display for Tf32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(x: f32) -> f32 {
+        Tf32::from_f32(x).to_f32()
+    }
+
+    #[test]
+    fn low_13_bits_are_cleared() {
+        for &x in &[1.0f32, std::f32::consts::PI, 1e-30, 1e30, -7.25] {
+            let t = Tf32::from_f32(x);
+            assert_eq!(t.to_bits() & 0x1fff, 0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn integers_up_to_11_bits_exact() {
+        for i in -2048..=2048 {
+            assert_eq!(round_trip(i as f32), i as f32);
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded_by_half_ulp() {
+        let mut x = 1.000001f32;
+        for _ in 0..1000 {
+            let t = round_trip(x);
+            assert!(((t - x) / x).abs() <= 2.0_f32.powi(-11), "x={x} t={t}");
+            x *= 1.618;
+            if !x.is_finite() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn tie_to_even() {
+        // 1 + 2^-11 is the midpoint between 1.0 and 1 + 2^-10.
+        assert_eq!(round_trip(1.0 + 2.0_f32.powi(-11)), 1.0);
+        assert_eq!(
+            round_trip(1.0 + 3.0 * 2.0_f32.powi(-11)),
+            1.0 + 2.0_f32.powi(-9)
+        );
+    }
+
+    #[test]
+    fn exponent_range_is_f32() {
+        assert_eq!(round_trip(f32::MIN_POSITIVE), f32::MIN_POSITIVE);
+        // Near f32::MAX the carry rounds to infinity, like the hardware.
+        assert_eq!(round_trip(f32::MAX), f32::INFINITY);
+    }
+
+    #[test]
+    fn nan_and_inf_pass_through() {
+        assert!(Tf32::from_f32(f32::NAN).is_nan());
+        assert_eq!(round_trip(f32::INFINITY), f32::INFINITY);
+    }
+
+    #[test]
+    fn idempotent() {
+        for &x in &[0.1f32, 123.456, -9.87e-20] {
+            let once = Tf32::from_f32(x);
+            let twice = Tf32::from_f32(once.to_f32());
+            assert_eq!(once, twice);
+        }
+    }
+}

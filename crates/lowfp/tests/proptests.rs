@@ -1,0 +1,94 @@
+//! Property-based tests for the software low-precision formats.
+
+use gemm_lowfp::{LowFloat, BF16, F16, Tf32};
+use proptest::prelude::*;
+
+/// Brute-force nearest-even oracle: among all f16 values, find the closest
+/// to `x` (ties by even mantissa). Slow but obviously correct.
+fn f16_nearest_oracle(x: f32) -> u16 {
+    let mut best_bits = 0u16;
+    let mut best_dist = f64::INFINITY;
+    for bits in 0..=0xffffu16 {
+        let h = F16(bits);
+        if h.is_nan() {
+            continue;
+        }
+        let v = h.to_f32() as f64;
+        let d = (v - x as f64).abs();
+        if d < best_dist
+            || (d == best_dist && (bits & 1) == 0 && (best_bits & 1) == 1)
+        {
+            best_dist = d;
+            best_bits = bits;
+        }
+    }
+    best_bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    // |x| < 65520: beyond that IEEE RNE overflows to infinity (covered by
+    // the `overflow_rounds_to_infinity` unit test); the brute-force oracle
+    // below only ranks finite candidates.
+    fn f16_conversion_is_correctly_rounded(x in -65519f32..65519f32) {
+        let got = F16::from_f32(x);
+        let want = f16_nearest_oracle(x);
+        // Compare by value (0x8000 vs 0x0000 are both zero).
+        prop_assert_eq!(got.to_f32(), F16(want).to_f32(), "x={}", x);
+    }
+
+    #[test]
+    fn f16_round_trip_error_half_ulp(x in -60000f32..60000f32) {
+        let r = F16::from_f32(x).to_f32();
+        // Max relative error for normal range = 2^-11; absolute floor at
+        // the subnormal ulp 2^-24.
+        let bound = (x.abs() * 2f32.powi(-11)).max(2f32.powi(-25));
+        prop_assert!((r - x).abs() <= bound, "x={x} r={r}");
+    }
+
+    #[test]
+    fn bf16_error_bound(x in -1e30f32..1e30f32) {
+        let r = BF16::from_f32(x).to_f32();
+        prop_assert!((r - x).abs() <= x.abs() * 2f32.powi(-8) + f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn tf32_error_bound(x in -1e30f32..1e30f32) {
+        let r = Tf32::from_f32(x).to_f32();
+        prop_assert!((r - x).abs() <= x.abs() * 2f32.powi(-11) + f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn conversions_are_monotone(a in -1e4f32..1e4, b in -1e4f32..1e4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+        prop_assert!(BF16::from_f32(lo).to_f32() <= BF16::from_f32(hi).to_f32());
+        prop_assert!(Tf32::from_f32(lo).to_f32() <= Tf32::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn conversions_preserve_sign_symmetry(x in 0f32..60000f32) {
+        prop_assert_eq!(F16::from_f32(-x).to_f32(), -F16::from_f32(x).to_f32());
+        prop_assert_eq!(BF16::from_f32(-x).to_f32(), -BF16::from_f32(x).to_f32());
+        prop_assert_eq!(Tf32::from_f32(-x).to_f32(), -Tf32::from_f32(x).to_f32());
+    }
+
+    #[test]
+    fn idempotent_quantisation(x in -1e30f32..1e30f32) {
+        let f = F16::from_f32(x);
+        prop_assert_eq!(F16::from_f32(f.to_f32()).to_f32(), f.to_f32());
+        let b = BF16::from_f32(x);
+        prop_assert_eq!(BF16::from_f32(b.to_f32()), b);
+        let t = Tf32::from_f32(x);
+        prop_assert_eq!(Tf32::from_f32(t.to_f32()), t);
+    }
+
+    #[test]
+    fn lowfloat_trait_consistency(x in -60000f32..60000f32) {
+        prop_assert_eq!(<F16 as LowFloat>::from_f32(x).to_f32(), F16::from_f32(x).to_f32());
+        prop_assert_eq!(<BF16 as LowFloat>::from_f32(x).to_f32(), BF16::from_f32(x).to_f32());
+        prop_assert_eq!(<Tf32 as LowFloat>::from_f32(x).to_f32(), Tf32::from_f32(x).to_f32());
+    }
+}

@@ -1,0 +1,201 @@
+//! Device specification sheets.
+//!
+//! Encodes the published dense peak throughputs of the three GPUs in the
+//! paper's evaluation plus the generation table behind Fig. 1. Power draws
+//! per operation class are calibrated so the model reproduces the paper's
+//! reported efficiency ratios (see `calibration` tests in `model.rs`):
+//! e.g. on RTX 5080 the paper measures INT8 GEMM at 5.3x SGEMM's speed but
+//! 13.3x its GFLOPS/W at n = 1024, implying INT8 draws ~40% of SGEMM's
+//! power there.
+
+/// Peak rates (TFLOPS / TOPS, dense) and power behaviour of one device.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// FP64 peak (TFLOPS) — tensor-core path where it exists.
+    pub fp64: f64,
+    /// FP32 peak (TFLOPS).
+    pub fp32: f64,
+    /// TF32 tensor-core peak (TFLOPS).
+    pub tf32: f64,
+    /// FP16 tensor-core peak (TFLOPS).
+    pub fp16: f64,
+    /// BF16 tensor-core peak (TFLOPS).
+    pub bf16: f64,
+    /// INT8 tensor-core peak (TOPS).
+    pub int8: f64,
+    /// Non-tensor (CUDA-core) FP64 rate (TFLOPS) — what elementwise f64
+    /// kernels run at; 1/64 of FP32 on consumer parts.
+    pub fp64_cuda: f64,
+    /// Memory bandwidth (GB/s).
+    pub mem_bw_gbs: f64,
+    /// Streaming multiprocessors (occupancy roll-off for small GEMMs).
+    pub sms: usize,
+    /// Kernel launch + epilogue overhead per kernel (seconds).
+    pub launch_overhead_s: f64,
+    /// Fraction of peak a well-tuned large floating-point GEMM achieves.
+    pub gemm_efficiency: f64,
+    /// Fraction of the INT8 marketing peak an IMMA GEMM achieves
+    /// (measurably lower than the FP paths across generations).
+    pub int8_efficiency: f64,
+    /// Average power (W) during FP64 GEMM.
+    pub power_fp64_w: f64,
+    /// Average power (W) during FP32 GEMM.
+    pub power_fp32_w: f64,
+    /// Average power (W) during low-precision tensor-core GEMM.
+    pub power_lowfp_w: f64,
+    /// Average power (W) during INT8 GEMM.
+    pub power_int8_w: f64,
+    /// Average power (W) during memory-bound elementwise kernels.
+    pub power_mem_w: f64,
+}
+
+/// NVIDIA A100 SXM4 (Ampere).
+pub fn a100() -> DeviceSpec {
+    DeviceSpec {
+        name: "A100",
+        fp64: 19.5, // FP64 tensor core
+        fp32: 19.5,
+        tf32: 156.0,
+        fp16: 312.0,
+        bf16: 312.0,
+        int8: 624.0,
+        fp64_cuda: 9.7,
+        mem_bw_gbs: 2039.0,
+        sms: 108,
+        launch_overhead_s: 2.5e-6,
+        gemm_efficiency: 0.87,
+        int8_efficiency: 0.55,
+        power_fp64_w: 390.0,
+        power_fp32_w: 380.0,
+        power_lowfp_w: 400.0,
+        power_int8_w: 390.0,
+        power_mem_w: 280.0,
+    }
+}
+
+/// NVIDIA GH200 Grace Hopper (H100-96GB GPU side).
+pub fn gh200() -> DeviceSpec {
+    DeviceSpec {
+        name: "GH200",
+        fp64: 67.0, // FP64 tensor core
+        fp32: 67.0,
+        tf32: 494.7,
+        fp16: 989.5,
+        bf16: 989.5,
+        int8: 1978.9,
+        fp64_cuda: 33.5,
+        mem_bw_gbs: 4022.0,
+        sms: 132,
+        launch_overhead_s: 2.0e-6,
+        gemm_efficiency: 0.87,
+        int8_efficiency: 0.66,
+        power_fp64_w: 620.0,
+        power_fp32_w: 610.0,
+        power_lowfp_w: 640.0,
+        power_int8_w: 620.0,
+        power_mem_w: 480.0,
+    }
+}
+
+/// NVIDIA GeForce RTX 5080 (Blackwell consumer: FP64 at 1/64 of FP32).
+pub fn rtx5080() -> DeviceSpec {
+    DeviceSpec {
+        name: "RTX 5080",
+        fp64: 0.88,
+        fp32: 56.3,
+        tf32: 112.7,
+        fp16: 225.3,
+        bf16: 225.3,
+        int8: 901.4, // dense INT8 = 2x dense FP16 on consumer Blackwell
+        fp64_cuda: 0.88,
+        mem_bw_gbs: 960.0,
+        sms: 84,
+        launch_overhead_s: 2.0e-6,
+        gemm_efficiency: 0.85,
+        int8_efficiency: 0.57,
+        power_fp64_w: 150.0,
+        power_fp32_w: 330.0,
+        power_lowfp_w: 300.0,
+        power_int8_w: 135.0,
+        power_mem_w: 170.0,
+    }
+}
+
+/// The three evaluation devices, in the paper's plotting order.
+pub fn evaluation_devices() -> [DeviceSpec; 3] {
+    [a100(), gh200(), rtx5080()]
+}
+
+/// One row of the Fig. 1 generation chart.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig1Entry {
+    /// GPU name.
+    pub name: &'static str,
+    /// Vendor.
+    pub vendor: &'static str,
+    /// Release year.
+    pub year: u32,
+    /// FP64 (TFLOPS), FP32 (TFLOPS), FP16 (TFLOPS), INT8 (TOPS) — dense.
+    pub fp64: f64,
+    /// FP32 peak.
+    pub fp32: f64,
+    /// FP16 (tensor/matrix core) peak.
+    pub fp16: f64,
+    /// INT8 peak.
+    pub int8: f64,
+}
+
+/// Fig. 1: TFLOPS and TOPS of AMD and NVIDIA GPUs for dense data.
+pub const FIG1_DATASHEET: &[Fig1Entry] = &[
+    Fig1Entry { name: "P100", vendor: "NVIDIA", year: 2016, fp64: 5.3, fp32: 10.6, fp16: 21.2, int8: 0.0 },
+    Fig1Entry { name: "V100", vendor: "NVIDIA", year: 2017, fp64: 7.8, fp32: 15.7, fp16: 125.0, int8: 62.0 },
+    Fig1Entry { name: "A100", vendor: "NVIDIA", year: 2020, fp64: 19.5, fp32: 19.5, fp16: 312.0, int8: 624.0 },
+    Fig1Entry { name: "H100 SXM", vendor: "NVIDIA", year: 2022, fp64: 67.0, fp32: 67.0, fp16: 989.5, int8: 1978.9 },
+    Fig1Entry { name: "B200", vendor: "NVIDIA", year: 2024, fp64: 37.0, fp32: 75.0, fp16: 2250.0, int8: 4500.0 },
+    Fig1Entry { name: "MI100", vendor: "AMD", year: 2020, fp64: 11.5, fp32: 23.1, fp16: 184.6, int8: 184.6 },
+    Fig1Entry { name: "MI250X", vendor: "AMD", year: 2021, fp64: 47.9, fp32: 47.9, fp16: 383.0, int8: 383.0 },
+    Fig1Entry { name: "MI300X", vendor: "AMD", year: 2023, fp64: 81.7, fp32: 163.4, fp16: 1307.4, int8: 2614.9 },
+    Fig1Entry { name: "RTX 4090", vendor: "NVIDIA", year: 2022, fp64: 1.3, fp32: 82.6, fp16: 330.3, int8: 660.6 },
+    Fig1Entry { name: "RTX 5080", vendor: "NVIDIA", year: 2025, fp64: 0.88, fp32: 56.3, fp16: 225.3, int8: 901.4 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_precision_outpaces_high_precision_growth() {
+        // The premise of Fig. 1: INT8 grew much faster than FP64 across
+        // NVIDIA datacenter generations.
+        let v100 = &FIG1_DATASHEET[1];
+        let h100 = &FIG1_DATASHEET[3];
+        let fp64_growth = h100.fp64 / v100.fp64;
+        let int8_growth = h100.int8 / v100.int8;
+        assert!(int8_growth > 3.0 * fp64_growth);
+    }
+
+    #[test]
+    fn int8_is_fastest_everywhere() {
+        for d in evaluation_devices() {
+            assert!(d.int8 >= d.fp16 && d.fp16 >= d.tf32 && d.tf32 >= d.fp32);
+            assert!(d.fp32 >= d.fp64);
+        }
+    }
+
+    #[test]
+    fn rtx5080_fp64_is_1_over_64_of_fp32() {
+        let d = rtx5080();
+        let ratio = d.fp32 / d.fp64;
+        assert!((ratio - 64.0).abs() < 1.0, "ratio={ratio}");
+    }
+
+    #[test]
+    fn rtx5080_int8_power_advantage() {
+        // The calibration target: P(int8)/P(fp32) ≈ 5.3/13.3 ≈ 0.4.
+        let d = rtx5080();
+        let ratio = d.power_int8_w / d.power_fp32_w;
+        assert!((0.3..0.5).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Series generators for the paper's performance figures (4, 5, 8, 9) and
+//! time-breakdown figures (6, 7). Each returns plain labelled data that
+//! the `gemm-bench` binaries print as CSV — one function per figure.
+
+use crate::device::DeviceSpec;
+use crate::model::PerfModel;
+use crate::ops::{
+    self, logical_flops, Op, Os2Input, Os2Mode, Phase,
+};
+
+/// The `m = n = k` sweep used by Figs. 4–9.
+pub const SWEEP_NS: [usize; 6] = [1024, 2048, 4096, 8192, 12288, 16384];
+
+/// One plotted line.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (matches the paper's method names).
+    pub label: String,
+    /// `(n, value)` points over the sweep.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// What a series reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Equivalent TFLOPS (Figs. 4–5).
+    Tflops,
+    /// GFLOPS per watt (Figs. 8–9).
+    GflopsPerWatt,
+}
+
+fn eval(model: &PerfModel, ops: &[Op], n: usize, metric: Metric) -> f64 {
+    let est = model.run(ops);
+    let flops = logical_flops(n, n, n);
+    match metric {
+        Metric::Tflops => est.tflops(flops),
+        Metric::GflopsPerWatt => est.gflops_per_watt(flops),
+    }
+}
+
+/// The DGEMM method set of Figs. 4 and 8.
+fn dgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
+    let mut out: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> = vec![
+        ("DGEMM".into(), Box::new(|n| ops::native_dgemm(n, n, n))),
+        (
+            "ozIMMU_EF-8".into(),
+            Box::new(|n| ops::ozimmu(n, n, n, 8)),
+        ),
+        (
+            "ozIMMU_EF-9".into(),
+            Box::new(|n| ops::ozimmu(n, n, n, 9)),
+        ),
+    ];
+    for nmod in [14usize, 15, 16, 17] {
+        out.push((
+            format!("OS II-fast-{nmod}"),
+            Box::new(move |n| ops::ozaki2(n, n, n, nmod, Os2Mode::Fast, Os2Input::F64)),
+        ));
+        out.push((
+            format!("OS II-accu-{nmod}"),
+            Box::new(move |n| ops::ozaki2(n, n, n, nmod, Os2Mode::Accurate, Os2Input::F64)),
+        ));
+    }
+    out
+}
+
+/// The SGEMM method set of Figs. 5 and 9.
+fn sgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
+    let mut out: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> = vec![
+        ("SGEMM".into(), Box::new(|n| ops::native_sgemm(n, n, n))),
+        ("TF32GEMM".into(), Box::new(|n| ops::tf32gemm(n, n, n))),
+        ("BF16x9".into(), Box::new(|n| ops::bf16x9(n, n, n))),
+        ("cuMpSGEMM".into(), Box::new(|n| ops::cumpsgemm(n, n, n))),
+    ];
+    for nmod in [7usize, 8, 9] {
+        out.push((
+            format!("OS II-fast-{nmod}"),
+            Box::new(move |n| ops::ozaki2(n, n, n, nmod, Os2Mode::Fast, Os2Input::F32)),
+        ));
+    }
+    for nmod in [6usize, 7, 8] {
+        out.push((
+            format!("OS II-accu-{nmod}"),
+            Box::new(move |n| ops::ozaki2(n, n, n, nmod, Os2Mode::Accurate, Os2Input::F32)),
+        ));
+    }
+    out
+}
+
+fn sweep(
+    device: DeviceSpec,
+    methods: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)>,
+    metric: Metric,
+) -> Vec<Series> {
+    let model = PerfModel::new(device);
+    methods
+        .into_iter()
+        .map(|(label, sched)| Series {
+            label,
+            points: SWEEP_NS
+                .iter()
+                .map(|&n| (n, eval(&model, &sched(n), n, metric)))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Fig. 4: DGEMM-emulation throughput sweep on one device.
+pub fn fig4_dgemm_throughput(device: DeviceSpec) -> Vec<Series> {
+    sweep(device, dgemm_methods(), Metric::Tflops)
+}
+
+/// Fig. 5: SGEMM-emulation throughput sweep on one device.
+pub fn fig5_sgemm_throughput(device: DeviceSpec) -> Vec<Series> {
+    sweep(device, sgemm_methods(), Metric::Tflops)
+}
+
+/// Fig. 8: DGEMM-emulation power efficiency sweep.
+pub fn fig8_dgemm_power(device: DeviceSpec) -> Vec<Series> {
+    sweep(device, dgemm_methods(), Metric::GflopsPerWatt)
+}
+
+/// Fig. 9: SGEMM-emulation power efficiency sweep.
+pub fn fig9_sgemm_power(device: DeviceSpec) -> Vec<Series> {
+    sweep(device, sgemm_methods(), Metric::GflopsPerWatt)
+}
+
+/// One stacked bar of Figs. 6–7: per-phase share of total time.
+#[derive(Clone, Debug)]
+pub struct BreakdownBar {
+    /// Problem size (`m = n = k`).
+    pub n: usize,
+    /// `(phase label, fraction of total time)` in Algorithm-1 order.
+    pub shares: Vec<(&'static str, f64)>,
+}
+
+/// Figs. 6–7: modelled time breakdown of the emulation by Algorithm-1 line.
+pub fn breakdown(
+    device: DeviceSpec,
+    nmod: usize,
+    mode: Os2Mode,
+    input: Os2Input,
+) -> Vec<BreakdownBar> {
+    let model = PerfModel::new(device);
+    let order = [
+        Phase::Scale,
+        Phase::Trunc,
+        Phase::Convert,
+        Phase::Int8Gemm,
+        Phase::ModReduce,
+        Phase::Fold,
+    ];
+    SWEEP_NS
+        .iter()
+        .map(|&n| {
+            let est = model.run(&ops::ozaki2(n, n, n, nmod, mode, input));
+            let shares = order
+                .iter()
+                .map(|ph| {
+                    (
+                        ph.label(),
+                        est.phase_time_s.get(ph).copied().unwrap_or(0.0) / est.time_s,
+                    )
+                })
+                .collect();
+            BreakdownBar { n, shares }
+        })
+        .collect()
+}
+
+/// The §1 headline numbers for one device at `n = 16384`.
+#[derive(Clone, Debug)]
+pub struct Headline {
+    /// Device name.
+    pub device: &'static str,
+    /// OS II-fast-14 DGEMM speedup over native DGEMM.
+    pub dgemm_speedup: f64,
+    /// DGEMM power-efficiency gain (fraction, e.g. 0.43 = +43%).
+    pub dgemm_power_gain: f64,
+    /// OS II-fast-8 SGEMM speedup over native SGEMM.
+    pub sgemm_speedup: f64,
+    /// SGEMM power-efficiency gain.
+    pub sgemm_power_gain: f64,
+    /// OS II-fast-15 speedup over ozIMMU_EF-8 (prior emulation).
+    pub vs_prior_emulation: f64,
+}
+
+/// Compute the headline summary for a device.
+pub fn headline(device: DeviceSpec) -> Headline {
+    let model = PerfModel::new(device);
+    let n = 16384;
+    let flops = logical_flops(n, n, n);
+    let run = |ops: &[Op]| model.run(ops);
+
+    let dg_native = run(&ops::native_dgemm(n, n, n));
+    let dg_emu = run(&ops::ozaki2(n, n, n, 14, Os2Mode::Fast, Os2Input::F64));
+    let sg_native = run(&ops::native_sgemm(n, n, n));
+    let sg_emu = run(&ops::ozaki2(n, n, n, 8, Os2Mode::Fast, Os2Input::F32));
+    let prior = run(&ops::ozimmu(n, n, n, 8));
+    let os2_15 = run(&ops::ozaki2(n, n, n, 15, Os2Mode::Fast, Os2Input::F64));
+
+    Headline {
+        device: model.device.name,
+        dgemm_speedup: dg_native.time_s / dg_emu.time_s,
+        dgemm_power_gain: dg_emu.gflops_per_watt(flops) / dg_native.gflops_per_watt(flops) - 1.0,
+        sgemm_speedup: sg_native.time_s / sg_emu.time_s,
+        sgemm_power_gain: sg_emu.gflops_per_watt(flops) / sg_native.gflops_per_watt(flops) - 1.0,
+        vs_prior_emulation: prior.time_s / os2_15.time_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{gh200, rtx5080};
+
+    #[test]
+    fn fig4_has_all_methods_and_points() {
+        let series = fig4_dgemm_throughput(gh200());
+        assert_eq!(series.len(), 3 + 8);
+        for s in &series {
+            assert_eq!(s.points.len(), SWEEP_NS.len());
+            assert!(s.points.iter().all(|&(_, v)| v.is_finite() && v > 0.0));
+        }
+    }
+
+    #[test]
+    fn fig5_method_labels_match_paper() {
+        let labels: Vec<String> = fig5_sgemm_throughput(gh200())
+            .into_iter()
+            .map(|s| s.label)
+            .collect();
+        for want in [
+            "SGEMM",
+            "TF32GEMM",
+            "BF16x9",
+            "cuMpSGEMM",
+            "OS II-fast-8",
+            "OS II-accu-7",
+        ] {
+            assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_one() {
+        for bar in breakdown(gh200(), 15, Os2Mode::Fast, Os2Input::F64) {
+            let total: f64 = bar.shares.iter().map(|(_, f)| f).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={}: {total}", bar.n);
+        }
+    }
+
+    #[test]
+    fn headline_matches_paper_shape_gh200() {
+        let h = headline(gh200());
+        assert!((1.25..1.7).contains(&h.dgemm_speedup), "{h:?}");
+        assert!((0.1..0.6).contains(&h.dgemm_power_gain), "{h:?}");
+        assert!((2.0..3.4).contains(&h.sgemm_speedup), "{h:?}");
+        assert!((0.8..2.0).contains(&h.sgemm_power_gain), "{h:?}");
+        assert!(h.vs_prior_emulation > 1.8, "{h:?}");
+    }
+
+    #[test]
+    fn rtx5080_fig6_vs_fig7_conversion_contrast() {
+        // §5.3: on RTX 5080 the DGEMM-emulation conversion (FP64, 1/64
+        // rate) eats a much larger share than the SGEMM-emulation
+        // conversion (FP32) — the visible difference between Figs. 6 and 7.
+        let dgemm_bars = breakdown(rtx5080(), 15, Os2Mode::Fast, Os2Input::F64);
+        let sgemm_bars = breakdown(rtx5080(), 8, Os2Mode::Fast, Os2Input::F32);
+        let convert_share = |bars: &[BreakdownBar], n: usize| {
+            bars.iter()
+                .find(|b| b.n == n)
+                .unwrap()
+                .shares
+                .iter()
+                .find(|(l, _)| l.contains("convert"))
+                .unwrap()
+                .1
+        };
+        let d = convert_share(&dgemm_bars, 8192);
+        let s = convert_share(&sgemm_bars, 8192);
+        assert!(
+            d > 3.0 * s,
+            "DGEMM convert share {d} should dwarf SGEMM's {s} on RTX 5080"
+        );
+    }
+
+    #[test]
+    fn rtx5080_throughput_series_monotone_in_n_for_emulation() {
+        // Larger problems amortise overheads: every OS II series should be
+        // non-decreasing over the sweep on every device.
+        for s in fig4_dgemm_throughput(rtx5080()) {
+            if !s.label.starts_with("OS II") {
+                continue;
+            }
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1 * 0.98,
+                    "{}: drop at n={}",
+                    s.label,
+                    w[1].0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Power-efficiency report: the §5.4 story for a chosen problem size,
+//! across all three modelled devices.
+//!
+//! Run: `cargo run --release --example power_report [-- --n=8192]`
+
+use gemm_perfmodel::{evaluation_devices, ops, PerfModel};
+
+fn main() {
+    let n: usize = std::env::args()
+        .find_map(|a| a.strip_prefix("--n=").and_then(|v| v.parse().ok()))
+        .unwrap_or(16384);
+    println!("== Modelled power efficiency at m = n = k = {n} ==\n");
+    let flops = ops::logical_flops(n, n, n);
+
+    for device in evaluation_devices() {
+        let model = PerfModel::new(device);
+        println!("-- {} --", device.name);
+        println!(
+            "{:<16} {:>10} {:>10} {:>14} {:>12}",
+            "method", "time ms", "energy J", "GFLOPS/W", "vs native"
+        );
+        let mut rows: Vec<(String, Vec<ops::Op>, bool)> = vec![
+            ("DGEMM".into(), ops::native_dgemm(n, n, n), true),
+            (
+                "OS II-fast-14".into(),
+                ops::ozaki2(n, n, n, 14, ops::Os2Mode::Fast, ops::Os2Input::F64),
+                true,
+            ),
+            ("ozIMMU_EF-8".into(), ops::ozimmu(n, n, n, 8), true),
+            ("SGEMM".into(), ops::native_sgemm(n, n, n), false),
+            (
+                "OS II-fast-8".into(),
+                ops::ozaki2(n, n, n, 8, ops::Os2Mode::Fast, ops::Os2Input::F32),
+                false,
+            ),
+            ("BF16x9".into(), ops::bf16x9(n, n, n), false),
+        ];
+        let dgemm_eff = model.run(&rows[0].1).gflops_per_watt(flops);
+        let sgemm_eff = model.run(&rows[3].1).gflops_per_watt(flops);
+        for (label, sched, is_dgemm) in rows.drain(..) {
+            let est = model.run(&sched);
+            let eff = est.gflops_per_watt(flops);
+            let baseline = if is_dgemm { dgemm_eff } else { sgemm_eff };
+            println!(
+                "{:<16} {:>10.2} {:>10.1} {:>14.1} {:>11.0}%",
+                label,
+                est.time_s * 1e3,
+                est.energy_j,
+                eff,
+                (eff / baseline - 1.0) * 100.0
+            );
+        }
+        println!();
+    }
+    println!("Expected (paper §1/§5.4 at n = 16384 on GH200): OS II-fast-14 ≈ +43%");
+    println!("over DGEMM; OS II-fast-8 ≈ +150% over SGEMM.");
+}

@@ -1,0 +1,59 @@
+//! The accuracy/throughput trade-off sweep: Ozaki Scheme II as an
+//! *intermediate precision* between TF32 and FP32 (paper §5.2/§6: "it can
+//! serve as an intermediate-precision approach between FP32 and TF32").
+//!
+//! Measures real accuracy on this machine and pairs it with the modelled
+//! GH200 throughput for each N, reproducing the paper's accuracy-vs-speed
+//! frontier.
+//!
+//! Run: `cargo run --release --example precision_sweep`
+
+use gemm_perfmodel::{gh200, ops, PerfModel};
+use gemmul8::prelude::*;
+
+fn main() {
+    let (m, n, k) = (256, 256, 1024);
+    println!("== SGEMM precision/throughput frontier (accuracy measured, TFLOPS modelled on GH200) ==\n");
+    let a = phi_matrix_f32(m, k, 0.5, 99, 0);
+    let b = phi_matrix_f32(k, n, 0.5, 99, 1);
+    let exact = dd_gemm(&a.map(|x| x as f64), &b.map(|x| x as f64));
+    let err = |c: &MatF32| max_rel_error_vs_dd(&c.map(|x| x as f64), &exact);
+
+    let model = PerfModel::new(gh200());
+    let big = 16384;
+    let flops = ops::logical_flops(big, big, big);
+    let tflops = |sched: Vec<gemm_perfmodel::Op>| model.run(&sched).tflops(flops);
+
+    println!(
+        "{:<16} {:>14} {:>18}",
+        "method", "max rel error", "modelled TFLOPS"
+    );
+    println!(
+        "{:<16} {:>14.3e} {:>18.1}",
+        "SGEMM",
+        err(&NativeSgemm.matmul_f32(&a, &b)),
+        tflops(ops::native_sgemm(big, big, big))
+    );
+    for nmod in 2..=10usize {
+        let method = Ozaki2::new(nmod, Mode::Fast);
+        let e = err(&method.sgemm(&a, &b));
+        let t = tflops(ops::ozaki2(
+            big,
+            big,
+            big,
+            nmod,
+            ops::Os2Mode::Fast,
+            ops::Os2Input::F32,
+        ));
+        println!("{:<16} {:>14.3e} {:>18.1}", MatMulF32::name(&method), e, t);
+    }
+    println!(
+        "{:<16} {:>14.3e} {:>18.1}",
+        "TF32GEMM",
+        err(&Tf32Gemm.matmul_f32(&a, &b)),
+        tflops(ops::tf32gemm(big, big, big))
+    );
+
+    println!("\nExpected: N in 4..7 gives TF32-level accuracy at better-than-SGEMM");
+    println!("throughput; N in 7..9 gives SGEMM-level accuracy at 2-3x SGEMM speed.");
+}

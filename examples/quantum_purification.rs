@@ -1,0 +1,49 @@
+//! Density-matrix purification on emulated GEMM — the quantum-chemistry
+//! use case of the paper's reference [2] (precision requirements can be
+//! relaxed for much of the computation).
+//!
+//! McWeeny iteration `P ← 3P² - 2P³` drives a matrix with spectrum in
+//! [0,1] to the idempotent density matrix. All flops are GEMMs; we run the
+//! same iteration with native DGEMM and with Ozaki Scheme II at several N
+//! and compare convergence and the electron count (trace).
+//!
+//! Run: `cargo run --release --example quantum_purification`
+
+use gemmul8::apps::purify::{known_spectrum_matrix, mcweeny, trace};
+use gemmul8::prelude::*;
+
+fn main() {
+    let n = 192;
+    println!("== McWeeny purification, n = {n} (true trace = {}) ==\n", n / 2);
+    // Half the spectrum at 0.9 (occupied), half at 0.1 (virtual): the
+    // purified matrix has trace n/2.
+    let p0 = known_spectrum_matrix(n, 0.1, 0.9, 777);
+
+    let methods: Vec<Box<dyn MatMulF64>> = vec![
+        Box::new(NativeDgemm),
+        Box::new(Ozaki2::new(8, Mode::Fast)),
+        Box::new(Ozaki2::new(12, Mode::Fast)),
+        Box::new(Ozaki2::new(15, Mode::Fast)),
+        Box::new(Ozaki2::new(15, Mode::Accurate)),
+    ];
+
+    println!(
+        "{:<16} {:>6} {:>14} {:>16}",
+        "GEMM", "iters", "final ||P²-P||", "trace error"
+    );
+    for method in &methods {
+        let r = mcweeny(&p0, method.as_ref(), 1e-9, 40);
+        let final_err = r.idempotency_history.last().copied().unwrap_or(f64::NAN);
+        println!(
+            "{:<16} {:>6} {:>14.3e} {:>16.3e}",
+            method.name(),
+            r.iterations,
+            final_err,
+            (trace(&r.p) - (n / 2) as f64).abs()
+        );
+    }
+
+    println!("\nExpected: every N >= 8 converges to the same density matrix — the");
+    println!("iteration is self-correcting, so even reduced-accuracy GEMM suffices");
+    println!("(the point of reference [2]); N = 15 matches native convergence exactly.");
+}

@@ -1,0 +1,6 @@
+//! Downstream applications built on the emulated GEMM — the workloads the
+//! paper's introduction motivates (HPL-style linear solves, quantum-
+//! chemistry-style density purification per paper reference \[2\]).
+
+pub mod lu;
+pub mod purify;

@@ -1,0 +1,76 @@
+//! Integration tests for the application layer: HPL-style LU and
+//! McWeeny purification driven by emulated GEMM.
+
+use gemmul8::apps::lu::{hpl_residual, lu_factor, lu_solve};
+use gemmul8::apps::purify::{known_spectrum_matrix, mcweeny, trace};
+use gemmul8::prelude::*;
+
+#[test]
+fn hpl_with_emulated_dgemm_passes_at_n14() {
+    // §5.1: "HPL can employ emulation with 14 or 15 moduli."
+    let (a, b) = gemm_dense::workload::hpl_like_system(160, 51);
+    for method in [
+        &Ozaki2::new(14, Mode::Fast) as &dyn MatMulF64,
+        &Ozaki2::new(15, Mode::Fast),
+        &Ozaki2::new(15, Mode::Accurate),
+    ] {
+        let f = lu_factor(&a, 40, method);
+        let x = lu_solve(&f, &b);
+        let res = hpl_residual(&a, &x, &b);
+        assert!(
+            res < 16.0,
+            "{}: HPL residual {res} exceeds the acceptance bound",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn hpl_with_too_few_moduli_fails_or_degrades() {
+    let (a, b) = gemm_dense::workload::hpl_like_system(160, 52);
+    let native_res = {
+        let f = lu_factor(&a, 40, &NativeDgemm);
+        hpl_residual(&a, &lu_solve(&f, &b), &b)
+    };
+    let low_res = {
+        let f = lu_factor(&a, 40, &Ozaki2::new(6, Mode::Fast));
+        hpl_residual(&a, &lu_solve(&f, &b), &b)
+    };
+    assert!(
+        low_res > 100.0 * native_res,
+        "N=6 residual {low_res} should be far above native {native_res}"
+    );
+}
+
+#[test]
+fn purification_with_emulated_gemm_matches_native() {
+    let n = 64;
+    let p0 = known_spectrum_matrix(n, 0.1, 0.9, 13);
+    let native = mcweeny(&p0, &NativeDgemm, 1e-9, 50);
+    let emulated = mcweeny(&p0, &Ozaki2::new(15, Mode::Fast), 1e-9, 50);
+    assert!(native.iterations < 50 && emulated.iterations < 50);
+    assert_eq!(
+        native.iterations, emulated.iterations,
+        "same convergence path expected at N=15"
+    );
+    assert!((trace(&emulated.p) - (n / 2) as f64).abs() < 1e-6);
+}
+
+#[test]
+fn purification_self_corrects_reduced_precision() {
+    // The point of reference [2]: iterative refinement-style algorithms
+    // tolerate reduced-precision GEMM. N=8 (roughly single precision)
+    // still converges to the right density matrix.
+    let n = 48;
+    let p0 = known_spectrum_matrix(n, 0.2, 0.8, 29);
+    let r = mcweeny(&p0, &Ozaki2::new(8, Mode::Fast), 1e-7, 60);
+    assert!(r.iterations < 60, "reduced precision still converges");
+    assert!((trace(&r.p) - (n / 2) as f64).abs() < 1e-4);
+}
+
+#[test]
+fn lu_rejects_singular() {
+    let a = MatF64::zeros(8, 8);
+    let result = std::panic::catch_unwind(|| lu_factor(&a, 4, &NativeDgemm));
+    assert!(result.is_err(), "singular matrix must be rejected");
+}
