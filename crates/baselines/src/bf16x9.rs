@@ -36,9 +36,8 @@ impl Bf16x9 {
         // Accumulate the nine partial products, least significant first so
         // the f32 additions lose as little as possible.
         let mut acc = Matrix::<f32>::zeros(m, n);
-        let mut order: Vec<(usize, usize)> = (0..3)
-            .flat_map(|i| (0..3).map(move |j| (i, j)))
-            .collect();
+        let mut order: Vec<(usize, usize)> =
+            (0..3).flat_map(|i| (0..3).map(move |j| (i, j))).collect();
         order.sort_by_key(|&(i, j)| std::cmp::Reverse(i + j));
         for (i, j) in order {
             let c = lowfp_gemm(&a_split[i], &b_split[j]);

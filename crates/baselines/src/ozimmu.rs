@@ -48,7 +48,10 @@ impl OzImmu {
         let (m, k) = a.shape();
         let (kb, n) = b.shape();
         assert_eq!(k, kb, "inner dimensions must agree");
-        assert!(k <= K_MAX, "k > 2^17 requires blocking (not exercised by the paper's sweeps)");
+        assert!(
+            k <= K_MAX,
+            "k > 2^17 requires blocking (not exercised by the paper's sweeps)"
+        );
         assert!(
             a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
             "inputs must be finite"
@@ -260,10 +263,7 @@ mod tests {
         let a = gemm_dense::workload::row_graded_matrix_f64(8, 32, 0.0, 9, 0);
         let a_wide = phi_matrix_f64(8, 32, 4.0, 9, 0);
         let b = uniform_matrix_f64(32, 8, 9, 1);
-        let narrow_err = max_relative_error(
-            &OzImmu::new(6).dgemm(&a, &b),
-            &gemm_f64_naive(&a, &b),
-        );
+        let narrow_err = max_relative_error(&OzImmu::new(6).dgemm(&a, &b), &gemm_f64_naive(&a, &b));
         let wide_err = max_relative_error(
             &OzImmu::new(6).dgemm(&a_wide, &b),
             &gemm_f64_naive(&a_wide, &b),

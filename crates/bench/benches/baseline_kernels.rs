@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gemm_dense::Philox4x32;
-use gemm_lowfp::{BF16, F16, Tf32};
+use gemm_lowfp::{Tf32, BF16, F16};
 use ozaki2::constants;
 use ozaki2::convert::rmod_to_i8;
 use ozaki2::modred::mod_i32_to_u8;

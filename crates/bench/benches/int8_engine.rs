@@ -58,5 +58,10 @@ fn bench_rectangular(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_int8_gemm, bench_int8_gemm_packed, bench_rectangular);
+criterion_group!(
+    benches,
+    bench_int8_gemm,
+    bench_int8_gemm_packed,
+    bench_rectangular
+);
 criterion_main!(benches);

@@ -7,9 +7,9 @@
 //! dependence enters through `log2 k` in the truncation budget).
 
 use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64};
+use gemm_dense::Matrix;
 use gemm_dense::{MatMulF32, MatMulF64};
 use gemm_exact::{dd_gemm, max_rel_error_vs_dd, Dd};
-use gemm_dense::Matrix;
 
 /// One measured point.
 #[derive(Clone, Debug)]

@@ -15,10 +15,17 @@ fn main() {
     let b = phi_matrix_f64(k, n, 0.5, 4242, 1);
     let oracle = dd_gemm(&a, &b);
 
-    let header: Vec<String> = ["N", "f64 fold err", "DD fold err", "extra bits", "f64 ms", "DD ms"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "N",
+        "f64 fold err",
+        "DD fold err",
+        "extra bits",
+        "f64 ms",
+        "DD ms",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for nmod in [12usize, 15, 18, 20] {
         let t0 = Instant::now();

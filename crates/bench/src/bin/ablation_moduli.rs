@@ -15,8 +15,7 @@ use gemm_exact::CrtBasis;
 /// A pairwise-coprime pool that wastes its tail on small values (the
 /// literal tail printed in the paper's §4.1 pool notation).
 const SMALL_TAIL_POOL: [u64; 20] = [
-    256, 255, 253, 251, 247, 241, 239, 233, 229, 227, 223, 217, 211, 199, 197, 193, 191, 41,
-    37, 29,
+    256, 255, 253, 251, 247, 241, 239, 233, 229, 227, 223, 217, 211, 199, 197, 193, 191, 41, 37, 29,
 ];
 
 fn main() {
@@ -39,7 +38,10 @@ fn main() {
     let mut rows = Vec::new();
     for n in [14usize, 16, 18, 20] {
         let lp_g: f64 = greedy[..n].iter().map(|&p| (p as f64).log2()).sum();
-        let lp_s: f64 = SMALL_TAIL_POOL[..n].iter().map(|&p| (p as f64).log2()).sum();
+        let lp_s: f64 = SMALL_TAIL_POOL[..n]
+            .iter()
+            .map(|&p| (p as f64).log2())
+            .sum();
         let bud_g = 0.5 * (lp_g - 1.5);
         let bud_s = 0.5 * (lp_s - 1.5);
         rows.push(vec![
@@ -54,7 +56,8 @@ fn main() {
     println!("# Ablation — moduli pool: greedy maximal vs small-tail pool");
     print_table(&mut std::io::stdout().lock(), &header, &rows);
     println!();
-    println!("Reading: at N = 20 the small-tail pool gives up ~{:.1} bits of per-side",
+    println!(
+        "Reading: at N = 20 the small-tail pool gives up ~{:.1} bits of per-side",
         0.5 * (greedy[17..20]
             .iter()
             .map(|&p| (p as f64).log2())
@@ -62,7 +65,8 @@ fn main() {
             - SMALL_TAIL_POOL[17..20]
                 .iter()
                 .map(|&p| (p as f64).log2())
-                .sum::<f64>()));
+                .sum::<f64>())
+    );
     println!("budget — every INT8 GEMM costs the same, so the greedy pool is strictly");
     println!("better. All accuracy claims hold under either pool at the paper's N.");
 }

@@ -18,10 +18,17 @@ use ozaki2::convert::{rmod_to_i8, steps_for};
 fn main() {
     let mut rng = Philox4x32::new(31337);
     let samples = 40_000;
-    let header: Vec<String> = ["N", "|x| up to", "steps=1 bad", "steps=2 bad", "steps=3 bad", "paper steps"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "N",
+        "|x| up to",
+        "steps=1 bad",
+        "steps=2 bad",
+        "steps=3 bad",
+        "paper steps",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for n in [8usize, 12, 13, 16, 19, 20] {
         let c = constants(n);

@@ -1,0 +1,118 @@
+//! INT8 engine benchmark harness: measures the blocked kernel against the
+//! seed scalar kernel and records GEMM GOPS plus the per-phase shares of a
+//! representative emulated DGEMM to `BENCH_int8.json`, giving future PRs a
+//! perf trajectory.
+//!
+//! Usage: `cargo run --release -p gemm_bench --bin bench_int8 --
+//! [--n=1024] [--reps=3] [--out=BENCH_int8.json]`
+
+use gemm_bench::report::Args;
+use gemm_dense::workload::phi_matrix_f64;
+use gemm_engine::{
+    int8_gemm_blocked, int8_gemm_blocked_seq, int8_gemm_rm_cm_scalar, microkernel_name,
+    Int8Workspace,
+};
+use ozaki2::{Mode, Ozaki2, Workspace};
+use std::io::Write;
+use std::time::Instant;
+
+fn pattern_vec(len: usize, salt: usize) -> Vec<i8> {
+    (0..len)
+        .map(|i| (((i * 31 + salt) % 255) as i16 - 127) as i8)
+        .collect()
+}
+
+/// Best-of-`reps` wall time for `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get("n").unwrap_or(1024);
+    let reps: usize = args.get("reps").unwrap_or(3);
+    let out_path: String = args.get("out").unwrap_or_else(|| "BENCH_int8.json".into());
+    let gops = |secs: f64| 2.0 * (n * n * n) as f64 / secs / 1e9;
+
+    let a = pattern_vec(n * n, 1);
+    let b = pattern_vec(n * n, 2);
+    let mut c_blocked = vec![0i32; n * n];
+    let mut c_scalar = vec![0i32; n * n];
+    let mut ws = Int8Workspace::new();
+
+    let t_seq = time_best(reps, || {
+        int8_gemm_blocked_seq(n, n, n, &a, &b, &mut c_blocked, &mut ws)
+    });
+    let t_par = time_best(reps, || {
+        int8_gemm_blocked(n, n, n, &a, &b, &mut c_blocked, &mut ws)
+    });
+    let t_scalar = time_best(reps, || {
+        int8_gemm_rm_cm_scalar(n, n, n, &a, &b, &mut c_scalar)
+    });
+    assert_eq!(c_blocked, c_scalar, "kernels must agree bit-for-bit");
+    let speedup = t_scalar / t_seq;
+
+    // Per-phase shares of a representative emulated DGEMM (N = 15, the
+    // paper's DGEMM-accuracy setting), reusing a pipeline workspace so the
+    // shares reflect the steady state.
+    let pn = n.min(512); // keep the pipeline problem moderate
+    let pa = phi_matrix_f64(pn, pn, 0.5, 42, 0);
+    let pb = phi_matrix_f64(pn, pn, 0.5, 42, 1);
+    let emu = Ozaki2::new(15, Mode::Fast);
+    let mut pws = Workspace::new();
+    let _ = emu.try_dgemm_with_report_ws(&pa, &pb, &mut pws).unwrap();
+    let (_, report) = emu.try_dgemm_with_report_ws(&pa, &pb, &mut pws).unwrap();
+    let total = report.phases.total().as_secs_f64().max(1e-12);
+    let phase_rows = report.phases.as_rows();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"shape\": [{n}, {n}, {n}],\n"));
+    json.push_str(&format!("  \"microkernel\": \"{}\",\n", microkernel_name()));
+    json.push_str(&format!(
+        "  \"scalar_seed_gops\": {:.3},\n  \"blocked_1t_gops\": {:.3},\n  \"blocked_gops\": {:.3},\n",
+        gops(t_scalar),
+        gops(t_seq),
+        gops(t_par)
+    ));
+    json.push_str(&format!("  \"speedup_1t_vs_scalar\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"phase_seconds\": {{\n",
+        report.n_moduli,
+        report.mode.label(),
+        report.int8_gemm_calls
+    ));
+    for (i, (label, secs)) in phase_rows.iter().enumerate() {
+        let comma = if i + 1 < phase_rows.len() { "," } else { "" };
+        json.push_str(&format!("      \"{label}\": {secs:.6}{comma}\n"));
+    }
+    json.push_str("    },\n    \"phase_shares\": {\n");
+    for (i, (label, secs)) in phase_rows.iter().enumerate() {
+        let comma = if i + 1 < phase_rows.len() { "," } else { "" };
+        json.push_str(&format!("      \"{label}\": {:.4}{comma}\n", secs / total));
+    }
+    json.push_str("    }\n  }\n}\n");
+
+    std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    println!(
+        "int8 engine @ {n}x{n}x{n} (microkernel: {})",
+        microkernel_name()
+    );
+    println!(
+        "  scalar seed : {:8.2} GOPS\n  blocked 1T  : {:8.2} GOPS\n  blocked     : {:8.2} GOPS\n  1T speedup  : {speedup:8.2}x",
+        gops(t_scalar),
+        gops(t_seq),
+        gops(t_par)
+    );
+    println!("wrote {out_path}");
+}

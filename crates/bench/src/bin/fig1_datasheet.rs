@@ -10,10 +10,19 @@ use gemm_perfmodel::FIG1_DATASHEET;
 
 fn main() {
     let args = gemm_bench::report::Args::from_env();
-    let header: Vec<String> = ["GPU", "vendor", "year", "FP64 TFLOPS", "FP32 TFLOPS", "FP16 TFLOPS", "INT8 TOPS", "INT8/FP64"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "GPU",
+        "vendor",
+        "year",
+        "FP64 TFLOPS",
+        "FP32 TFLOPS",
+        "FP16 TFLOPS",
+        "INT8 TOPS",
+        "INT8/FP64",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = FIG1_DATASHEET
         .iter()
         .map(|e| {

@@ -15,9 +15,16 @@ fn main() {
     let n: usize = args.get("n").unwrap_or(15);
     let c = constants(n);
     println!("# Figure 2 — s_i1 / s_i2 layout for N = {n}");
-    println!("P = 2^{:.2} (exactly {} bits)", c.p_big.to_f64().log2(), c.p_big.bits());
+    println!(
+        "P = 2^{:.2} (exactly {} bits)",
+        c.p_big.to_f64().log2(),
+        c.p_big.bits()
+    );
     println!("P1 = {:e}, P2 = {:e}, P_inv = {:e}", c.p1, c.p2, c.p_inv);
-    println!("fast budget = 2^{:.2} per side, accurate budget = 2^{:.2}", c.p_fast, c.p_accu);
+    println!(
+        "fast budget = 2^{:.2} per side, accurate budget = 2^{:.2}",
+        c.p_fast, c.p_accu
+    );
     println!();
     let header: Vec<String> = ["i", "p_i", "bits(w_i)", "beta_i", "s_i1", "s_i2", "ulp exp"]
         .iter()
@@ -26,9 +33,7 @@ fn main() {
     let rows: Vec<Vec<String>> = (0..n)
         .map(|i| {
             let w_bits = c.weights[i].bits();
-            let ulp = I256::from_f64_exact(c.s1[i])
-                .abs_u256()
-                .trailing_zeros();
+            let ulp = I256::from_f64_exact(c.s1[i]).abs_u256().trailing_zeros();
             vec![
                 (i + 1).to_string(),
                 c.p[i].to_string(),

@@ -47,10 +47,7 @@ fn main() {
     for &n in &n_range {
         methods_f64.push(Box::new(Ozaki2::new(n, Mode::Accurate)));
     }
-    let mut rows: Vec<Vec<String>> = methods_f64
-        .iter()
-        .map(|m| vec![m.name()])
-        .collect();
+    let mut rows: Vec<Vec<String>> = methods_f64.iter().map(|m| vec![m.name()]).collect();
     for &phi in &dgemm_phis {
         for &k in &[k_small, k_big] {
             eprintln!("[dgemm] phi={phi} k={k}: generating workload + oracle…");
@@ -91,10 +88,7 @@ fn main() {
     for &n in &n_range_s {
         methods_f32.push(Box::new(Ozaki2::new(n, Mode::Accurate)));
     }
-    let mut rows_s: Vec<Vec<String>> = methods_f32
-        .iter()
-        .map(|m| vec![m.name()])
-        .collect();
+    let mut rows_s: Vec<Vec<String>> = methods_f32.iter().map(|m| vec![m.name()]).collect();
     for &phi in &sgemm_phis {
         for &k in &[k_small, k_big] {
             eprintln!("[sgemm] phi={phi} k={k}: generating workload + oracle…");

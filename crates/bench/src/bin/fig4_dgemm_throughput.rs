@@ -10,7 +10,10 @@ fn main() {
     let args = Args::from_env();
     let mut out = std::io::stdout().lock();
     for device in evaluation_devices() {
-        println!("# Figure 4 — DGEMM emulation throughput (TFLOPS) on {}", device.name);
+        println!(
+            "# Figure 4 — DGEMM emulation throughput (TFLOPS) on {}",
+            device.name
+        );
         let series = fig4_dgemm_throughput(device);
         let mut header = vec!["method".to_string()];
         header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));

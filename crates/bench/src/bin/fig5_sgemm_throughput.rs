@@ -10,7 +10,10 @@ fn main() {
     let args = Args::from_env();
     let mut out = std::io::stdout().lock();
     for device in evaluation_devices() {
-        println!("# Figure 5 — SGEMM emulation throughput (TFLOPS) on {}", device.name);
+        println!(
+            "# Figure 5 — SGEMM emulation throughput (TFLOPS) on {}",
+            device.name
+        );
         let series = fig5_sgemm_throughput(device);
         let mut header = vec!["method".to_string()];
         header.extend(SWEEP_NS.iter().map(|n| format!("n={n}")));

@@ -50,7 +50,11 @@ fn main() {
             let total = rep.phases.total().as_secs_f64();
             println!("mode = {:?}, total = {:.3} ms", mode, total * 1e3);
             for (label, secs) in rep.phases.as_rows() {
-                println!("  {label:<22} {:>7.3} ms  ({:>4.1}%)", secs * 1e3, 100.0 * secs / total);
+                println!(
+                    "  {label:<22} {:>7.3} ms  ({:>4.1}%)",
+                    secs * 1e3,
+                    100.0 * secs / total
+                );
             }
         }
     }

@@ -61,36 +61,34 @@ pub fn fold_planes(
     };
     let (p1, p2, p_inv) = (consts.p1, consts.p2, consts.p_inv);
 
-    out.par_chunks_mut(m)
-        .enumerate()
-        .for_each(|(j, out_col)| {
-            let col_off = j * m;
-            let neg_eb = -exps_b[j];
-            for (i, o) in out_col.iter_mut().enumerate() {
-                let idx = col_off + i;
-                let mut c1 = 0.0f64;
-                let mut c2 = 0.0f64;
-                match s2 {
-                    Some(s2v) => {
-                        for s in 0..nmod {
-                            let us = u[s * plane + idx] as f64;
-                            c1 += s1[s] * us; // exact by construction
-                            c2 += s2v[s] * us;
-                        }
-                    }
-                    None => {
-                        for s in 0..nmod {
-                            let us = u[s * plane + idx] as f64;
-                            c1 += s1[s] * us;
-                        }
+    out.par_chunks_mut(m).enumerate().for_each(|(j, out_col)| {
+        let col_off = j * m;
+        let neg_eb = -exps_b[j];
+        for (i, o) in out_col.iter_mut().enumerate() {
+            let idx = col_off + i;
+            let mut c1 = 0.0f64;
+            let mut c2 = 0.0f64;
+            match s2 {
+                Some(s2v) => {
+                    for s in 0..nmod {
+                        let us = u[s * plane + idx] as f64;
+                        c1 += s1[s] * us; // exact by construction
+                        c2 += s2v[s] * us;
                     }
                 }
-                let q = (p_inv * c1).round();
-                let t = q.mul_add(-p1, c1) + c2;
-                let cpp = q.mul_add(-p2, t);
-                *o = scale_by_pow2(cpp, neg_eb - exps_a[i]);
+                None => {
+                    for s in 0..nmod {
+                        let us = u[s * plane + idx] as f64;
+                        c1 += s1[s] * us;
+                    }
+                }
             }
-        });
+            let q = (p_inv * c1).round();
+            let t = q.mul_add(-p1, c1) + c2;
+            let cpp = q.mul_add(-p2, t);
+            *o = scale_by_pow2(cpp, neg_eb - exps_a[i]);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -221,7 +219,16 @@ mod tests {
         let c = constants(5);
         let u = vec![0u8; 5 * 6];
         let mut out = [0.0f64; 6];
-        fold_planes(&u, 2, 3, c, FoldPrecision::Double, &[0, 0], &[0, 0, 0], &mut out);
+        fold_planes(
+            &u,
+            2,
+            3,
+            c,
+            FoldPrecision::Double,
+            &[0, 0],
+            &[0, 0, 0],
+            &mut out,
+        );
         assert!(out.iter().all(|&x| x == 0.0));
     }
 
@@ -229,7 +236,10 @@ mod tests {
     fn negative_values_reconstruct() {
         // Residues of x = -7 must fold back to -7.
         let c = constants(6);
-        let us: Vec<u8> = c.p.iter().map(|&p| ((-7i64).rem_euclid(p as i64)) as u8).collect();
+        let us: Vec<u8> =
+            c.p.iter()
+                .map(|&p| ((-7i64).rem_euclid(p as i64)) as u8)
+                .collect();
         let got = fold_single_element(c, &us, FoldPrecision::Double);
         assert_eq!(got, -7.0);
     }

@@ -154,10 +154,7 @@ impl Constants {
 pub fn constants(n: usize) -> &'static Constants {
     static TABLES: OnceLock<Vec<Constants>> = OnceLock::new();
     let tables = TABLES.get_or_init(|| (2..=N_MAX).map(Constants::build).collect());
-    assert!(
-        (2..=N_MAX).contains(&n),
-        "N must be in 2..=20, got {n}"
-    );
+    assert!((2..=N_MAX).contains(&n), "N must be in 2..=20, got {n}");
     &tables[n - 2]
 }
 
@@ -226,11 +223,10 @@ mod tests {
         // Σ 255·s_i1 must fit in 53 bits, so Σ s_i1·U_i never rounds.
         for n in 2..=N_MAX {
             let c = constants(n);
-            let ints: Vec<U256> = c
-                .s1
-                .iter()
-                .map(|&s| I256::from_f64_exact(s).abs_u256())
-                .collect();
+            let ints: Vec<U256> =
+                c.s1.iter()
+                    .map(|&s| I256::from_f64_exact(s).abs_u256())
+                    .collect();
             let ruler = ints.iter().map(|w| w.trailing_zeros()).min().unwrap();
             let mut total = U256::ZERO;
             for w in &ints {

@@ -29,7 +29,11 @@ pub const N2_F32: usize = 11;
 /// Number of reduction steps for a given N and input width.
 #[inline]
 pub fn steps_for(n: usize, b64: bool) -> u8 {
-    let (n1, n2) = if b64 { (N1_F64, N2_F64) } else { (N1_F32, N2_F32) };
+    let (n1, n2) = if b64 {
+        (N1_F64, N2_F64)
+    } else {
+        (N1_F32, N2_F32)
+    };
     1 + (n >= n1) as u8 + (n >= n2) as u8
 }
 
@@ -93,7 +97,7 @@ pub fn rmod_reference(x: f64, p: u64) -> i8 {
     let xi = gemm_exact::I256::from_f64_exact(x);
     let r = xi.rem_euclid_u64(p); // in [0, p)
     let half = p / 2;
-    let signed = if p % 2 == 0 {
+    let signed = if p.is_multiple_of(2) {
         // Symmetric with the +p/2 boundary kept positive then wrapped:
         // round-half-away on x/p maps |rem| = p/2 to the sign of x.
         if r > half || (r == half && x < 0.0) {

@@ -35,8 +35,8 @@ pub mod blas;
 pub mod consts;
 pub mod convert;
 pub mod mixed;
-pub mod moduli;
 pub mod modred;
+pub mod moduli;
 pub mod nselect;
 pub mod pipeline;
 pub mod plan;
@@ -48,6 +48,6 @@ pub use mixed::{dgemm_dd, gemm_f32xf64, gemm_f64xf32};
 pub use moduli::{moduli, MODULI, N_MAX, N_MAX_SGEMM};
 pub use nselect::{auto_emulator, choose_n, n_for_dgemm_level, n_for_sgemm_level, predicted_error};
 pub use pipeline::{
-    EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, K_BLOCK_MAX,
+    EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, K_BLOCK_MAX,
 };
 pub use plan::GemmPlan;

@@ -13,19 +13,13 @@ use rayon::prelude::*;
 /// `x mod p ∈ [0, p)` for any `i32 x`, via high-multiply estimate plus two
 /// conditional corrections (`q` can be off by at most one in each
 /// direction across the full i32 range — see the exhaustive boundary test).
+///
+/// The actual arithmetic lives in [`gemm_engine::barrett_mod_u8`] so the
+/// engine's fused GEMM epilogues and this standalone kernel cannot drift
+/// apart.
 #[inline]
 pub fn mod_i32_to_u8(x: i32, p: i32, pinv: u32) -> u8 {
-    // __mulhi(x, pinv): high 32 bits of the 64-bit product.
-    let q = ((x as i64 * pinv as i64) >> 32) as i32;
-    let mut y = x.wrapping_sub(q.wrapping_mul(p));
-    if y >= p {
-        y -= p;
-    }
-    if y < 0 {
-        y += p;
-    }
-    debug_assert!((0..p).contains(&y), "x={x} p={p} y={y}");
-    y as u8
+    gemm_engine::barrett_mod_u8(x, p, pinv)
 }
 
 /// Reduce one INT32 product plane into a UINT8 residue plane.

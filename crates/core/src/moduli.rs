@@ -18,8 +18,8 @@ pub const N_MAX_SGEMM: usize = 18;
 /// 2^8 | 3·5·17 | 11·23 | 251 | 13·19 | 241 | 239 | 233 | 229 | 227 |
 /// 223 | 7·31 | 211 | 199 | 197 | 193 | 191 | 181 | 179 | 173.
 pub const MODULI: [u64; N_MAX] = [
-    256, 255, 253, 251, 247, 241, 239, 233, 229, 227, 223, 217, 211, 199, 197, 193, 191, 181,
-    179, 173,
+    256, 255, 253, 251, 247, 241, 239, 233, 229, 227, 223, 217, 211, 199, 197, 193, 191, 181, 179,
+    173,
 ];
 
 /// The first `n` moduli.
@@ -41,15 +41,9 @@ mod tests {
 
     #[test]
     fn pairwise_coprime() {
-        for i in 0..N_MAX {
-            for j in i + 1..N_MAX {
-                assert_eq!(
-                    gcd_u64(MODULI[i], MODULI[j]),
-                    1,
-                    "{} and {} share a factor",
-                    MODULI[i],
-                    MODULI[j]
-                );
+        for (i, &pi) in MODULI.iter().enumerate() {
+            for &pj in &MODULI[i + 1..] {
+                assert_eq!(gcd_u64(pi, pj), 1, "{pi} and {pj} share a factor");
             }
         }
     }
@@ -69,7 +63,7 @@ mod tests {
         for &p in &MODULI {
             let half = (p / 2) as i64;
             assert!(half <= 128);
-            assert!(-(half as i64) >= -128);
+            assert!(-half >= -128);
         }
     }
 
@@ -79,14 +73,8 @@ mod tests {
         // k = 1024), N = 15 on par. Our prefix products bracket those sizes.
         let bits14 = log2_p(14);
         let bits15 = log2_p(15);
-        assert!(
-            bits14 > 105.0 && bits14 < 115.0,
-            "log2 P(14) = {bits14}"
-        );
-        assert!(
-            bits15 > 115.0 && bits15 < 122.0,
-            "log2 P(15) = {bits15}"
-        );
+        assert!(bits14 > 105.0 && bits14 < 115.0, "log2 P(14) = {bits14}");
+        assert!(bits15 > 115.0 && bits15 < 122.0, "log2 P(15) = {bits15}");
         // SGEMM-level at N = 7..8 (needs ~24*2+10+1 = 59 bits).
         assert!(log2_p(7) > 52.0 && log2_p(8) > 60.0);
     }

@@ -55,9 +55,9 @@ pub fn auto_emulator(target: f64, k: usize, mode: Mode) -> Option<crate::Ozaki2>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Ozaki2;
     use gemm_dense::norms::normwise_relative_error;
     use gemm_dense::workload::phi_matrix_f64;
-    use crate::Ozaki2;
 
     #[test]
     fn paper_sweet_spots() {

@@ -8,14 +8,15 @@
 use crate::accumulate::{fold_planes, FoldPrecision};
 use crate::consts::{constants, Constants};
 use crate::convert::residue_planes;
-use crate::modred::{accumulate_block_residues, finalize_block_residues, reduce_plane};
+use crate::modred::finalize_block_residues;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
 use crate::scale::{
     accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
     scale_trunc_b_colmajor,
 };
 use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
-use gemm_engine::int8_gemm_rm_cm;
+use gemm_engine::{int8_gemm_fused, AccumulateEpilogue, Int8Workspace, ReduceEpilogue};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Largest `k` per INT8 GEMM before block splitting (§4.3: products of
@@ -124,6 +125,72 @@ pub struct EmulationReport {
     pub int8_gemm_calls: usize,
 }
 
+/// Reusable scratch for the whole Algorithm-1 pipeline: integer operand
+/// matrices, residue planes, the INT32 product plane, the block-residue
+/// accumulator, and the engine's packing buffers.
+///
+/// A single emulated GEMM needs ~`(2N + 18)·mk` bytes of scratch; the
+/// workspace grows to the high-water mark of the shapes it has seen and is
+/// then reused, so iterative consumers (LU panel updates, purification
+/// sweeps, the `N` residue planes of every call) allocate nothing per call.
+#[derive(Default)]
+pub struct Workspace {
+    aprime_rm: Vec<f64>,
+    bprime_cm: Vec<f64>,
+    a8: Vec<i8>,
+    b8: Vec<i8>,
+    u: Vec<u8>,
+    c32: Vec<i32>,
+    racc: Vec<i32>,
+    engine: Int8Workspace,
+}
+
+impl Workspace {
+    /// Fresh, empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current scratch footprint in bytes (excluding `Vec` headers).
+    pub fn bytes(&self) -> usize {
+        self.aprime_rm.capacity() * 8
+            + self.bprime_cm.capacity() * 8
+            + self.a8.capacity()
+            + self.b8.capacity()
+            + self.u.capacity()
+            + self.c32.capacity() * 4
+            + self.racc.capacity() * 4
+            + self.engine.bytes()
+    }
+
+    /// Grow-only resize of every pipeline buffer for an `m x k · k x n`
+    /// product with `nmod` residue planes.
+    fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
+        let grow = |v: &mut Vec<f64>, len: usize| {
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        };
+        grow(&mut self.aprime_rm, m * k);
+        grow(&mut self.bprime_cm, k * n);
+        if self.a8.len() < nmod * m * k {
+            self.a8.resize(nmod * m * k, 0);
+        }
+        if self.b8.len() < nmod * k * n {
+            self.b8.resize(nmod * k * n, 0);
+        }
+        if self.u.len() < nmod * m * n {
+            self.u.resize(nmod * m * n, 0);
+        }
+        if self.c32.len() < m * n {
+            self.c32.resize(m * n, 0);
+        }
+        if k > K_BLOCK_MAX && self.racc.len() < m * n {
+            self.racc.resize(m * n, 0);
+        }
+    }
+}
+
 /// The Ozaki Scheme II emulator.
 #[derive(Clone, Copy, Debug)]
 pub struct Ozaki2 {
@@ -157,7 +224,8 @@ impl Ozaki2 {
     /// On shape mismatch or non-finite input (use [`Ozaki2::try_dgemm`]
     /// for a checked version).
     pub fn dgemm(&self, a: &MatF64, b: &MatF64) -> MatF64 {
-        self.try_dgemm(a, b).unwrap_or_else(|e| panic!("dgemm: {e}"))
+        self.try_dgemm(a, b)
+            .unwrap_or_else(|e| panic!("dgemm: {e}"))
     }
 
     /// Checked emulated DGEMM.
@@ -177,12 +245,34 @@ impl Ozaki2 {
         a: &MatF64,
         b: &MatF64,
     ) -> Result<(MatF64, EmulationReport), EmulationError> {
+        self.try_dgemm_with_report_ws(a, b, &mut Workspace::new())
+    }
+
+    /// Emulated DGEMM reusing a caller-owned [`Workspace`]: steady-state
+    /// repeated calls allocate nothing but the output matrix.
+    ///
+    /// # Panics
+    /// On shape mismatch or non-finite input.
+    pub fn dgemm_ws(&self, a: &MatF64, b: &MatF64, ws: &mut Workspace) -> MatF64 {
+        self.try_dgemm_with_report_ws(a, b, ws)
+            .map(|(c, _)| c)
+            .unwrap_or_else(|e| panic!("dgemm: {e}"))
+    }
+
+    /// Checked emulated DGEMM with report, reusing a caller-owned
+    /// [`Workspace`].
+    pub fn try_dgemm_with_report_ws(
+        &self,
+        a: &MatF64,
+        b: &MatF64,
+        ws: &mut Workspace,
+    ) -> Result<(MatF64, EmulationReport), EmulationError> {
         validate_f64(a)?;
         validate_f64(b)?;
         if a.cols() != b.rows() {
             return Err(EmulationError::ShapeMismatch);
         }
-        Ok(emulate(a, b, self.n_moduli, self.mode, true))
+        Ok(emulate(a, b, self.n_moduli, self.mode, true, ws))
     }
 
     /// Emulated SGEMM: `C ≈ A·B` for f32 operands.
@@ -191,7 +281,8 @@ impl Ozaki2 {
     /// On shape mismatch, non-finite input, or `N > 18` (the `b = 32`
     /// conversion kernel's validated range).
     pub fn sgemm(&self, a: &MatF32, b: &MatF32) -> MatF32 {
-        self.try_sgemm(a, b).unwrap_or_else(|e| panic!("sgemm: {e}"))
+        self.try_sgemm(a, b)
+            .unwrap_or_else(|e| panic!("sgemm: {e}"))
     }
 
     /// Checked emulated SGEMM.
@@ -211,6 +302,27 @@ impl Ozaki2 {
         a: &MatF32,
         b: &MatF32,
     ) -> Result<(MatF32, EmulationReport), EmulationError> {
+        self.try_sgemm_with_report_ws(a, b, &mut Workspace::new())
+    }
+
+    /// Emulated SGEMM reusing a caller-owned [`Workspace`].
+    ///
+    /// # Panics
+    /// On shape mismatch, non-finite input, or `N > 18`.
+    pub fn sgemm_ws(&self, a: &MatF32, b: &MatF32, ws: &mut Workspace) -> MatF32 {
+        self.try_sgemm_with_report_ws(a, b, ws)
+            .map(|(c, _)| c)
+            .unwrap_or_else(|e| panic!("sgemm: {e}"))
+    }
+
+    /// Checked emulated SGEMM with report, reusing a caller-owned
+    /// [`Workspace`].
+    pub fn try_sgemm_with_report_ws(
+        &self,
+        a: &MatF32,
+        b: &MatF32,
+        ws: &mut Workspace,
+    ) -> Result<(MatF32, EmulationReport), EmulationError> {
         if self.n_moduli > N_MAX_SGEMM {
             return Err(EmulationError::UnsupportedN {
                 n: self.n_moduli,
@@ -226,7 +338,7 @@ impl Ozaki2 {
         // with it, so the computed A', B' match a native f32 pipeline.
         let a64 = a.map(|x| x as f64);
         let b64 = b.map(|x| x as f64);
-        let (c64, report) = emulate(&a64, &b64, self.n_moduli, self.mode, false);
+        let (c64, report) = emulate(&a64, &b64, self.n_moduli, self.mode, false, ws);
         Ok((c64.map(|x| x as f32), report))
     }
 }
@@ -266,13 +378,15 @@ fn validate_f32(a: &MatF32) -> Result<(), EmulationError> {
 }
 
 /// The shared Algorithm-1 body. `b64` selects the DGEMM weight split and
-/// conversion thresholds; the SGEMM wrapper widens/narrows around it.
-fn emulate(
+/// conversion thresholds; the SGEMM wrapper widens/narrows around it. All
+/// scratch comes from `ws` (grow-only, reused across calls).
+pub(crate) fn emulate(
     a: &MatF64,
     b: &MatF64,
     n_moduli: usize,
     mode: Mode,
     b64: bool,
+    ws: &mut Workspace,
 ) -> (MatF64, EmulationReport) {
     let (m, k) = a.shape();
     let n = b.cols();
@@ -311,51 +425,67 @@ fn emulate(
 
     // ---- Lines 2–3: truncation ------------------------------------------
     let t0 = Instant::now();
-    let mut aprime_rm = vec![0.0f64; m * k];
-    scale_trunc_a_rowmajor(a, &exps_a, &mut aprime_rm);
-    let mut bprime_cm = vec![0.0f64; k * n];
-    scale_trunc_b_colmajor(b, &exps_b, &mut bprime_cm);
+    ws.reserve(m, n, k, nmod);
+    let Workspace {
+        aprime_rm,
+        bprime_cm,
+        a8,
+        b8,
+        u,
+        c32,
+        racc,
+        engine,
+    } = ws;
+    let aprime_rm = &mut aprime_rm[..m * k];
+    scale_trunc_a_rowmajor(a, &exps_a, aprime_rm);
+    let bprime_cm = &mut bprime_cm[..k * n];
+    scale_trunc_b_colmajor(b, &exps_b, bprime_cm);
     phases.trunc = t0.elapsed();
 
     // ---- Lines 4–5: residue planes --------------------------------------
     let t0 = Instant::now();
-    let mut a8 = vec![0i8; nmod * m * k];
-    residue_planes(&aprime_rm, consts, b64, &mut a8);
-    let mut b8 = vec![0i8; nmod * k * n];
-    residue_planes(&bprime_cm, consts, b64, &mut b8);
-    drop(aprime_rm);
-    drop(bprime_cm);
+    let a8 = &mut a8[..nmod * m * k];
+    residue_planes(aprime_rm, consts, b64, a8);
+    let b8 = &mut b8[..nmod * k * n];
+    residue_planes(bprime_cm, consts, b64, b8);
     phases.convert = t0.elapsed();
 
-    // ---- Lines 6–7: INT8 GEMMs and modular reduction --------------------
-    let mut u = vec![0u8; nmod * plane];
-    let mut c32 = vec![0i32; plane];
+    // ---- Lines 6–7: INT8 GEMMs with fused modular reduction -------------
+    // The mod-p reduction runs inside the GEMM call, on cache-resident `C`
+    // stripes (see `gemm_engine::Epilogue`); the slowest worker's epilogue
+    // time lands in `mod_nanos` so the phase split survives the fusion.
+    let u = &mut u[..nmod * plane];
+    let c32 = &mut c32[..plane];
+    let mod_nanos = AtomicU64::new(0);
     if k <= K_BLOCK_MAX {
         for s in 0..nmod {
             let t0 = Instant::now();
-            int8_gemm_rm_cm(
+            let epi = ReduceEpilogue::new(consts.p[s], consts.p_inv_u32[s], Some(&mod_nanos));
+            int8_gemm_fused(
                 m,
                 n,
                 k,
                 &a8[s * m * k..(s + 1) * m * k],
+                k,
                 &b8[s * k * n..(s + 1) * k * n],
-                &mut c32,
+                k,
+                c32,
+                &mut u[s * plane..(s + 1) * plane],
+                &epi,
+                engine,
+                true,
             );
             gemm_calls += 1;
-            phases.int8_gemm += t0.elapsed();
-            let t0 = Instant::now();
-            reduce_plane(
-                &c32,
-                consts.p[s],
-                consts.p_inv_u32[s],
-                &mut u[s * plane..(s + 1) * plane],
-            );
-            phases.mod_reduce += t0.elapsed();
+            let total = t0.elapsed();
+            let modd = Duration::from_nanos(mod_nanos.swap(0, Ordering::Relaxed));
+            phases.mod_reduce += modd;
+            phases.int8_gemm += total.saturating_sub(modd);
         }
     } else {
         // k-blocking: reduce each block's products mod p, accumulate the
-        // residues in i32, reduce once more at the end.
-        let mut racc = vec![0i32; plane];
+        // residues in i32, reduce once more at the end. Blocks are packed
+        // straight out of the strided plane — no gather copies.
+        let racc = &mut racc[..plane];
         for s in 0..nmod {
             racc.fill(0);
             let a_plane = &a8[s * m * k..(s + 1) * m * k];
@@ -363,26 +493,33 @@ fn emulate(
             let mut h0 = 0usize;
             while h0 < k {
                 let kb = K_BLOCK_MAX.min(k - h0);
-                // Gather the k-block of both operands (A rows / B cols are
-                // k-contiguous, so these are dense subslices).
                 let t0 = Instant::now();
-                let a_blk: Vec<i8> = (0..m)
-                    .flat_map(|i| a_plane[i * k + h0..i * k + h0 + kb].iter().copied())
-                    .collect();
-                let b_blk: Vec<i8> = (0..n)
-                    .flat_map(|j| b_plane[j * k + h0..j * k + h0 + kb].iter().copied())
-                    .collect();
-                int8_gemm_rm_cm(m, n, kb, &a_blk, &b_blk, &mut c32);
+                let epi =
+                    AccumulateEpilogue::new(consts.p[s], consts.p_inv_u32[s], Some(&mod_nanos));
+                int8_gemm_fused(
+                    m,
+                    n,
+                    kb,
+                    &a_plane[h0..],
+                    k,
+                    &b_plane[h0..],
+                    k,
+                    c32,
+                    racc,
+                    &epi,
+                    engine,
+                    true,
+                );
                 gemm_calls += 1;
-                phases.int8_gemm += t0.elapsed();
-                let t0 = Instant::now();
-                accumulate_block_residues(&c32, consts.p[s], consts.p_inv_u32[s], &mut racc);
-                phases.mod_reduce += t0.elapsed();
+                let total = t0.elapsed();
+                let modd = Duration::from_nanos(mod_nanos.swap(0, Ordering::Relaxed));
+                phases.mod_reduce += modd;
+                phases.int8_gemm += total.saturating_sub(modd);
                 h0 += kb;
             }
             let t0 = Instant::now();
             finalize_block_residues(
-                &racc,
+                racc,
                 consts.p[s],
                 consts.p_inv_u32[s],
                 &mut u[s * plane..(s + 1) * plane],
@@ -390,9 +527,6 @@ fn emulate(
             phases.mod_reduce += t0.elapsed();
         }
     }
-    drop(a8);
-    drop(b8);
-    drop(c32);
 
     // ---- Lines 8–12: fold ------------------------------------------------
     let t0 = Instant::now();
@@ -403,7 +537,7 @@ fn emulate(
         FoldPrecision::Single
     };
     fold_planes(
-        &u,
+        u,
         m,
         n,
         consts,
@@ -466,7 +600,10 @@ mod tests {
             );
             last = err;
         }
-        assert!(last < 1e-12, "N=15 should be near double precision: {last:e}");
+        assert!(
+            last < 1e-12,
+            "N=15 should be near double precision: {last:e}"
+        );
     }
 
     #[test]
@@ -555,6 +692,55 @@ mod tests {
             MatMulF64::name(&Ozaki2::new(8, Mode::Accurate)),
             "OS II-accu-8"
         );
+    }
+
+    #[test]
+    fn workspace_path_bit_identical_and_alloc_free() {
+        let a = phi_matrix_f64(24, 40, 0.8, 5, 0);
+        let b = phi_matrix_f64(40, 18, 0.8, 5, 1);
+        let emu = Ozaki2::new(11, Mode::Fast);
+        let baseline = emu.dgemm(&a, &b);
+        let mut ws = Workspace::new();
+        assert_eq!(emu.dgemm_ws(&a, &b, &mut ws), baseline);
+        let steady = ws.bytes();
+        assert!(steady > 0);
+        for _ in 0..3 {
+            assert_eq!(emu.dgemm_ws(&a, &b, &mut ws), baseline);
+            assert_eq!(ws.bytes(), steady, "steady state must not allocate");
+        }
+        // A smaller problem reuses the same buffers.
+        let a2 = phi_matrix_f64(8, 16, 0.8, 6, 0);
+        let b2 = phi_matrix_f64(16, 8, 0.8, 6, 1);
+        assert_eq!(emu.dgemm_ws(&a2, &b2, &mut ws), emu.dgemm(&a2, &b2));
+        assert_eq!(ws.bytes(), steady);
+    }
+
+    #[test]
+    fn k_blocked_path_matches_direct_reference() {
+        // k just over the block limit exercises the strided zero-copy
+        // packing; compare against an independently computed exact result
+        // on tiny m, n (integer inputs make the reference exact).
+        let k = K_BLOCK_MAX + 129;
+        let (m, n) = (2usize, 2);
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 60) as i64 % 3 - 1) as f64
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let got = Ozaki2::new(10, Mode::Fast).dgemm(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for h in 0..k {
+                    acc += (a[(i, h)] as i64) * (b[(h, j)] as i64);
+                }
+                assert_eq!(got[(i, j)], acc as f64, "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,56 +1,33 @@
 //! Reusable execution plans.
 //!
-//! A single emulated GEMM allocates ~`(2N + 18)·mk` bytes of scratch
-//! (integer matrices, residue planes, the INT32 product buffer). Iterative
-//! consumers — LU panel updates, purification iterations, repeated solves —
-//! call GEMM many times with one shape; [`GemmPlan`] keeps the scratch
-//! alive across calls so the steady-state does no allocation at all.
-//! Results are bit-identical to [`crate::Ozaki2::dgemm`].
+//! A single emulated GEMM needs ~`(2N + 18)·mk` bytes of scratch (integer
+//! matrices, residue planes, the INT32 product buffer, engine packing
+//! panels). Iterative consumers — LU panel updates, purification
+//! iterations, repeated solves — call GEMM many times with one shape;
+//! [`GemmPlan`] keeps a [`Workspace`] alive across calls so the
+//! steady-state does no allocation at all (beyond the output matrix).
+//! Results are bit-identical to [`crate::Ozaki2::dgemm`]: the plan runs the
+//! very same Algorithm-1 body, only with retained scratch.
 
-use crate::accumulate::{fold_planes, FoldPrecision};
-use crate::consts::{constants, Constants};
-use crate::convert::residue_planes;
-use crate::modred::reduce_plane;
-use crate::pipeline::{Mode, Ozaki2, K_BLOCK_MAX};
-use crate::scale::{
-    accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
-    scale_trunc_b_colmajor,
-};
-use gemm_dense::{MatF64, Matrix};
-use gemm_engine::int8_gemm_rm_cm;
+use crate::pipeline::{emulate, Ozaki2, Workspace};
+use gemm_dense::MatF64;
 
 /// Pre-allocated workspace for repeated emulated DGEMMs of a fixed shape.
 pub struct GemmPlan {
     emu: Ozaki2,
     shape: (usize, usize, usize),
-    consts: &'static Constants,
-    aprime: Vec<f64>,
-    bprime: Vec<f64>,
-    a8: Vec<i8>,
-    b8: Vec<i8>,
-    u: Vec<u8>,
-    c32: Vec<i32>,
+    ws: Workspace,
 }
 
 impl GemmPlan {
     /// Build a plan for `m x k · k x n` products with the given emulator.
-    ///
-    /// # Panics
-    /// If `k > 2^17` (use [`Ozaki2::dgemm`], which blocks over `k`).
+    /// Any `k` is supported; `k > 2^17` products run the engine's
+    /// zero-copy `k`-blocked path.
     pub fn new(emu: Ozaki2, m: usize, n: usize, k: usize) -> Self {
-        assert!(k <= K_BLOCK_MAX, "GemmPlan does not implement k-blocking");
-        let consts = constants(emu.n_moduli());
-        let nmod = consts.n;
         Self {
             emu,
             shape: (m, n, k),
-            consts,
-            aprime: vec![0.0; m * k],
-            bprime: vec![0.0; k * n],
-            a8: vec![0; nmod * m * k],
-            b8: vec![0; nmod * k * n],
-            u: vec![0; nmod * m * n],
-            c32: vec![0; m * n],
+            ws: Workspace::new(),
         }
     }
 
@@ -59,14 +36,10 @@ impl GemmPlan {
         self.shape
     }
 
-    /// Approximate workspace footprint in bytes.
+    /// Current workspace footprint in bytes (grows to its high-water mark
+    /// on first execution, then stays flat).
     pub fn workspace_bytes(&self) -> usize {
-        self.aprime.len() * 8
-            + self.bprime.len() * 8
-            + self.a8.len()
-            + self.b8.len()
-            + self.u.len()
-            + self.c32.len() * 4
+        self.ws.bytes()
     }
 
     /// Run one product, reusing the workspace. Bit-identical to
@@ -82,58 +55,22 @@ impl GemmPlan {
             a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
             "inputs must be finite"
         );
-        let consts = self.consts;
-        let nmod = consts.n;
-        let plane = m * n;
-        let mut out = Matrix::<f64>::zeros(m, n);
-        if plane == 0 || k == 0 {
-            return out;
-        }
-
-        let (exps_a, exps_b) = match self.emu.mode() {
-            Mode::Fast => (
-                fast_scale_rows(a, consts.p_fast),
-                fast_scale_cols(b, consts.p_fast),
-            ),
-            Mode::Accurate => accurate_scale(a, b, consts.p_accu),
-        };
-        scale_trunc_a_rowmajor(a, &exps_a, &mut self.aprime);
-        scale_trunc_b_colmajor(b, &exps_b, &mut self.bprime);
-        residue_planes(&self.aprime, consts, true, &mut self.a8);
-        residue_planes(&self.bprime, consts, true, &mut self.b8);
-        for s in 0..nmod {
-            int8_gemm_rm_cm(
-                m,
-                n,
-                k,
-                &self.a8[s * m * k..(s + 1) * m * k],
-                &self.b8[s * k * n..(s + 1) * k * n],
-                &mut self.c32,
-            );
-            reduce_plane(
-                &self.c32,
-                consts.p[s],
-                consts.p_inv_u32[s],
-                &mut self.u[s * plane..(s + 1) * plane],
-            );
-        }
-        fold_planes(
-            &self.u,
-            m,
-            n,
-            consts,
-            FoldPrecision::Double,
-            &exps_a,
-            &exps_b,
-            out.as_mut_slice(),
-        );
-        out
+        emulate(
+            a,
+            b,
+            self.emu.n_moduli(),
+            self.emu.mode(),
+            true,
+            &mut self.ws,
+        )
+        .0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::Mode;
     use gemm_dense::workload::phi_matrix_f64;
 
     #[test]
@@ -159,11 +96,29 @@ mod tests {
     }
 
     #[test]
-    fn workspace_footprint_reported() {
-        let plan = GemmPlan::new(Ozaki2::new(15, Mode::Fast), 64, 64, 64);
-        // 2 * 8 * 64*64 (f64) + 2 * 15 * 64*64 (i8) + 15*64*64 (u8) + 4*64*64
-        let want = 2 * 8 * 4096 + 2 * 15 * 4096 + 15 * 4096 + 4 * 4096;
-        assert_eq!(plan.workspace_bytes(), want);
+    fn workspace_reaches_steady_state() {
+        let (m, n, k) = (32usize, 24, 40);
+        let nmod = 15usize;
+        let mut plan = GemmPlan::new(Ozaki2::new(nmod, Mode::Fast), m, n, k);
+        let a = phi_matrix_f64(m, k, 0.5, 3, 0);
+        let b = phi_matrix_f64(k, n, 0.5, 3, 1);
+        let _ = plan.execute(&a, &b);
+        let after_first = plan.workspace_bytes();
+        // At least the dominant buffers must be resident: A'/B' (f64),
+        // the residue planes (i8), U planes (u8) and C32.
+        let floor = 2 * 8 * m * k.min(k * n) + nmod * (m * k + k * n) + nmod * m * n + 4 * m * n;
+        assert!(
+            after_first >= floor,
+            "workspace too small: {after_first} < {floor}"
+        );
+        for _ in 0..3 {
+            let _ = plan.execute(&a, &b);
+            assert_eq!(
+                plan.workspace_bytes(),
+                after_first,
+                "steady state must not allocate"
+            );
+        }
     }
 
     #[test]

@@ -177,13 +177,13 @@ pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32
     // the product row is exactly zero, any scale works).
     let mut row_cmax = vec![1i64; m];
     let mut col_cmax = vec![1i64; n];
-    for j in 0..n {
+    for (j, cmax_j) in col_cmax.iter_mut().enumerate() {
         for (i, &c) in c_bar.col(j).iter().enumerate() {
             if c > row_cmax[i] {
                 row_cmax[i] = c;
             }
-            if c > col_cmax[j] {
-                col_cmax[j] = c;
+            if c > *cmax_j {
+                *cmax_j = c;
             }
         }
     }
@@ -309,7 +309,11 @@ mod tests {
             );
             // And not wastefully small (within ~3 bits of the budget for a
             // well-conditioned random row).
-            assert!(nrm.log2() > budget - 4.0, "row {i}: |a'| = 2^{}", nrm.log2());
+            assert!(
+                nrm.log2() > budget - 4.0,
+                "row {i}: |a'| = 2^{}",
+                nrm.log2()
+            );
         }
     }
 

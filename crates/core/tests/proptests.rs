@@ -5,7 +5,10 @@ use gemm_dense::Matrix;
 use ozaki2::consts::constants;
 use ozaki2::convert::{rmod_to_i8, steps_for};
 use ozaki2::modred::mod_i32_to_u8;
-use ozaki2::scale::{condition3_holds, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor, scale_trunc_b_colmajor};
+use ozaki2::scale::{
+    condition3_holds, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
+    scale_trunc_b_colmajor,
+};
 use ozaki2::{Mode, Ozaki2};
 use proptest::prelude::*;
 
@@ -51,6 +54,37 @@ proptest! {
             want,
             "x={} p={}", x, c.p[pidx]
         );
+    }
+
+    #[test]
+    fn fused_epilogue_matches_reduce_plane(
+        m in 1usize..16,
+        k in 1usize..40,
+        n in 1usize..16,
+        pidx in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        // The engine's fused GEMM epilogue must agree with the standalone
+        // reduce_plane kernel on the same INT32 plane.
+        let c20 = constants(20);
+        let (p, pinv) = (c20.p[pidx], c20.p_inv_u32[pidx]);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+            (s >> 33) as i64 as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        let mut c32 = vec![0i32; m * n];
+        let mut u_fused = vec![0u8; m * n];
+        let mut ws = gemm_engine::Int8Workspace::new();
+        let epi = gemm_engine::ReduceEpilogue::new(p, pinv, None);
+        gemm_engine::int8_gemm_fused(
+            m, n, k, &a, k, &b, k, &mut c32, &mut u_fused, &epi, &mut ws, true,
+        );
+        let mut u_separate = vec![0u8; m * n];
+        ozaki2::modred::reduce_plane(&c32, p, pinv, &mut u_separate);
+        prop_assert_eq!(u_fused, u_separate, "p={}", p);
     }
 
     #[test]

@@ -119,7 +119,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_f64() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (16, 16, 16), (33, 65, 17), (64, 128, 96)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (33, 65, 17),
+            (64, 128, 96),
+        ] {
             let a = random_mat_f64(m, k, 42 + m as u64);
             let b = random_mat_f64(k, n, 17 + n as u64);
             let c1 = gemm_f64(&a, &b);

@@ -99,7 +99,13 @@ mod tests {
 
     #[test]
     fn frobenius_of_unit_vector() {
-        let a = Matrix::from_fn(3, 1, |i, _| if i == 0 { 3.0 } else { 4.0 * (i == 1) as u8 as f64 });
+        let a = Matrix::from_fn(3, 1, |i, _| {
+            if i == 0 {
+                3.0
+            } else {
+                4.0 * (i == 1) as u8 as f64
+            }
+        });
         assert!((frobenius_f64(&a) - 5.0).abs() < 1e-15);
     }
 

@@ -135,11 +135,7 @@ mod tests {
     #[test]
     fn row_graded_scales_rows() {
         let a = row_graded_matrix_f64(8, 64, 4.0, 1, 0);
-        let row_max = |i: usize| {
-            (0..64)
-                .map(|j| a[(i, j)].abs())
-                .fold(0.0f64, f64::max)
-        };
+        let row_max = |i: usize| (0..64).map(|j| a[(i, j)].abs()).fold(0.0f64, f64::max);
         assert!(row_max(0) > 100.0 * row_max(7));
     }
 }

@@ -74,14 +74,16 @@ pub fn dequantize<T: LowFloat>(a: &Matrix<T>) -> MatF32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gemm_lowfp::{BF16, F16, Tf32};
+    use gemm_lowfp::{Tf32, BF16, F16};
 
     #[test]
     fn f16_engine_exact_on_small_integers() {
         // Integer inputs |x| <= 64 with k = 16: products <= 4096, sums
         // <= 65536 — everything exact in both f16 inputs and f32 acc.
         let a = Matrix::from_fn(4, 16, |i, j| F16::from_f32((i as f32) - (j % 5) as f32));
-        let b = Matrix::from_fn(16, 3, |i, j| F16::from_f32((j as f32) + (i % 7) as f32 - 3.0));
+        let b = Matrix::from_fn(16, 3, |i, j| {
+            F16::from_f32((j as f32) + (i % 7) as f32 - 3.0)
+        });
         let c = lowfp_gemm(&a, &b);
         for i in 0..4 {
             for j in 0..3 {

@@ -1,7 +1,10 @@
 //! Property-based tests for the simulated matrix engines.
 
 use gemm_dense::Matrix;
-use gemm_engine::{int8_gemm, int8_gemm_naive, lowfp_gemm, quantize};
+use gemm_engine::{
+    int8_gemm, int8_gemm_fused, int8_gemm_naive, int8_gemm_rm_cm, int8_gemm_rm_cm_scalar,
+    lowfp_gemm, quantize, Int8Workspace, ReduceEpilogue,
+};
 use gemm_lowfp::{BF16, F16};
 use proptest::prelude::*;
 
@@ -33,6 +36,82 @@ proptest! {
     #[test]
     fn arbitrary_values_match(a in arb_i8_matrix(5, 7), b in arb_i8_matrix(7, 4)) {
         prop_assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b));
+    }
+
+    #[test]
+    fn awkward_shapes_cross_blocking_boundaries(
+        m in 1usize..40,
+        k in 1usize..80,
+        n in 1usize..40,
+        m_bump in 0usize..2,
+        k_bump in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        // Mix small odd shapes with shapes straddling the MR/NR/PK/MC
+        // boundaries (129, 1025, ...) so every ragged-edge path runs.
+        let m = m + m_bump * 127;
+        let k = k + k_bump * 1021;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (s >> 33) as i64 as i8
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        prop_assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b), "{}x{}x{}", m, k, n);
+    }
+
+    #[test]
+    fn extreme_inputs_deep_k_wrap_identically(
+        k_extra in 0usize..700,
+        seed in any::<u64>(),
+    ) {
+        // k > 2^17 with entries drawn from {-128, 127}: accumulators wrap
+        // (products of 2^14 overflow i32 past k = 2^17); the packed/tiled
+        // kernel must wrap bit-identically to the seed scalar kernel.
+        let k = (1usize << 17) + k_extra;
+        let (m, n) = (2usize, 2);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if s >> 63 == 0 { -128i8 } else { 127i8 }
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        let mut c_blocked = vec![0i32; m * n];
+        let mut c_scalar = vec![0i32; m * n];
+        int8_gemm_rm_cm(m, n, k, &a, &b, &mut c_blocked);
+        int8_gemm_rm_cm_scalar(m, n, k, &a, &b, &mut c_scalar);
+        prop_assert_eq!(c_blocked, c_scalar, "k={}", k);
+    }
+
+    #[test]
+    fn fused_reduce_epilogue_matches_separate_pass(
+        m in 1usize..24,
+        k in 1usize..60,
+        n in 1usize..24,
+        p in 3u64..=256,
+        seed in any::<u64>(),
+    ) {
+        let pinv = ((1u64 << 32) / p - 1) as u32;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            (s >> 33) as i64 as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next()).collect();
+        let mut c_plain = vec![0i32; m * n];
+        int8_gemm_rm_cm(m, n, k, &a, &b, &mut c_plain);
+        let mut c_fused = vec![0i32; m * n];
+        let mut u = vec![0u8; m * n];
+        let mut ws = Int8Workspace::new();
+        let epi = ReduceEpilogue::new(p, pinv, None);
+        int8_gemm_fused(m, n, k, &a, k, &b, k, &mut c_fused, &mut u, &epi, &mut ws, true);
+        prop_assert_eq!(&c_fused, &c_plain);
+        for (i, (&r, &x)) in u.iter().zip(&c_plain).enumerate() {
+            prop_assert_eq!(r as i64, (x as i64).rem_euclid(p as i64), "elem {} p {}", i, p);
+        }
     }
 
     #[test]

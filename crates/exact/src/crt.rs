@@ -43,11 +43,7 @@ impl CrtBasis {
         for (s, &ps) in moduli.iter().enumerate() {
             assert!(ps >= 2, "modulus must be >= 2");
             for &pt in &moduli[s + 1..] {
-                assert_eq!(
-                    gcd_u64(ps, pt),
-                    1,
-                    "moduli {ps} and {pt} are not coprime"
-                );
+                assert_eq!(gcd_u64(ps, pt), 1, "moduli {ps} and {pt} are not coprime");
             }
         }
         let mut p_big = U256::ONE;
@@ -126,7 +122,10 @@ pub fn gemm_exact_i256(a: &Matrix<f64>, b: &Matrix<f64>) -> Matrix<I256> {
         for h in 0..k {
             let x = a[(i, h)];
             let y = b[(h, j)];
-            debug_assert!(x.fract() == 0.0 && y.fract() == 0.0, "inputs must be integers");
+            debug_assert!(
+                x.fract() == 0.0 && y.fract() == 0.0,
+                "inputs must be integers"
+            );
             acc = acc.add(mul_i128(x as i128, y as i128));
         }
         acc
@@ -187,7 +186,7 @@ mod tests {
     #[test]
     fn crt_range_limits() {
         let basis = CrtBasis::new(&[7, 11, 13]); // P = 1001
-        // Every |x| <= 500 must round-trip.
+                                                 // Every |x| <= 500 must round-trip.
         for x in -500i128..=500 {
             let back = basis.reconstruct(&basis.residues(I256::from_i128(x)));
             assert_eq!(back.to_f64() as i128, x, "x={x}");

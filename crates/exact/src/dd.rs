@@ -7,6 +7,8 @@
 //! below the 1e-16 resolution required. The paper also stores `P = Π p_i`
 //! as a double-double (`P1`, `P2`) — that split is produced here.
 
+#![allow(clippy::should_implement_trait)] // dd arithmetic keeps textbook names (add/mul/...)
+
 use crate::eft::{fast_two_sum, two_prod, two_sum};
 use gemm_dense::Matrix;
 use rayon::prelude::*;
@@ -244,13 +246,13 @@ mod tests {
         // Rows designed to cancel catastrophically in f64.
         let a = Matrix::from_fn(1, 4, |_, j| match j {
             0 => 1e16,
-            1 => 3.14159,
+            1 => 3.15625,
             2 => -1e16,
-            _ => 2.71828,
+            _ => 2.65625,
         });
         let b = Matrix::from_fn(4, 1, |_, _| 1.0);
         let dd = dd_gemm(&a, &b);
-        assert_eq!(dd[(0, 0)].to_f64(), 3.14159 + 2.71828);
+        assert_eq!(dd[(0, 0)].to_f64(), 3.15625 + 2.65625);
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod tests {
             (1.0, 1e-30),
             (1e16, 1.0),
             (-1.0, 1.0 + 2e-16),
-            (3.14159, 2.71828e-12),
+            (3.15625, 2.6875e-12),
         ];
         for (a, b) in cases {
             let (s, e) = two_sum(a, b);

@@ -52,16 +52,18 @@ mod tests {
     #[test]
     fn upper_bound_dominates_exact_value() {
         // Values chosen so the RN sum rounds *down* repeatedly.
-        let xs: Vec<f64> = (0..10_000)
-            .map(|i| 1.0 + (i as f64) * 1e-8)
-            .collect();
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 + (i as f64) * 1e-8).collect();
         let upper = sum_sq_upper(xs.iter().copied());
         // Exact reference via double-double.
         let mut exact = crate::dd::Dd::ZERO;
         for &x in &xs {
             exact = exact.fma_acc(x, x);
         }
-        assert!(upper >= exact.to_f64(), "upper={upper} exact={}", exact.to_f64());
+        assert!(
+            upper >= exact.to_f64(),
+            "upper={upper} exact={}",
+            exact.to_f64()
+        );
         // And tight to within a few ULPs' worth of slack.
         assert!(upper <= exact.to_f64() * (1.0 + 1e-10));
     }

@@ -6,6 +6,9 @@
 //! the right tool (no heap, no external bignum dependency). Used to build
 //! the constant tables exactly and as the bit-exactness oracle in tests.
 
+#![allow(clippy::should_implement_trait)] // limb arithmetic keeps textbook names (add/shl/...)
+#![allow(clippy::needless_range_loop)] // limb loops index two arrays with carries
+
 use std::cmp::Ordering;
 
 /// Unsigned 256-bit integer, little-endian 64-bit limbs.
@@ -439,7 +442,7 @@ pub fn rmod_i256(x: I256, p: &U256) -> I256 {
     let (_, r) = mag.div_rem(*p);
     // r in [0, p)
     let twice = r.shl(1);
-    let reduced = if twice > *p || (twice == *p) {
+    let reduced = if twice >= *p {
         // representative beyond half: fold to r - p (negative magnitude p-r)
         I256::from_u256(p.sub(r)).neg()
     } else {

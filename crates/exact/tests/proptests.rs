@@ -1,8 +1,8 @@
 //! Property-based tests for the exact-arithmetic substrate.
 
 use gemm_exact::{
-    fast_two_sum, gcd_u64, modinv_u64, mul_i128, rmod_i256, two_prod, two_sum, CrtBasis, Dd,
-    I256, U256,
+    fast_two_sum, gcd_u64, modinv_u64, mul_i128, rmod_i256, two_prod, two_sum, CrtBasis, Dd, I256,
+    U256,
 };
 use proptest::prelude::*;
 

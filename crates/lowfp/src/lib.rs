@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn generic_rounding_error_bounds() {
-        let values = [1.0f32, 1.5, 0.1, 3.14159, 100.7, 0.001234];
+        let values = [1.0f32, 1.5, 0.1, 3.1875, 100.7, 0.001234];
         check_round_error::<F16>(&values);
         check_round_error::<BF16>(&values);
         check_round_error::<Tf32>(&values);

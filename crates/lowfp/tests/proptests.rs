@@ -1,6 +1,6 @@
 //! Property-based tests for the software low-precision formats.
 
-use gemm_lowfp::{LowFloat, BF16, F16, Tf32};
+use gemm_lowfp::{LowFloat, Tf32, BF16, F16};
 use proptest::prelude::*;
 
 /// Brute-force nearest-even oracle: among all f16 values, find the closest
@@ -15,9 +15,7 @@ fn f16_nearest_oracle(x: f32) -> u16 {
         }
         let v = h.to_f32() as f64;
         let d = (v - x as f64).abs();
-        if d < best_dist
-            || (d == best_dist && (bits & 1) == 0 && (best_bits & 1) == 1)
-        {
+        if d < best_dist || (d == best_dist && (bits & 1) == 0 && (best_bits & 1) == 1) {
             best_dist = d;
             best_bits = bits;
         }

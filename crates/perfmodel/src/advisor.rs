@@ -42,7 +42,14 @@ pub fn recommend_dgemm(
     let model = PerfModel::new(device);
     let native = model.run(&ops::native_dgemm(m, n, k)).time_s;
     let emulated = model
-        .run(&ops::ozaki2(m, n, k, n_moduli, Os2Mode::Fast, Os2Input::F64))
+        .run(&ops::ozaki2(
+            m,
+            n,
+            k,
+            n_moduli,
+            Os2Mode::Fast,
+            Os2Input::F64,
+        ))
         .time_s;
     if emulated < native {
         Recommendation::Emulate {
@@ -65,7 +72,14 @@ pub fn recommend_sgemm(
     let model = PerfModel::new(device);
     let native = model.run(&ops::native_sgemm(m, n, k)).time_s;
     let emulated = model
-        .run(&ops::ozaki2(m, n, k, n_moduli, Os2Mode::Fast, Os2Input::F32))
+        .run(&ops::ozaki2(
+            m,
+            n,
+            k,
+            n_moduli,
+            Os2Mode::Fast,
+            Os2Input::F32,
+        ))
         .time_s;
     if emulated < native {
         Recommendation::Emulate {

@@ -149,16 +149,96 @@ pub struct Fig1Entry {
 
 /// Fig. 1: TFLOPS and TOPS of AMD and NVIDIA GPUs for dense data.
 pub const FIG1_DATASHEET: &[Fig1Entry] = &[
-    Fig1Entry { name: "P100", vendor: "NVIDIA", year: 2016, fp64: 5.3, fp32: 10.6, fp16: 21.2, int8: 0.0 },
-    Fig1Entry { name: "V100", vendor: "NVIDIA", year: 2017, fp64: 7.8, fp32: 15.7, fp16: 125.0, int8: 62.0 },
-    Fig1Entry { name: "A100", vendor: "NVIDIA", year: 2020, fp64: 19.5, fp32: 19.5, fp16: 312.0, int8: 624.0 },
-    Fig1Entry { name: "H100 SXM", vendor: "NVIDIA", year: 2022, fp64: 67.0, fp32: 67.0, fp16: 989.5, int8: 1978.9 },
-    Fig1Entry { name: "B200", vendor: "NVIDIA", year: 2024, fp64: 37.0, fp32: 75.0, fp16: 2250.0, int8: 4500.0 },
-    Fig1Entry { name: "MI100", vendor: "AMD", year: 2020, fp64: 11.5, fp32: 23.1, fp16: 184.6, int8: 184.6 },
-    Fig1Entry { name: "MI250X", vendor: "AMD", year: 2021, fp64: 47.9, fp32: 47.9, fp16: 383.0, int8: 383.0 },
-    Fig1Entry { name: "MI300X", vendor: "AMD", year: 2023, fp64: 81.7, fp32: 163.4, fp16: 1307.4, int8: 2614.9 },
-    Fig1Entry { name: "RTX 4090", vendor: "NVIDIA", year: 2022, fp64: 1.3, fp32: 82.6, fp16: 330.3, int8: 660.6 },
-    Fig1Entry { name: "RTX 5080", vendor: "NVIDIA", year: 2025, fp64: 0.88, fp32: 56.3, fp16: 225.3, int8: 901.4 },
+    Fig1Entry {
+        name: "P100",
+        vendor: "NVIDIA",
+        year: 2016,
+        fp64: 5.3,
+        fp32: 10.6,
+        fp16: 21.2,
+        int8: 0.0,
+    },
+    Fig1Entry {
+        name: "V100",
+        vendor: "NVIDIA",
+        year: 2017,
+        fp64: 7.8,
+        fp32: 15.7,
+        fp16: 125.0,
+        int8: 62.0,
+    },
+    Fig1Entry {
+        name: "A100",
+        vendor: "NVIDIA",
+        year: 2020,
+        fp64: 19.5,
+        fp32: 19.5,
+        fp16: 312.0,
+        int8: 624.0,
+    },
+    Fig1Entry {
+        name: "H100 SXM",
+        vendor: "NVIDIA",
+        year: 2022,
+        fp64: 67.0,
+        fp32: 67.0,
+        fp16: 989.5,
+        int8: 1978.9,
+    },
+    Fig1Entry {
+        name: "B200",
+        vendor: "NVIDIA",
+        year: 2024,
+        fp64: 37.0,
+        fp32: 75.0,
+        fp16: 2250.0,
+        int8: 4500.0,
+    },
+    Fig1Entry {
+        name: "MI100",
+        vendor: "AMD",
+        year: 2020,
+        fp64: 11.5,
+        fp32: 23.1,
+        fp16: 184.6,
+        int8: 184.6,
+    },
+    Fig1Entry {
+        name: "MI250X",
+        vendor: "AMD",
+        year: 2021,
+        fp64: 47.9,
+        fp32: 47.9,
+        fp16: 383.0,
+        int8: 383.0,
+    },
+    Fig1Entry {
+        name: "MI300X",
+        vendor: "AMD",
+        year: 2023,
+        fp64: 81.7,
+        fp32: 163.4,
+        fp16: 1307.4,
+        int8: 2614.9,
+    },
+    Fig1Entry {
+        name: "RTX 4090",
+        vendor: "NVIDIA",
+        year: 2022,
+        fp64: 1.3,
+        fp32: 82.6,
+        fp16: 330.3,
+        int8: 660.6,
+    },
+    Fig1Entry {
+        name: "RTX 5080",
+        vendor: "NVIDIA",
+        year: 2025,
+        fp64: 0.88,
+        fp32: 56.3,
+        fp16: 225.3,
+        int8: 901.4,
+    },
 ];
 
 #[cfg(test)]

@@ -4,9 +4,7 @@
 
 use crate::device::DeviceSpec;
 use crate::model::PerfModel;
-use crate::ops::{
-    self, logical_flops, Op, Os2Input, Os2Mode, Phase,
-};
+use crate::ops::{self, logical_flops, Op, Os2Input, Os2Mode, Phase};
 
 /// The `m = n = k` sweep used by Figs. 4–9.
 pub const SWEEP_NS: [usize; 6] = [1024, 2048, 4096, 8192, 12288, 16384];
@@ -38,18 +36,15 @@ fn eval(model: &PerfModel, ops: &[Op], n: usize, metric: Metric) -> f64 {
     }
 }
 
+/// A labelled op-schedule generator: method name plus `n -> op list`.
+type MethodSchedules = Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)>;
+
 /// The DGEMM method set of Figs. 4 and 8.
-fn dgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
-    let mut out: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> = vec![
+fn dgemm_methods() -> MethodSchedules {
+    let mut out: MethodSchedules = vec![
         ("DGEMM".into(), Box::new(|n| ops::native_dgemm(n, n, n))),
-        (
-            "ozIMMU_EF-8".into(),
-            Box::new(|n| ops::ozimmu(n, n, n, 8)),
-        ),
-        (
-            "ozIMMU_EF-9".into(),
-            Box::new(|n| ops::ozimmu(n, n, n, 9)),
-        ),
+        ("ozIMMU_EF-8".into(), Box::new(|n| ops::ozimmu(n, n, n, 8))),
+        ("ozIMMU_EF-9".into(), Box::new(|n| ops::ozimmu(n, n, n, 9))),
     ];
     for nmod in [14usize, 15, 16, 17] {
         out.push((
@@ -65,8 +60,8 @@ fn dgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
 }
 
 /// The SGEMM method set of Figs. 5 and 9.
-fn sgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
-    let mut out: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> = vec![
+fn sgemm_methods() -> MethodSchedules {
+    let mut out: MethodSchedules = vec![
         ("SGEMM".into(), Box::new(|n| ops::native_sgemm(n, n, n))),
         ("TF32GEMM".into(), Box::new(|n| ops::tf32gemm(n, n, n))),
         ("BF16x9".into(), Box::new(|n| ops::bf16x9(n, n, n))),
@@ -87,11 +82,7 @@ fn sgemm_methods() -> Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)> {
     out
 }
 
-fn sweep(
-    device: DeviceSpec,
-    methods: Vec<(String, Box<dyn Fn(usize) -> Vec<Op>>)>,
-    metric: Metric,
-) -> Vec<Series> {
+fn sweep(device: DeviceSpec, methods: MethodSchedules, metric: Metric) -> Vec<Series> {
     let model = PerfModel::new(device);
     methods
         .into_iter()
@@ -294,12 +285,7 @@ mod tests {
                 continue;
             }
             for w in s.points.windows(2) {
-                assert!(
-                    w[1].1 >= w[0].1 * 0.98,
-                    "{}: drop at n={}",
-                    s.label,
-                    w[1].0
-                );
+                assert!(w[1].1 >= w[0].1 * 0.98, "{}: drop at n={}", s.label, w[1].0);
             }
         }
     }

@@ -279,7 +279,10 @@ mod tests {
         };
         let nat_tf = |n: usize| tflops_of(&model, &native_dgemm(n, n, n), n);
         assert!(emu_tf(1024) < nat_tf(1024), "native must win at n=1024");
-        assert!(emu_tf(16384) > nat_tf(16384), "emulation must win at n=16384");
+        assert!(
+            emu_tf(16384) > nat_tf(16384),
+            "emulation must win at n=16384"
+        );
     }
 
     #[test]
@@ -301,14 +304,13 @@ mod tests {
         // §5.2: OS II sits between SGEMM and TF32GEMM in throughput.
         let model = PerfModel::new(gh200());
         let n = 16384;
-        let emu = tflops_of(
-            &model,
-            &ozaki2(n, n, n, 8, Os2Mode::Fast, Os2Input::F32),
-            n,
-        );
+        let emu = tflops_of(&model, &ozaki2(n, n, n, 8, Os2Mode::Fast, Os2Input::F32), n);
         let sgemm = tflops_of(&model, &native_sgemm(n, n, n), n);
         let tf32 = tflops_of(&model, &ops::tf32gemm(n, n, n), n);
-        assert!(emu > sgemm && emu < tf32, "{sgemm} < {emu} < {tf32} violated");
+        assert!(
+            emu > sgemm && emu < tf32,
+            "{sgemm} < {emu} < {tf32} violated"
+        );
     }
 
     #[test]
@@ -330,7 +332,11 @@ mod tests {
         let model = PerfModel::new(gh200());
         let frac = |n: usize| {
             let est = model.run(&ozaki2(n, n, n, 15, Os2Mode::Fast, Os2Input::F64));
-            est.phase_time_s.get(&Phase::Int8Gemm).copied().unwrap_or(0.0) / est.time_s
+            est.phase_time_s
+                .get(&Phase::Int8Gemm)
+                .copied()
+                .unwrap_or(0.0)
+                / est.time_s
         };
         assert!(frac(2048) < frac(8192));
         assert!(frac(8192) < frac(16384));
@@ -345,7 +351,11 @@ mod tests {
         let model = PerfModel::new(rtx5080());
         let n = 8192;
         let est = model.run(&ozaki2(n, n, n, 15, Os2Mode::Fast, Os2Input::F64));
-        let gemm = est.phase_time_s.get(&Phase::Int8Gemm).copied().unwrap_or(0.0);
+        let gemm = est
+            .phase_time_s
+            .get(&Phase::Int8Gemm)
+            .copied()
+            .unwrap_or(0.0);
         let non_gemm_frac = 1.0 - gemm / est.time_s;
         assert!(
             (0.25..0.75).contains(&non_gemm_frac),

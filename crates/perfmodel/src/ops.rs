@@ -438,7 +438,10 @@ mod tests {
         };
         let d1 = b(10) - b(8);
         let d2 = b(12) - b(10);
-        assert!((d1 - d2).abs() < 1e-6, "convert traffic must be linear in N");
+        assert!(
+            (d1 - d2).abs() < 1e-6,
+            "convert traffic must be linear in N"
+        );
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access, so this crate provides the
+//! (small) subset of rayon's parallel-iterator API the workspace actually
+//! uses, implemented on `std::thread::scope`:
+//!
+//! * [`ParallelSlice::par_chunks`] / [`ParallelSliceMut::par_chunks_mut`]
+//! * [`IntoParallelRefMutIterator::par_iter_mut`] (slices and `Vec`)
+//! * [`IntoParallelIterator::into_par_iter`] (`Vec`)
+//! * adaptors [`ParIter::zip`], [`ParIter::enumerate`], terminal
+//!   [`ParIter::for_each`]
+//!
+//! Work items are materialised up front (every call site chunks a slice, so
+//! item counts are small and coarse) and drained from a shared queue by up
+//! to `available_parallelism()` scoped worker threads. Nested parallel
+//! regions run sequentially on the worker that encounters them, which keeps
+//! thread counts bounded without a work-stealing scheduler.
+
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set inside pool workers so nested `for_each` calls stay sequential.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a fresh parallel region may use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A materialised "parallel" iterator: a list of independent work items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pair items positionally with another parallel iterator
+    /// (truncates to the shorter side, like rayon's `zip`).
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attach the item index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Run `f` over every item, distributing items across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_parallel(self.items, &f);
+    }
+}
+
+fn run_parallel<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: &F) {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 || IN_POOL.with(|p| p.get()) {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let item = queue.lock().unwrap().next();
+                    match item {
+                        Some(it) => f(it),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// `par_chunks` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Split into `size`-element chunks (last may be shorter).
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into disjoint mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size != 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` over collections of independent elements.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type yielded to workers.
+    type Item: Send;
+    /// One item per element, mutably borrowed.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// `into_par_iter` over owned collections.
+pub trait IntoParallelIterator {
+    /// Element type yielded to workers.
+    type Item: Send;
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefMutIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_zip_enumerate() {
+        let mut dst = vec![0i32; 100];
+        let src: Vec<i32> = (0..100).collect();
+        dst.par_chunks_mut(7)
+            .zip(src.par_chunks(7))
+            .enumerate()
+            .for_each(|(idx, (d, s))| {
+                for (x, &y) in d.iter_mut().zip(s) {
+                    *x = y * 2 + idx as i32;
+                }
+            });
+        for (i, &x) in dst.iter().enumerate() {
+            assert_eq!(x, (i as i32) * 2 + (i / 7) as i32);
+        }
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let mut data = vec![0u64; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(o, chunk)| {
+            let mut inner = [0u64; 16];
+            inner.par_chunks_mut(4).for_each(|c| c.fill(1));
+            chunk.fill(o as u64 + inner.iter().sum::<u64>());
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 8) as u64 + 16);
+        }
+    }
+
+    #[test]
+    fn into_par_iter_runs_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        let jobs: Vec<usize> = (1..=50).collect();
+        jobs.into_par_iter().for_each(|j| {
+            total.fetch_add(j, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 51 / 2);
+    }
+}

@@ -13,7 +13,9 @@ use gemmul8::prelude::*;
 
 fn main() {
     let (m, n, k) = (256, 256, 1024);
-    println!("== SGEMM precision/throughput frontier (accuracy measured, TFLOPS modelled on GH200) ==\n");
+    println!(
+        "== SGEMM precision/throughput frontier (accuracy measured, TFLOPS modelled on GH200) ==\n"
+    );
     let a = phi_matrix_f32(m, k, 0.5, 99, 0);
     let b = phi_matrix_f32(k, n, 0.5, 99, 1);
     let exact = dd_gemm(&a.map(|x| x as f64), &b.map(|x| x as f64));

@@ -14,7 +14,10 @@ use gemmul8::prelude::*;
 
 fn main() {
     let n = 192;
-    println!("== McWeeny purification, n = {n} (true trace = {}) ==\n", n / 2);
+    println!(
+        "== McWeeny purification, n = {n} (true trace = {}) ==\n",
+        n / 2
+    );
     // Half the spectrum at 0.9 (occupied), half at 0.1 (virtual): the
     // purified matrix has trace n/2.
     let p0 = known_spectrum_matrix(n, 0.1, 0.9, 777);

@@ -44,10 +44,26 @@ fn main() {
     let err32 = |c: &MatF32| max_rel_error_vs_dd(&c.map(|x| x as f64), &exact32);
 
     println!("{:<16} {:>14}", "method", "max rel error");
-    println!("{:<16} {:>14.3e}", "SGEMM", err32(&NativeSgemm.matmul_f32(&a32, &b32)));
-    println!("{:<16} {:>14.3e}", "TF32GEMM", err32(&Tf32Gemm.matmul_f32(&a32, &b32)));
-    println!("{:<16} {:>14.3e}", "BF16x9", err32(&Bf16x9.matmul_f32(&a32, &b32)));
-    println!("{:<16} {:>14.3e}", "cuMpSGEMM", err32(&CuMpSgemm.matmul_f32(&a32, &b32)));
+    println!(
+        "{:<16} {:>14.3e}",
+        "SGEMM",
+        err32(&NativeSgemm.matmul_f32(&a32, &b32))
+    );
+    println!(
+        "{:<16} {:>14.3e}",
+        "TF32GEMM",
+        err32(&Tf32Gemm.matmul_f32(&a32, &b32))
+    );
+    println!(
+        "{:<16} {:>14.3e}",
+        "BF16x9",
+        err32(&Bf16x9.matmul_f32(&a32, &b32))
+    );
+    println!(
+        "{:<16} {:>14.3e}",
+        "cuMpSGEMM",
+        err32(&CuMpSgemm.matmul_f32(&a32, &b32))
+    );
     for nmod in [4usize, 6, 8] {
         let method = Ozaki2::new(nmod, Mode::Fast);
         println!(

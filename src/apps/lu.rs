@@ -111,8 +111,8 @@ pub fn lu_solve(f: &LuFactors, b: &[f64]) -> Vec<f64> {
     for j in 0..n {
         let xj = x[j];
         if xj != 0.0 {
-            for i in j + 1..n {
-                x[i] -= f.lu[(i, j)] * xj;
+            for (i, xi) in x.iter_mut().enumerate().take(n).skip(j + 1) {
+                *xi -= f.lu[(i, j)] * xj;
             }
         }
     }
@@ -121,8 +121,8 @@ pub fn lu_solve(f: &LuFactors, b: &[f64]) -> Vec<f64> {
         x[j] /= f.lu[(j, j)];
         let xj = x[j];
         if xj != 0.0 {
-            for i in 0..j {
-                x[i] -= f.lu[(i, j)] * xj;
+            for (i, xi) in x.iter_mut().enumerate().take(j) {
+                *xi -= f.lu[(i, j)] * xj;
             }
         }
     }

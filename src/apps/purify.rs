@@ -20,7 +20,7 @@ pub fn known_spectrum_matrix(n: usize, lo: f64, hi: f64, seed: u64) -> MatF64 {
     for x in &mut v {
         *x /= norm;
     }
-    let d = |i: usize| if i % 2 == 0 { hi } else { lo };
+    let d = |i: usize| if i.is_multiple_of(2) { hi } else { lo };
     // P = (I - 2vvᵀ) D (I - 2vvᵀ): expand to avoid forming Q explicitly.
     // P = D - 2v(vᵀD) - 2(Dv)vᵀ + 4 v (vᵀDv) vᵀ.
     let vdv: f64 = (0..n).map(|i| v[i] * d(i) * v[i]).sum();
@@ -44,12 +44,7 @@ pub struct PurifyResult {
 }
 
 /// Run McWeeny purification until `||P² - P||_F < tol` or `max_iter`.
-pub fn mcweeny(
-    p0: &MatF64,
-    gemm: &dyn MatMulF64,
-    tol: f64,
-    max_iter: usize,
-) -> PurifyResult {
+pub fn mcweeny(p0: &MatF64, gemm: &dyn MatMulF64, tol: f64, max_iter: usize) -> PurifyResult {
     let n = p0.rows();
     assert_eq!(p0.shape(), (n, n));
     let mut p = p0.clone();

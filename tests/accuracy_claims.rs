@@ -4,7 +4,13 @@
 
 use gemmul8::prelude::*;
 
-fn dgemm_err(nmod: usize, mode: Mode, a: &MatF64, b: &MatF64, exact: &gemm_dense::Matrix<Dd>) -> f64 {
+fn dgemm_err(
+    nmod: usize,
+    mode: Mode,
+    a: &MatF64,
+    b: &MatF64,
+    exact: &gemm_dense::Matrix<Dd>,
+) -> f64 {
     max_rel_error_vs_dd(&Ozaki2::new(nmod, mode).dgemm(a, b), exact)
 }
 
@@ -139,7 +145,10 @@ fn claim_fast_small_n_wide_phi_collapses() {
     let e3 = err(3);
     let e5 = err(5);
     assert!(e2 > 10.0, "fast-2 must be unusable at phi=1.5: {e2:e}");
-    assert!(e3 < e2 && e5 < e3, "and recover with N: {e2:e} > {e3:e} > {e5:e}");
+    assert!(
+        e3 < e2 && e5 < e3,
+        "and recover with N: {e2:e} > {e3:e} > {e5:e}"
+    );
     assert!(e5 < 1.0, "fast-5 should carry real signal: {e5:e}");
 }
 
@@ -154,7 +163,10 @@ fn claim_bf16x9_equivalent_to_sgemm() {
     let sgemm = err(&NativeSgemm.matmul_f32(&a, &b));
     let bf = err(&Bf16x9.matmul_f32(&a, &b));
     let ratio = (bf / sgemm).max(sgemm / bf);
-    assert!(ratio < 32.0, "SGEMM {sgemm:e} vs BF16x9 {bf:e}: same order expected");
+    assert!(
+        ratio < 32.0,
+        "SGEMM {sgemm:e} vs BF16x9 {bf:e}: same order expected"
+    );
 }
 
 #[test]

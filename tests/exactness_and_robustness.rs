@@ -81,9 +81,13 @@ fn rejects_nan_and_inf_everywhere() {
     for bad_val in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
         let mut bad = good.clone();
         bad[(3, 4)] = bad_val;
-        let e = Ozaki2::new(8, Mode::Fast).try_dgemm(&bad, &good).unwrap_err();
+        let e = Ozaki2::new(8, Mode::Fast)
+            .try_dgemm(&bad, &good)
+            .unwrap_err();
         assert_eq!(e, EmulationError::NonFiniteInput);
-        let e = Ozaki2::new(8, Mode::Fast).try_dgemm(&good, &bad).unwrap_err();
+        let e = Ozaki2::new(8, Mode::Fast)
+            .try_dgemm(&good, &bad)
+            .unwrap_err();
         assert_eq!(e, EmulationError::NonFiniteInput);
     }
 }
@@ -158,7 +162,10 @@ fn all_n_values_work_dgemm() {
         );
         prev = e;
     }
-    assert!(prev < 1e-15, "N=20 should be beyond double precision: {prev:e}");
+    assert!(
+        prev < 1e-15,
+        "N=20 should be beyond double precision: {prev:e}"
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! `gemm-perfmodel`'s unit tests; these check the cross-figure story).
 
 use gemm_perfmodel::{
-    breakdown, evaluation_devices, fig4_dgemm_throughput, fig5_sgemm_throughput,
-    fig8_dgemm_power, fig9_sgemm_power, gh200, headline, Os2Input, Os2Mode, SWEEP_NS,
+    breakdown, evaluation_devices, fig4_dgemm_throughput, fig5_sgemm_throughput, fig8_dgemm_power,
+    fig9_sgemm_power, gh200, headline, Os2Input, Os2Mode, SWEEP_NS,
 };
 
 #[test]
@@ -58,7 +58,10 @@ fn sgemm_emulation_power_catches_up_earlier_than_throughput() {
     let cross_pw = find_cross(&fig9_sgemm_power(device));
     let cross_pw = cross_pw.expect("power efficiency must cross");
     match cross_tf {
-        Some(n_tf) => assert!(cross_pw <= n_tf, "power ({cross_pw}) after throughput ({n_tf})"),
+        Some(n_tf) => assert!(
+            cross_pw <= n_tf,
+            "power ({cross_pw}) after throughput ({n_tf})"
+        ),
         None => { /* throughput never crosses: power crossing earlier trivially */ }
     }
 }
@@ -134,7 +137,11 @@ fn modelled_gh200_matches_measured_phase_structure() {
     let (_, rep) = ozaki2::Ozaki2::new(15, ozaki2::Mode::Fast).dgemm_with_report(&a, &b);
     let rows = rep.phases.as_rows();
     assert_eq!(rows.len(), 6, "one row per Algorithm-1 phase group");
-    let gemm_t = rows.iter().find(|(l, _)| l.contains("int8 GEMM")).unwrap().1;
+    let gemm_t = rows
+        .iter()
+        .find(|(l, _)| l.contains("int8 GEMM"))
+        .unwrap()
+        .1;
     assert!(gemm_t > 0.0, "the INT8 GEMM phase must be timed");
     assert!(
         rep.phases.total().as_secs_f64() >= gemm_t,
