@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gemm_dense::workload::phi_matrix_f64;
+use gemm_engine::{padded_a_rows, padded_depth};
 use ozaki2::accumulate::{fold_planes, FoldPrecision};
 use ozaki2::constants;
-use ozaki2::convert::residue_planes;
+use ozaki2::convert::{convert_pack_panels, residue_planes};
 use ozaki2::modred::reduce_plane;
 use ozaki2::scale::{
     accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
@@ -48,8 +49,16 @@ fn bench_phases(c: &mut Criterion) {
     scale_trunc_a_rowmajor(&a, &exps_a, &mut aprime);
     scale_trunc_b_colmajor(&b, &exps_b, &mut bprime);
     let mut a8 = vec![0i8; NMOD * N * N];
-    group.bench_function("convert (lines 4-5)", |bench| {
+    group.bench_function("convert_unfused_pr1 (lines 4-5)", |bench| {
         bench.iter(|| residue_planes(&aprime, consts, true, &mut a8));
+    });
+
+    // The hot-pipeline convert: vectorized rmod fused with panel packing.
+    let n_pad = padded_a_rows(N);
+    let kp = padded_depth(N);
+    let mut a16 = vec![0i16; NMOD * n_pad * kp];
+    group.bench_function("convert_fused (lines 4-5)", |bench| {
+        bench.iter(|| convert_pack_panels(&aprime, N, n_pad, N, kp, consts, true, true, &mut a16));
     });
 
     residue_planes(&aprime, consts, true, &mut a8);

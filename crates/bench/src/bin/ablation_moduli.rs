@@ -1,6 +1,6 @@
 //! Ablation: the moduli-pool choice.
 //!
-//! DESIGN.md picks the greedy maximal pairwise-coprime descending pool;
+//! docs/ARCHITECTURE.md picks the greedy maximal pairwise-coprime descending pool;
 //! the paper prints a pool whose tail reaches down to {41, 37, 29}. This
 //! binary quantifies what the pool choice costs: `log2 P(N)` decides the
 //! per-side scale budget and therefore the accuracy bits per modulus —

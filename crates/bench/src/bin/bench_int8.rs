@@ -1,7 +1,8 @@
 //! INT8 engine benchmark harness: measures the blocked kernel against the
-//! seed scalar kernel and records GEMM GOPS plus the per-phase shares of a
-//! representative emulated DGEMM to `BENCH_int8.json`, giving future PRs a
-//! perf trajectory.
+//! seed scalar kernel, the fused vectorized convert phase against the PR 1
+//! scalar convert, and records GEMM GOPS, convert throughput, and the
+//! per-phase shares of a representative emulated DGEMM to
+//! `BENCH_int8.json`, giving future PRs a perf trajectory.
 //!
 //! Usage: `cargo run --release -p gemm_bench --bin bench_int8 --
 //! [--n=1024] [--reps=3] [--out=BENCH_int8.json]`
@@ -10,9 +11,11 @@ use gemm_bench::report::Args;
 use gemm_dense::workload::phi_matrix_f64;
 use gemm_engine::{
     int8_gemm_blocked, int8_gemm_blocked_seq, int8_gemm_rm_cm_scalar, microkernel_name,
-    Int8Workspace,
+    padded_a_rows, padded_depth, Int8Workspace,
 };
-use ozaki2::{Mode, Ozaki2, Workspace};
+use ozaki2::convert::{convert_kernel_name, convert_pack_panels, rmod_to_i8, steps_for};
+use ozaki2::scale::{fast_scale_rows, scale_trunc_a_rowmajor};
+use ozaki2::{constants, Mode, Ozaki2, Workspace};
 use std::io::Write;
 use std::time::Instant;
 
@@ -59,6 +62,44 @@ fn main() {
     assert_eq!(c_blocked, c_scalar, "kernels must agree bit-for-bit");
     let speedup = t_scalar / t_seq;
 
+    // Convert phase (Algorithm 1 lines 4-5): the PR 1 scalar per-plane
+    // sweep vs the fused vectorized convert->pack, both single-threaded on
+    // realistic truncated operand data at N = 15. The baseline replicates
+    // residue_planes' per-element kernel in a plain sequential loop so the
+    // "1T" label holds on any core count (residue_planes itself is
+    // rayon-parallel).
+    let nmod = 15usize;
+    let consts = constants(nmod);
+    let ca = phi_matrix_f64(n, n, 0.5, 7, 0);
+    let exps = fast_scale_rows(&ca, consts.p_fast);
+    let mut src = vec![0f64; n * n];
+    scale_trunc_a_rowmajor(&ca, &exps, &mut src);
+    let mut planes8 = vec![0i8; nmod * n * n];
+    let steps = steps_for(nmod, true);
+    let t_conv_scalar = time_best(reps, || {
+        for (s, plane) in planes8.chunks_exact_mut(n * n).enumerate() {
+            for (d, &x) in plane.iter_mut().zip(&src) {
+                *d = rmod_to_i8(
+                    x,
+                    consts.p_f64[s],
+                    consts.p_f32[s],
+                    consts.p_inv_f64[s],
+                    consts.p_inv_f32[s],
+                    steps,
+                );
+            }
+        }
+    });
+    let n_pad = padded_a_rows(n);
+    let kp = padded_depth(n);
+    let mut panels = vec![0i16; nmod * n_pad * kp];
+    let t_conv_fused = time_best(reps, || {
+        convert_pack_panels(&src, n, n_pad, n, kp, consts, true, false, &mut panels)
+    });
+    // Residues emitted per second (each one rmod of an f64), in G/s.
+    let gres = |secs: f64| (nmod * n * n) as f64 / secs / 1e9;
+    let conv_speedup = t_conv_scalar / t_conv_fused;
+
     // Per-phase shares of a representative emulated DGEMM (N = 15, the
     // paper's DGEMM-accuracy setting), reusing a pipeline workspace so the
     // shares reflect the steady state.
@@ -83,6 +124,12 @@ fn main() {
         gops(t_par)
     ));
     json.push_str(&format!("  \"speedup_1t_vs_scalar\": {speedup:.3},\n"));
+    json.push_str(&format!(
+        "  \"convert\": {{\n    \"shape\": [{n}, {n}],\n    \"n_moduli\": {nmod},\n    \"kernel\": \"{}\",\n    \"scalar_pr1_gres_per_s\": {:.3},\n    \"fused_1t_gres_per_s\": {:.3},\n    \"speedup_1t\": {conv_speedup:.3}\n  }},\n",
+        convert_kernel_name(),
+        gres(t_conv_scalar),
+        gres(t_conv_fused)
+    ));
     json.push_str(&format!(
         "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"phase_seconds\": {{\n",
         report.n_moduli,
@@ -113,6 +160,15 @@ fn main() {
         gops(t_scalar),
         gops(t_seq),
         gops(t_par)
+    );
+    println!(
+        "convert lines 4-5 @ {n}x{n}, N={nmod} (kernel: {})",
+        convert_kernel_name()
+    );
+    println!(
+        "  PR1 scalar  : {:8.2} Gres/s\n  fused 1T    : {:8.2} Gres/s\n  1T speedup  : {conv_speedup:8.2}x",
+        gres(t_conv_scalar),
+        gres(t_conv_fused)
     );
     println!("wrote {out_path}");
 }

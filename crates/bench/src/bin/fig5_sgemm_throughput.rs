@@ -1,5 +1,5 @@
 //! Figure 5: throughput of SGEMM emulation on A100 / GH200 / RTX 5080
-//! (modelled; see DESIGN.md on the device-model substitution).
+//! (modelled; see docs/ARCHITECTURE.md on the device-model substitution).
 //!
 //! Usage: `cargo run --release -p gemm-bench --bin fig5_sgemm_throughput [--csv]`
 

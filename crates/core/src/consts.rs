@@ -8,7 +8,7 @@
 //!   `s_i1` keeps only the top `β_i` bits so that **all `s_i1` share one
 //!   common ulp** — that alignment is what makes the hot accumulation
 //!   `Σ s_i1 U_i` exact in f64 (§4.3);
-//! * the scale budgets `P'_fast`, `P'_accu` (see DESIGN.md on the per-side
+//! * the scale budgets `P'_fast`, `P'_accu` (see docs/ARCHITECTURE.md on the per-side
 //!   halving of the printed formulas);
 //! * fast-division reciprocals `p_inv` in f64, f32 and the `⌊2^32/p⌋ - 1`
 //!   integer form used by the `__mulhi` modulo kernel.

@@ -1,5 +1,5 @@
 //! Lines 4–5 of Algorithm 1: `A'_i = rmod(A', p_i)`, `B'_i = rmod(B', p_i)`
-//! as INT8 planes, via the fast FMA-based `rmod` of §4.2.
+//! as INT8 residues, via the fast FMA-based `rmod` of §4.2.
 //!
 //! The built-in `fmod` is slow, so the paper reduces with
 //! `y ← fma(round(x·p_inv), -p, x)` followed by up to two single-precision
@@ -7,12 +7,34 @@
 //! integers `|a'| ≤ 2^{P'_budget}`, and the larger the first-step residual):
 //! `(N1, N2) = (13, 19)` for `b = 64` and `(5, 11)` for `b = 32`.
 //!
-//! One deliberate deviation (documented in DESIGN.md): when three steps are
-//! required (`N ≥ N2`) the second step runs in f64 before the narrowing to
-//! f32. For `N ∈ {19, 20}` the exact first-step residual can reach ~2^25,
-//! which does not round-trip through f32; keeping one more step in f64
-//! preserves exactness of the residue. Below `N2` the kernel is literally
-//! the paper's.
+//! Two deliberate deviations (documented in `docs/ARCHITECTURE.md`):
+//!
+//! * when three steps are required (`N ≥ N2`) the second step runs in f64
+//!   before the narrowing to f32. For `N ∈ {19, 20}` the exact first-step
+//!   residual can reach ~2^25, which does not round-trip through f32;
+//!   keeping one more step in f64 preserves exactness of the residue.
+//!   Below `N2` the kernel is literally the paper's.
+//! * `round` is round-to-nearest **ties-to-even** (`roundscale` /
+//!   `round_ties_even`), not ties-away. Any nearest rounding keeps the
+//!   residual bound `|y| ≤ p/2 + ε`, and RNE is the mode the vector units
+//!   implement natively — using it everywhere is what lets the SIMD paths
+//!   below stay bit-identical to the scalar kernel, lane for lane.
+//!
+//! # The fused convert phase
+//!
+//! Converting a full operand is the memory-bound half of the pipeline, so
+//! [`convert_pack_panels`] fuses Algorithm 1 lines 4–5 with the INT8
+//! engine's operand packing: each cache-resident block of integer-valued
+//! f64s is loaded **once** and reduced against *all* `N` moduli, and the
+//! i8 residues are sign-extended and written straight into the engine's
+//! `i16` panel layout ([`gemm_engine::pack_panels_i16`]). The intermediate
+//! plane-major i8 buffers of the unfused pipeline — and the engine's own
+//! packing sweep over them — disappear entirely.
+//!
+//! The inner `rmod` row kernel is runtime-dispatched (AVX-512 → AVX2+FMA →
+//! scalar). The scalar kernel [`rmod_row_scalar`] is the property-test
+//! oracle: every SIMD path must produce bit-identical residues for every
+//! lane, every step count, and every thread count.
 
 use crate::consts::Constants;
 use rayon::prelude::*;
@@ -25,6 +47,10 @@ pub const N2_F64: usize = 19;
 pub const N1_F32: usize = 5;
 /// Second threshold for `b = 32`.
 pub const N2_F32: usize = 11;
+
+/// Depth block of the fused convert: `2048` f64s (16 KiB) stay L1-resident
+/// while all `N` moduli reduce them.
+pub const CONVERT_DEPTH_BLOCK: usize = 2048;
 
 /// Number of reduction steps for a given N and input width.
 #[inline]
@@ -41,22 +67,24 @@ pub fn steps_for(n: usize, b64: bool) -> u8 {
 ///
 /// The result is the symmetric residue in `[-p/2, p/2]`; the single corner
 /// case `+128` (p = 256) wraps to `-128`, which is congruent mod 256.
+/// Rounding is ties-to-even throughout (see the module docs) so this scalar
+/// kernel is the exact lane oracle for the SIMD paths.
 #[inline]
 pub fn rmod_to_i8(x: f64, p: f64, p32: f32, pinv64: f64, pinv32: f32, steps: u8) -> i8 {
     // Step 1 (always): one f64 FMA reduction.
-    let t = (x * pinv64).round();
+    let t = (x * pinv64).round_ties_even();
     let y64 = t.mul_add(-p, x);
     let mut y: f32;
     if steps >= 3 {
         // Wide-range second step in f64, then narrow.
-        let t2 = (y64 * pinv64).round();
+        let t2 = (y64 * pinv64).round_ties_even();
         y = t2.mul_add(-p, y64) as f32;
-        let t3 = (y * pinv32).round();
+        let t3 = (y * pinv32).round_ties_even();
         y = t3.mul_add(-p32, y);
     } else {
         y = y64 as f32;
         if steps >= 2 {
-            let t2 = (y * pinv32).round();
+            let t2 = (y * pinv32).round_ties_even();
             y = t2.mul_add(-p32, y);
         }
     }
@@ -65,9 +93,382 @@ pub fn rmod_to_i8(x: f64, p: f64, p32: f32, pinv64: f64, pinv32: f32, steps: u8)
     (y as i32) as u8 as i8
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized rmod row kernels (runtime-dispatched)
+// ---------------------------------------------------------------------------
+
+/// Which `rmod` row kernel the running CPU supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConvKernel {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Scalar,
+}
+
+fn detect_conv_kernel() -> ConvKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx2")
+            && is_x86_feature_detected!("fma")
+        {
+            return ConvKernel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return ConvKernel::Avx2;
+        }
+    }
+    ConvKernel::Scalar
+}
+
+fn conv_kernel() -> ConvKernel {
+    static KERNEL: std::sync::OnceLock<ConvKernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(detect_conv_kernel)
+}
+
+/// Human-readable name of the `rmod` kernel the running CPU dispatches to.
+pub fn convert_kernel_name() -> &'static str {
+    match conv_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        ConvKernel::Avx512 => "avx512",
+        #[cfg(target_arch = "x86_64")]
+        ConvKernel::Avx2 => "avx2-fma",
+        ConvKernel::Scalar => "scalar",
+    }
+}
+
+/// Scalar `rmod` row kernel: `dst[i] = rmod(xs[i], p)` sign-extended to
+/// i16 (the engine's packed element type). This is the reference the SIMD
+/// paths are property-tested against, lane for lane.
+pub fn rmod_row_scalar(
+    xs: &[f64],
+    dst: &mut [i16],
+    p: f64,
+    p32: f32,
+    pinv64: f64,
+    pinv32: f32,
+    steps: u8,
+) {
+    for (d, &x) in dst.iter_mut().zip(xs) {
+        *d = rmod_to_i8(x, p, p32, pinv64, pinv32, steps) as i16;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX-512 / AVX2 `rmod` row kernels. Every operation mirrors the
+    //! scalar kernel exactly: multiply, round-to-nearest-even
+    //! (`roundscale` / `roundpd`), fused multiply-add, f64→f32 narrowing
+    //! (RNE), and a final wrap of the integral residue into the i8 range
+    //! before sign-extension to i16 — so the output is bit-identical to
+    //! [`super::rmod_row_scalar`] for every lane.
+
+    use std::arch::x86_64::*;
+
+    /// `_MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC`.
+    const RNE: i32 = 0x08;
+
+    /// # Safety
+    /// Caller must ensure AVX-512F, AVX2 and FMA are available and that
+    /// `dst.len() >= xs.len()`.
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub unsafe fn rmod_row_avx512(
+        xs: &[f64],
+        dst: &mut [i16],
+        p: f64,
+        p32: f32,
+        pinv64: f64,
+        pinv32: f32,
+        steps: u8,
+    ) {
+        debug_assert!(dst.len() >= xs.len());
+        let n8 = xs.len() / 8 * 8;
+        let npv = _mm512_set1_pd(-p);
+        let piv = _mm512_set1_pd(pinv64);
+        let np32v = _mm256_set1_ps(-p32);
+        let piv32 = _mm256_set1_ps(pinv32);
+        let mut i = 0;
+        while i < n8 {
+            let x = _mm512_loadu_pd(xs.as_ptr().add(i));
+            let t = _mm512_roundscale_pd::<RNE>(_mm512_mul_pd(x, piv));
+            let y64 = _mm512_fmadd_pd(t, npv, x);
+            let y32: __m256 = if steps >= 3 {
+                let t2 = _mm512_roundscale_pd::<RNE>(_mm512_mul_pd(y64, piv));
+                let y64b = _mm512_fmadd_pd(t2, npv, y64);
+                let yf = _mm512_cvtpd_ps(y64b);
+                let t3 = _mm256_round_ps::<RNE>(_mm256_mul_ps(yf, piv32));
+                _mm256_fmadd_ps(t3, np32v, yf)
+            } else {
+                let yf = _mm512_cvtpd_ps(y64);
+                if steps >= 2 {
+                    let t2 = _mm256_round_ps::<RNE>(_mm256_mul_ps(yf, piv32));
+                    _mm256_fmadd_ps(t2, np32v, yf)
+                } else {
+                    yf
+                }
+            };
+            // Integral residue -> i32 lanes (exact), wrap into i8, widen to
+            // i16 (packs never saturate: values are in [-128, 127] after
+            // the shift pair).
+            let vi = _mm256_cvtps_epi32(y32);
+            let w = _mm256_srai_epi32::<24>(_mm256_slli_epi32::<24>(vi));
+            let packed =
+                _mm_packs_epi32(_mm256_castsi256_si128(w), _mm256_extracti128_si256::<1>(w));
+            _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, packed);
+            i += 8;
+        }
+        super::rmod_row_scalar(&xs[n8..], &mut dst[n8..], p, p32, pinv64, pinv32, steps);
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 and FMA are available and that
+    /// `dst.len() >= xs.len()`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn rmod_row_avx2(
+        xs: &[f64],
+        dst: &mut [i16],
+        p: f64,
+        p32: f32,
+        pinv64: f64,
+        pinv32: f32,
+        steps: u8,
+    ) {
+        debug_assert!(dst.len() >= xs.len());
+        let n4 = xs.len() / 4 * 4;
+        let npv = _mm256_set1_pd(-p);
+        let piv = _mm256_set1_pd(pinv64);
+        let np32v = _mm_set1_ps(-p32);
+        let piv32 = _mm_set1_ps(pinv32);
+        let mut i = 0;
+        while i < n4 {
+            let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+            let t = _mm256_round_pd::<RNE>(_mm256_mul_pd(x, piv));
+            let y64 = _mm256_fmadd_pd(t, npv, x);
+            let y32: __m128 = if steps >= 3 {
+                let t2 = _mm256_round_pd::<RNE>(_mm256_mul_pd(y64, piv));
+                let y64b = _mm256_fmadd_pd(t2, npv, y64);
+                let yf = _mm256_cvtpd_ps(y64b);
+                let t3 = _mm_round_ps::<RNE>(_mm_mul_ps(yf, piv32));
+                _mm_fmadd_ps(t3, np32v, yf)
+            } else {
+                let yf = _mm256_cvtpd_ps(y64);
+                if steps >= 2 {
+                    let t2 = _mm_round_ps::<RNE>(_mm_mul_ps(yf, piv32));
+                    _mm_fmadd_ps(t2, np32v, yf)
+                } else {
+                    yf
+                }
+            };
+            let vi = _mm_cvtps_epi32(y32);
+            let w = _mm_srai_epi32::<24>(_mm_slli_epi32::<24>(vi));
+            let packed = _mm_packs_epi32(w, w);
+            _mm_storel_epi64(dst.as_mut_ptr().add(i) as *mut __m128i, packed);
+            i += 4;
+        }
+        super::rmod_row_scalar(&xs[n4..], &mut dst[n4..], p, p32, pinv64, pinv32, steps);
+    }
+}
+
+/// Vectorized `rmod` over a row of integer-valued f64s, writing residues
+/// sign-extended to i16 (the engine's packed element type). Dispatches to
+/// the best kernel the CPU supports; bit-identical to [`rmod_row_scalar`]
+/// on every path.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn rmod_row(
+    xs: &[f64],
+    dst: &mut [i16],
+    p: f64,
+    p32: f32,
+    pinv64: f64,
+    pinv32: f32,
+    steps: u8,
+) {
+    assert!(dst.len() >= xs.len(), "destination row too short");
+    match conv_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: variant selected only after runtime feature detection;
+        // the length contract is asserted above.
+        ConvKernel::Avx512 => unsafe {
+            x86::rmod_row_avx512(xs, dst, p, p32, pinv64, pinv32, steps)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        ConvKernel::Avx2 => unsafe { x86::rmod_row_avx2(xs, dst, p, p32, pinv64, pinv32, steps) },
+        ConvKernel::Scalar => rmod_row_scalar(xs, dst, p, p32, pinv64, pinv32, steps),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused convert -> packed-panel emission
+// ---------------------------------------------------------------------------
+
+/// One parallel unit of the fused convert: vectors `[v0, v0 + nv)` of every
+/// residue panel.
+struct ConvertJob<'a> {
+    v0: usize,
+    nv: usize,
+    /// This job's slice of each modulus' panel set (`nv * kp` each).
+    planes: Vec<&'a mut [i16]>,
+}
+
+/// The fused convert phase (Algorithm 1 lines 4–5 + engine packing).
+///
+/// `src` holds `vecs` integer-valued f64 k-vectors — rows of `A'` laid out
+/// row-major or columns of `B'` laid out column-major, vector `v` at
+/// `v * k` — exactly what the Step 2–3 truncation emits. For each modulus
+/// `s`, the residues are written to the panel set
+/// `out[s * vecs_pad * kp ..][.. vecs_pad * kp]` in the INT8 engine's
+/// packed i16 layout ([`gemm_engine::pack_panels_i16`]): vector `v` at
+/// `v * kp`, sign-extended residues, depth zero-padded from `k` to `kp`,
+/// vector count zero-padded to `vecs_pad`.
+///
+/// The sweep is cache-blocked ([`CONVERT_DEPTH_BLOCK`] f64s are reduced
+/// against all `N` moduli while L1-resident, so `src` streams from DRAM
+/// once instead of `N` times) and split over `vecs` for rayon when
+/// `parallel` is set. The output is bit-identical for every kernel, thread
+/// count and split: workers own disjoint vector ranges and the row kernels
+/// are lane-exact against [`rmod_row_scalar`].
+///
+/// # Panics
+/// If `out` is not exactly `N * vecs_pad * kp` elements, `src` is shorter
+/// than `vecs * k`, `vecs_pad < vecs`, or `kp < k`.
+#[allow(clippy::too_many_arguments)]
+pub fn convert_pack_panels(
+    src: &[f64],
+    vecs: usize,
+    vecs_pad: usize,
+    k: usize,
+    kp: usize,
+    consts: &Constants,
+    b64: bool,
+    parallel: bool,
+    out: &mut [i16],
+) {
+    let nmod = consts.n;
+    assert!(vecs_pad >= vecs, "vector padding below count");
+    assert!(kp >= k, "depth padding below depth");
+    assert!(src.len() >= vecs * k, "source buffer too short");
+    assert_eq!(out.len(), nmod * vecs_pad * kp, "panel buffer mismatch");
+    if vecs_pad == 0 || kp == 0 {
+        return;
+    }
+    let steps = steps_for(nmod, b64);
+
+    // Coarse vector blocks: enough tasks to balance, few enough that each
+    // worker streams long contiguous panel runs.
+    let workers = if parallel {
+        rayon::current_num_threads()
+    } else {
+        1
+    };
+    let tasks = (workers * 4).clamp(1, vecs_pad);
+    let vb = vecs_pad.div_ceil(tasks);
+
+    let mut plane_rests: Vec<&mut [i16]> = out.chunks_mut(vecs_pad * kp).collect();
+    let mut jobs: Vec<ConvertJob<'_>> = Vec::with_capacity(tasks);
+    let mut v0 = 0;
+    while v0 < vecs_pad {
+        let nv = vb.min(vecs_pad - v0);
+        let planes: Vec<&mut [i16]> = plane_rests
+            .iter_mut()
+            .map(|rest| {
+                let (head, tail) = std::mem::take(rest).split_at_mut(nv * kp);
+                *rest = tail;
+                head
+            })
+            .collect();
+        jobs.push(ConvertJob { v0, nv, planes });
+        v0 += nv;
+    }
+
+    let run = |job: ConvertJob<'_>| convert_job(src, vecs, k, kp, consts, steps, job);
+    if !parallel || jobs.len() == 1 {
+        jobs.into_iter().for_each(run);
+    } else {
+        jobs.into_par_iter().for_each(run);
+    }
+}
+
+/// Convert one job's vector range across all moduli (cache-blocked depth).
+fn convert_job(
+    src: &[f64],
+    vecs: usize,
+    k: usize,
+    kp: usize,
+    consts: &Constants,
+    steps: u8,
+    job: ConvertJob<'_>,
+) {
+    let ConvertJob { v0, nv, mut planes } = job;
+    for vl in 0..nv {
+        let v = v0 + vl;
+        let base = vl * kp;
+        if v >= vecs {
+            // Padding vector: all-zero in every panel.
+            for plane in planes.iter_mut() {
+                plane[base..base + kp].fill(0);
+            }
+            continue;
+        }
+        let row = &src[v * k..(v + 1) * k];
+        let mut off = 0;
+        while off < k {
+            let len = CONVERT_DEPTH_BLOCK.min(k - off);
+            let xs = &row[off..off + len];
+            for (s, plane) in planes.iter_mut().enumerate() {
+                rmod_row(
+                    xs,
+                    &mut plane[base + off..base + off + len],
+                    consts.p_f64[s],
+                    consts.p_f32[s],
+                    consts.p_inv_f64[s],
+                    consts.p_inv_f32[s],
+                    steps,
+                );
+            }
+            off += len;
+        }
+        for plane in planes.iter_mut() {
+            plane[base + k..base + kp].fill(0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference (unfused) conversion
+// ---------------------------------------------------------------------------
+
 /// Convert one integer-valued buffer (row-major `A'` or column-major `B'`)
 /// into `N` INT8 residue planes stored plane-major in `out`
 /// (`out[s * len + idx] = rmod(src[idx], p_s)`).
+///
+/// This is the *unfused* PR 1 convert kernel — one full sweep over `src`
+/// per modulus, emitting plane-major i8. The hot pipeline now uses
+/// [`convert_pack_panels`] instead; this stays as the structurally
+/// independent reference the fused path is property-tested against (both
+/// build on [`rmod_to_i8`], so they agree bit-for-bit), and as the
+/// convenient form for consumers that want plain residue planes.
+///
+/// # Examples
+/// ```
+/// use ozaki2::consts::constants;
+/// use ozaki2::convert::{residue_planes, rmod_reference};
+///
+/// let c = constants(3);
+/// let src = [100.0, -300.0]; // integer-valued, as Step 2 truncation emits
+/// let mut planes = vec![0i8; 3 * src.len()];
+/// residue_planes(&src, c, true, &mut planes);
+/// for s in 0..3 {
+///     for (i, &x) in src.iter().enumerate() {
+///         let got = planes[s * src.len() + i] as i64;
+///         let want = rmod_reference(x, c.p[s]) as i64;
+///         assert_eq!(got.rem_euclid(c.p[s] as i64), want.rem_euclid(c.p[s] as i64));
+///     }
+/// }
+/// ```
 pub fn residue_planes(src: &[f64], consts: &Constants, b64: bool, out: &mut [i8]) {
     let len = src.len();
     let n = consts.n;
@@ -182,8 +583,9 @@ mod tests {
     #[test]
     fn plus_half_p_wraps_for_256() {
         let c = constants(2);
-        // x = -128: round(-0.5) = -1 (ties away) -> y = -128 + 256 = +128,
-        // which must wrap to -128 on the INT8 cast.
+        // x = ±128: the quotient tie ±0.5 rounds to even (0), so the
+        // residue stays ±128; the +128 case must wrap to -128 on the INT8
+        // cast.
         let r = rmod_to_i8(-128.0, 256.0, 256.0, c.p_inv_f64[0], c.p_inv_f32[0], 1);
         assert_eq!(r, -128);
         let r2 = rmod_to_i8(128.0, 256.0, 256.0, c.p_inv_f64[0], c.p_inv_f32[0], 1);
@@ -229,6 +631,144 @@ mod tests {
                 let r = rmod_reference(x as f64, p) as i64;
                 assert_eq!((x - r).rem_euclid(p as i64), 0, "x={x} p={p}");
                 assert!(r.abs() <= (p / 2) as i64, "x={x} p={p} r={r}");
+            }
+        }
+    }
+
+    /// Exercise rows through every step regime with awkward lengths (SIMD
+    /// body + scalar tail) and wrap-prone values (multiples of p, ±p/2).
+    fn parity_rows() -> Vec<Vec<f64>> {
+        let mut rows = Vec::new();
+        for len in [1usize, 3, 7, 8, 9, 16, 31, 64, 100] {
+            let mut row = Vec::with_capacity(len);
+            for i in 0..len {
+                let v = match i % 5 {
+                    0 => (i as f64) * 128.0 - 300.0,
+                    1 => -(i as f64) * 12_345.0,
+                    2 => (i as f64 + 1.0) * 256.0 * 128.0, // ±p/2 multiples for 256
+                    3 => 2f64.powi(20 + (i % 30) as i32).trunc(),
+                    _ => -(2f64.powi(15 + (i % 40) as i32) * 0.73).trunc(),
+                };
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn dispatched_rmod_row_bit_identical_to_scalar() {
+        for nmod in [2usize, 13, 20] {
+            let c = constants(nmod);
+            for b64 in [true, false] {
+                if !b64 && nmod > crate::moduli::N_MAX_SGEMM {
+                    continue;
+                }
+                let steps = steps_for(nmod, b64);
+                for row in parity_rows() {
+                    // Keep values within the magnitude budget of this N.
+                    let bound = 2f64.powf(c.p_fast);
+                    let row: Vec<f64> = row
+                        .iter()
+                        .map(|&x| if x.abs() < bound { x } else { x % bound })
+                        .map(|x| x.trunc())
+                        .collect();
+                    for s in 0..nmod {
+                        let mut got = vec![0i16; row.len()];
+                        let mut want = vec![0i16; row.len()];
+                        rmod_row(
+                            &row,
+                            &mut got,
+                            c.p_f64[s],
+                            c.p_f32[s],
+                            c.p_inv_f64[s],
+                            c.p_inv_f32[s],
+                            steps,
+                        );
+                        rmod_row_scalar(
+                            &row,
+                            &mut want,
+                            c.p_f64[s],
+                            c.p_f32[s],
+                            c.p_inv_f64[s],
+                            c.p_inv_f32[s],
+                            steps,
+                        );
+                        assert_eq!(
+                            got,
+                            want,
+                            "kernel={} N={nmod} s={s} steps={steps}",
+                            convert_kernel_name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_panels_match_reference_planes() {
+        // convert_pack_panels == residue_planes + pack_panels_i16, bitwise,
+        // for ragged shapes and both parallel settings.
+        use gemm_engine::{pack_panels_i16, padded_a_rows, padded_depth};
+        for (vecs, k) in [(1usize, 1usize), (3, 5), (7, 33), (12, 100), (5, 2048 + 17)] {
+            let nmod = 15;
+            let c = constants(nmod);
+            let src: Vec<f64> = (0..vecs * k)
+                .map(|i| ((i as f64 * 97.0 + 13.0) * 1009.0 - 50_000.0).trunc())
+                .collect();
+            let vecs_pad = padded_a_rows(vecs);
+            let kp = padded_depth(k);
+
+            let mut planes8 = vec![0i8; nmod * vecs * k];
+            residue_planes(&src, c, true, &mut planes8);
+            let mut want = vec![0i16; nmod * vecs_pad * kp];
+            for s in 0..nmod {
+                let mut pack = Vec::new();
+                pack_panels_i16(
+                    &mut pack,
+                    &planes8[s * vecs * k..(s + 1) * vecs * k],
+                    k,
+                    vecs,
+                    vecs_pad,
+                    k,
+                    kp,
+                );
+                want[s * vecs_pad * kp..(s + 1) * vecs_pad * kp].copy_from_slice(&pack);
+            }
+
+            for parallel in [false, true] {
+                let mut got = vec![-1i16; nmod * vecs_pad * kp];
+                convert_pack_panels(&src, vecs, vecs_pad, k, kp, c, true, parallel, &mut got);
+                assert_eq!(got, want, "vecs={vecs} k={k} parallel={parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_panels_zero_padding() {
+        // Padding rows and the depth tail must be zero even when the
+        // buffer starts dirty.
+        use gemm_engine::{padded_b_cols, padded_depth};
+        let (vecs, k) = (5usize, 37usize);
+        let nmod = 4;
+        let c = constants(nmod);
+        let vecs_pad = padded_b_cols(vecs); // 8
+        let kp = padded_depth(k); // 64
+        let src: Vec<f64> = (0..vecs * k).map(|i| (i as f64 * 7.0) - 50.0).collect();
+        let mut out = vec![0x55i16; nmod * vecs_pad * kp];
+        convert_pack_panels(&src, vecs, vecs_pad, k, kp, c, true, true, &mut out);
+        for s in 0..nmod {
+            let panel = &out[s * vecs_pad * kp..(s + 1) * vecs_pad * kp];
+            for v in 0..vecs_pad {
+                for h in 0..kp {
+                    let e = panel[v * kp + h];
+                    if v >= vecs || h >= k {
+                        assert_eq!(e, 0, "s={s} v={v} h={h} must be padding");
+                    } else {
+                        assert!((-128..=127).contains(&e), "s={s} v={v} h={h}: {e}");
+                    }
+                }
             }
         }
     }

@@ -44,6 +44,7 @@ pub mod scale;
 
 pub use blas::{dgemm_emulated, GemmOp};
 pub use consts::{constants, Constants};
+pub use convert::{convert_kernel_name, convert_pack_panels, residue_planes};
 pub use mixed::{dgemm_dd, gemm_f32xf64, gemm_f64xf32};
 pub use moduli::{moduli, MODULI, N_MAX, N_MAX_SGEMM};
 pub use nselect::{auto_emulator, choose_n, n_for_dgemm_level, n_for_sgemm_level, predicted_error};

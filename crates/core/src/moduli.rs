@@ -23,6 +23,12 @@ pub const MODULI: [u64; N_MAX] = [
 ];
 
 /// The first `n` moduli.
+///
+/// # Examples
+/// ```
+/// // N = 2 keeps the two largest pairwise-coprime moduli.
+/// assert_eq!(ozaki2::moduli(2), &[256, 255]);
+/// ```
 pub fn moduli(n: usize) -> &'static [u64] {
     assert!((2..=N_MAX).contains(&n), "N must be in 2..=20, got {n}");
     &MODULI[..n]

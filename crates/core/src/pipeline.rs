@@ -7,7 +7,7 @@
 
 use crate::accumulate::{fold_planes, FoldPrecision};
 use crate::consts::{constants, Constants};
-use crate::convert::residue_planes;
+use crate::convert::convert_pack_panels;
 use crate::modred::finalize_block_residues;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
 use crate::scale::{
@@ -15,7 +15,10 @@ use crate::scale::{
     scale_trunc_b_colmajor,
 };
 use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
-use gemm_engine::{int8_gemm_fused, AccumulateEpilogue, Int8Workspace, ReduceEpilogue};
+use gemm_engine::{
+    int8_gemm_prepacked_fused, padded_a_rows, padded_b_cols, padded_depth, AccumulateEpilogue,
+    ReduceEpilogue,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -81,7 +84,9 @@ pub struct PhaseTimes {
     pub scale: Duration,
     /// Lines 2–3: truncation to integer matrices (plus operand repack).
     pub trunc: Duration,
-    /// Lines 4–5: conversion to INT8 residue planes.
+    /// Lines 4–5: fused conversion to INT8 residues, written directly as
+    /// the engine's packed i16 panels (includes what used to be the
+    /// engine-side operand packing).
     pub convert: Duration,
     /// Line 6: the `N` INT8 matrix multiplications.
     pub int8_gemm: Duration,
@@ -126,23 +131,29 @@ pub struct EmulationReport {
 }
 
 /// Reusable scratch for the whole Algorithm-1 pipeline: integer operand
-/// matrices, residue planes, the INT32 product plane, the block-residue
-/// accumulator, and the engine's packing buffers.
+/// matrices, the packed residue panels the fused convert phase emits, the
+/// INT32 product plane, and the block-residue accumulator.
 ///
-/// A single emulated GEMM needs ~`(2N + 18)·mk` bytes of scratch; the
-/// workspace grows to the high-water mark of the shapes it has seen and is
-/// then reused, so iterative consumers (LU panel updates, purification
-/// sweeps, the `N` residue planes of every call) allocate nothing per call.
+/// A single emulated GEMM needs ~`(5N + 20)·mn` bytes of scratch for a
+/// square product (`16·mk` f64 operands, `4N·mk` packed i16 panels, `N·mn`
+/// residue planes, `4·mn` INT32; `k > 2^17` adds a `4·mn` block-residue
+/// accumulator); the workspace grows to the high-water
+/// mark of the shapes it has seen and is then reused, so iterative
+/// consumers (LU panel updates, purification sweeps, the `N` residue-panel
+/// sets of every call) allocate nothing per call.
+///
+/// The residue panels are stored directly in the INT8 engine's packed i16
+/// layout, so the GEMMs run over them with zero repacking
+/// ([`gemm_engine::int8_gemm_prepacked_fused`]).
 #[derive(Default)]
 pub struct Workspace {
     aprime_rm: Vec<f64>,
     bprime_cm: Vec<f64>,
-    a8: Vec<i8>,
-    b8: Vec<i8>,
+    a16: Vec<i16>,
+    b16: Vec<i16>,
     u: Vec<u8>,
     c32: Vec<i32>,
     racc: Vec<i32>,
-    engine: Int8Workspace,
 }
 
 impl Workspace {
@@ -155,16 +166,15 @@ impl Workspace {
     pub fn bytes(&self) -> usize {
         self.aprime_rm.capacity() * 8
             + self.bprime_cm.capacity() * 8
-            + self.a8.capacity()
-            + self.b8.capacity()
+            + self.a16.capacity() * 2
+            + self.b16.capacity() * 2
             + self.u.capacity()
             + self.c32.capacity() * 4
             + self.racc.capacity() * 4
-            + self.engine.bytes()
     }
 
     /// Grow-only resize of every pipeline buffer for an `m x k · k x n`
-    /// product with `nmod` residue planes.
+    /// product with `nmod` residue-panel sets.
     fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
         let grow = |v: &mut Vec<f64>, len: usize| {
             if v.len() < len {
@@ -173,11 +183,12 @@ impl Workspace {
         };
         grow(&mut self.aprime_rm, m * k);
         grow(&mut self.bprime_cm, k * n);
-        if self.a8.len() < nmod * m * k {
-            self.a8.resize(nmod * m * k, 0);
+        let kp = padded_depth(k);
+        if self.a16.len() < nmod * padded_a_rows(m) * kp {
+            self.a16.resize(nmod * padded_a_rows(m) * kp, 0);
         }
-        if self.b8.len() < nmod * k * n {
-            self.b8.resize(nmod * k * n, 0);
+        if self.b16.len() < nmod * padded_b_cols(n) * kp {
+            self.b16.resize(nmod * padded_b_cols(n) * kp, 0);
         }
         if self.u.len() < nmod * m * n {
             self.u.resize(nmod * m * n, 0);
@@ -223,6 +234,21 @@ impl Ozaki2 {
     /// # Panics
     /// On shape mismatch or non-finite input (use [`Ozaki2::try_dgemm`]
     /// for a checked version).
+    ///
+    /// # Examples
+    /// ```
+    /// use ozaki2::{Mode, Ozaki2};
+    /// use gemm_dense::workload::phi_matrix_f64;
+    /// use gemm_dense::gemm::gemm_f64_naive;
+    /// use gemm_dense::norms::max_relative_error;
+    ///
+    /// let a = phi_matrix_f64(48, 64, 0.5, 7, 0);
+    /// let b = phi_matrix_f64(64, 48, 0.5, 7, 1);
+    /// // N = 15 moduli reach ~double-precision accuracy (§5.1).
+    /// let c = Ozaki2::new(15, Mode::Fast).dgemm(&a, &b);
+    /// let exact = gemm_f64_naive(&a, &b);
+    /// assert!(max_relative_error(&c, &exact) < 1e-10);
+    /// ```
     pub fn dgemm(&self, a: &MatF64, b: &MatF64) -> MatF64 {
         self.try_dgemm(a, b)
             .unwrap_or_else(|e| panic!("dgemm: {e}"))
@@ -429,12 +455,11 @@ pub(crate) fn emulate(
     let Workspace {
         aprime_rm,
         bprime_cm,
-        a8,
-        b8,
+        a16,
+        b16,
         u,
         c32,
         racc,
-        engine,
     } = ws;
     let aprime_rm = &mut aprime_rm[..m * k];
     scale_trunc_a_rowmajor(a, &exps_a, aprime_rm);
@@ -442,12 +467,18 @@ pub(crate) fn emulate(
     scale_trunc_b_colmajor(b, &exps_b, bprime_cm);
     phases.trunc = t0.elapsed();
 
-    // ---- Lines 4–5: residue planes --------------------------------------
+    // ---- Lines 4–5: fused convert -> packed residue panels ---------------
+    // One cache-blocked sweep per operand covers all N moduli and writes
+    // the INT8 engine's packed i16 panels directly — no intermediate i8
+    // planes, and the GEMMs below never repack.
     let t0 = Instant::now();
-    let a8 = &mut a8[..nmod * m * k];
-    residue_planes(aprime_rm, consts, b64, a8);
-    let b8 = &mut b8[..nmod * k * n];
-    residue_planes(bprime_cm, consts, b64, b8);
+    let kp = padded_depth(k);
+    let m_pad = padded_a_rows(m);
+    let n_pad = padded_b_cols(n);
+    let a16 = &mut a16[..nmod * m_pad * kp];
+    convert_pack_panels(aprime_rm, m, m_pad, k, kp, consts, b64, true, a16);
+    let b16 = &mut b16[..nmod * n_pad * kp];
+    convert_pack_panels(bprime_cm, n, n_pad, k, kp, consts, b64, true, b16);
     phases.convert = t0.elapsed();
 
     // ---- Lines 6–7: INT8 GEMMs with fused modular reduction -------------
@@ -461,18 +492,17 @@ pub(crate) fn emulate(
         for s in 0..nmod {
             let t0 = Instant::now();
             let epi = ReduceEpilogue::new(consts.p[s], consts.p_inv_u32[s], Some(&mod_nanos));
-            int8_gemm_fused(
+            int8_gemm_prepacked_fused(
                 m,
                 n,
                 k,
-                &a8[s * m * k..(s + 1) * m * k],
-                k,
-                &b8[s * k * n..(s + 1) * k * n],
-                k,
+                &a16[s * m_pad * kp..(s + 1) * m_pad * kp],
+                &b16[s * n_pad * kp..(s + 1) * n_pad * kp],
+                kp,
+                0,
                 c32,
                 &mut u[s * plane..(s + 1) * plane],
                 &epi,
-                engine,
                 true,
             );
             gemm_calls += 1;
@@ -483,32 +513,22 @@ pub(crate) fn emulate(
         }
     } else {
         // k-blocking: reduce each block's products mod p, accumulate the
-        // residues in i32, reduce once more at the end. Blocks are packed
-        // straight out of the strided plane — no gather copies.
+        // residues in i32, reduce once more at the end. Every block is a
+        // PK-aligned depth window of the same packed panels — no repacking,
+        // no copies.
         let racc = &mut racc[..plane];
         for s in 0..nmod {
             racc.fill(0);
-            let a_plane = &a8[s * m * k..(s + 1) * m * k];
-            let b_plane = &b8[s * k * n..(s + 1) * k * n];
+            let a_panels = &a16[s * m_pad * kp..(s + 1) * m_pad * kp];
+            let b_panels = &b16[s * n_pad * kp..(s + 1) * n_pad * kp];
             let mut h0 = 0usize;
             while h0 < k {
                 let kb = K_BLOCK_MAX.min(k - h0);
                 let t0 = Instant::now();
                 let epi =
                     AccumulateEpilogue::new(consts.p[s], consts.p_inv_u32[s], Some(&mod_nanos));
-                int8_gemm_fused(
-                    m,
-                    n,
-                    kb,
-                    &a_plane[h0..],
-                    k,
-                    &b_plane[h0..],
-                    k,
-                    c32,
-                    racc,
-                    &epi,
-                    engine,
-                    true,
+                int8_gemm_prepacked_fused(
+                    m, n, kb, a_panels, b_panels, kp, h0, c32, racc, &epi, true,
                 );
                 gemm_calls += 1;
                 let total = t0.elapsed();
@@ -717,9 +737,10 @@ mod tests {
 
     #[test]
     fn k_blocked_path_matches_direct_reference() {
-        // k just over the block limit exercises the strided zero-copy
-        // packing; compare against an independently computed exact result
-        // on tiny m, n (integer inputs make the reference exact).
+        // k just over the block limit exercises the PK-aligned depth-window
+        // path over the prepacked panels; compare against an independently
+        // computed exact result on tiny m, n (integer inputs make the
+        // reference exact).
         let k = K_BLOCK_MAX + 129;
         let (m, n) = (2usize, 2);
         let mut s = 0x9e3779b97f4a7c15u64;

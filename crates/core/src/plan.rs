@@ -1,8 +1,10 @@
 //! Reusable execution plans.
 //!
-//! A single emulated GEMM needs ~`(2N + 18)·mk` bytes of scratch (integer
-//! matrices, residue planes, the INT32 product buffer, engine packing
-//! panels). Iterative consumers — LU panel updates, purification
+//! A single emulated GEMM needs ~`(5N + 20)·mn` bytes of scratch for a
+//! square product (integer matrices, the packed i16 residue panels the
+//! fused convert emits, residue planes, the INT32 product buffer, plus a
+//! block-residue accumulator when `k > 2^17`).
+//! Iterative consumers — LU panel updates, purification
 //! iterations, repeated solves — call GEMM many times with one shape;
 //! [`GemmPlan`] keeps a [`Workspace`] alive across calls so the
 //! steady-state does no allocation at all (beyond the output matrix).
@@ -21,8 +23,8 @@ pub struct GemmPlan {
 
 impl GemmPlan {
     /// Build a plan for `m x k · k x n` products with the given emulator.
-    /// Any `k` is supported; `k > 2^17` products run the engine's
-    /// zero-copy `k`-blocked path.
+    /// Any `k` is supported; `k > 2^17` products run PK-aligned depth
+    /// windows over the prepacked residue panels (no repacking per block).
     pub fn new(emu: Ozaki2, m: usize, n: usize, k: usize) -> Self {
         Self {
             emu,

@@ -36,6 +36,14 @@ pub fn ilog2_abs(x: f64) -> i32 {
 
 /// `x * 2^e`, safe for exponents beyond the normal range (split into two
 /// in-range multiplications; each power of two is exact).
+///
+/// # Examples
+/// ```
+/// use ozaki2::scale::scale_by_pow2;
+/// assert_eq!(scale_by_pow2(3.0, 4), 48.0);
+/// // A naive `x * 2f64.powi(1500)` would overflow to infinity:
+/// assert_eq!(scale_by_pow2(2f64.powi(-1000), 1500), 2f64.powi(500));
+/// ```
 #[inline]
 pub fn scale_by_pow2(x: f64, e: i32) -> f64 {
     if (-969..=970).contains(&e) {

@@ -3,7 +3,10 @@
 
 use gemm_dense::Matrix;
 use ozaki2::consts::constants;
-use ozaki2::convert::{rmod_to_i8, steps_for};
+use ozaki2::convert::{
+    convert_pack_panels, residue_planes, rmod_reference, rmod_row, rmod_row_scalar, rmod_to_i8,
+    steps_for,
+};
 use ozaki2::modred::mod_i32_to_u8;
 use ozaki2::scale::{
     condition3_holds, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
@@ -54,6 +57,116 @@ proptest! {
             want,
             "x={} p={}", x, c.p[pidx]
         );
+    }
+
+    #[test]
+    fn vectorized_rmod_lane_exact_and_congruent(
+        nmod in 2usize..=20,
+        b64 in any::<bool>(),
+        len in 1usize..80,
+        seed in any::<u64>(),
+        pidx_seed in any::<u32>(),
+    ) {
+        // The dispatched SIMD row kernel must equal the scalar oracle bit
+        // for bit on every lane (body lanes AND the scalar tail), for
+        // every step count — and every lane must be congruent to the
+        // exact-integer rmod. Rows mix random in-budget integers with the
+        // ±p/2 wrap edge cases (multiples of p/2, including ±128 for
+        // p = 256).
+        prop_assume!(b64 || nmod <= 18);
+        let c = constants(nmod);
+        let steps = steps_for(nmod, b64);
+        let pidx = (pidx_seed as usize) % nmod;
+        let p = c.p[pidx];
+        let bound = 2f64.powf(c.p_fast);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        let row: Vec<f64> = (0..len)
+            .map(|i| match i % 4 {
+                // ±(p/2)·odd: the wrap-prone boundary multiples.
+                0 => {
+                    let mult = (next() % 64) as f64 * 2.0 + 1.0;
+                    let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                    sign * (p as f64 / 2.0).trunc() * mult
+                }
+                // Large in-budget magnitudes (exercise steps 2-3).
+                1 => {
+                    let e = (next() % 52) as i32;
+                    let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                    (sign * 2f64.powi(e) * 1.337).trunc() % bound
+                }
+                // Small integers around zero.
+                2 => (next() % 4096) as f64 - 2048.0,
+                // Uniform 48-bit integers.
+                _ => ((next() >> 16) as f64 - 2f64.powi(47)) % bound,
+            })
+            .map(|x| (x % bound).trunc())
+            .collect();
+        let args = (c.p_f64[pidx], c.p_f32[pidx], c.p_inv_f64[pidx], c.p_inv_f32[pidx]);
+        let mut got = vec![0i16; len];
+        let mut want = vec![0i16; len];
+        rmod_row(&row, &mut got, args.0, args.1, args.2, args.3, steps);
+        rmod_row_scalar(&row, &mut want, args.0, args.1, args.2, args.3, steps);
+        prop_assert_eq!(&got, &want, "lane mismatch: N={} steps={}", nmod, steps);
+        for (i, (&g, &x)) in got.iter().zip(&row).enumerate() {
+            let exact = gemm_exact::I256::from_f64_exact(x).rem_euclid_u64(p);
+            prop_assert_eq!(
+                (g as i64).rem_euclid(p as i64) as u64, exact,
+                "lane {} not congruent: x={} p={}", i, x, p
+            );
+            let reference = rmod_reference(x, p) as i64;
+            prop_assert_eq!(
+                (g as i64).rem_euclid(p as i64), reference.rem_euclid(p as i64),
+                "lane {} disagrees with rmod_reference: x={} p={}", i, x, p
+            );
+        }
+    }
+
+    #[test]
+    fn fused_convert_matches_reference_planes_any_split(
+        vecs in 1usize..12,
+        k in 1usize..96,
+        nmod in 2usize..=20,
+        b64 in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // convert_pack_panels must equal residue_planes + pack_panels_i16
+        // bitwise for every plane count, and be invariant to the
+        // parallel/sequential split.
+        prop_assume!(b64 || nmod <= 18);
+        let c = constants(nmod);
+        let bound = 2f64.powf(c.p_fast);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+            (((s >> 16) as f64) - 2f64.powi(47)) % bound
+        };
+        let src: Vec<f64> = (0..vecs * k).map(|_| next().trunc()).collect();
+        let vecs_pad = gemm_engine::padded_a_rows(vecs);
+        let kp = gemm_engine::padded_depth(k);
+        let mut planes8 = vec![0i8; nmod * vecs * k];
+        residue_planes(&src, c, b64, &mut planes8);
+        let mut want = vec![0i16; nmod * vecs_pad * kp];
+        for sidx in 0..nmod {
+            let mut pack = Vec::new();
+            gemm_engine::pack_panels_i16(
+                &mut pack,
+                &planes8[sidx * vecs * k..(sidx + 1) * vecs * k],
+                k, vecs, vecs_pad, k, kp,
+            );
+            want[sidx * vecs_pad * kp..(sidx + 1) * vecs_pad * kp].copy_from_slice(&pack);
+        }
+        for parallel in [false, true] {
+            let mut got = vec![-1i16; nmod * vecs_pad * kp];
+            convert_pack_panels(&src, vecs, vecs_pad, k, kp, c, b64, parallel, &mut got);
+            prop_assert_eq!(
+                &got, &want,
+                "N={} vecs={} k={} parallel={}", nmod, vecs, k, parallel
+            );
+        }
     }
 
     #[test]

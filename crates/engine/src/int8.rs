@@ -22,9 +22,12 @@
 //!    with zeros to a multiple of [`PK`], rows padded to a multiple of
 //!    [`MR`]; the B-pack holds columns the same way ([`NR`] / `PK`). The
 //!    widening moves the `i8 -> i16` conversion out of the inner loop so the
-//!    microkernel runs on `vpmaddwd`-ready data, and reading *strided*
-//!    sources during packing lets the `k`-blocked pipeline path pack
-//!    sub-panels out of a larger residue plane with no gather copies.
+//!    microkernel runs on `vpmaddwd`-ready data. Producers that can emit
+//!    this layout themselves (the `ozaki2` fused convert phase writes its
+//!    residues straight into panels) skip packing entirely via
+//!    [`int8_gemm_prepacked_fused`], which multiplies a [`PK`]-aligned depth
+//!    window of caller-built panels — that window is how the `k`-blocked
+//!    pipeline path reuses one panel set across blocks.
 //! 2. **Register-tiled microkernel.** An [`MR`]`x`[`NR`] tile of `C` is
 //!    computed as `MR * NR` SIMD dot products sharing operand loads, with
 //!    one vector accumulator per `C` element (16 independent chains — enough
@@ -248,10 +251,32 @@ thread_local! {
 // Packing
 // ---------------------------------------------------------------------------
 
-/// Pack `vecs` k-vectors (rows of `A` / columns of `B`, stride `ld`,
-/// element `v * ld + p`) into `i16` with depth padded to `kp` and vector
-/// count padded to `vecs_pad`, destination vector `v` at `v * kp`.
-fn pack_i16(
+/// Depth (`k`) of a packed panel, padded to a multiple of [`PK`].
+pub const fn padded_depth(k: usize) -> usize {
+    k.div_ceil(PK) * PK
+}
+
+/// Row count of a packed A-panel set, padded to a multiple of [`MR`].
+pub const fn padded_a_rows(m: usize) -> usize {
+    m.div_ceil(MR) * MR
+}
+
+/// Column count of a packed B-panel set, padded to a multiple of [`NR`].
+pub const fn padded_b_cols(n: usize) -> usize {
+    n.div_ceil(NR) * NR
+}
+
+/// Pack `vecs` i8 k-vectors (rows of `A` / columns of `B`, vector `v`
+/// starting at `v * ld`) into the engine's `i16`-widened panel layout:
+/// vector `v` occupies `pack[v * kp..(v + 1) * kp]`, sign-extended to i16,
+/// depth zero-padded from `k` to `kp` (= [`padded_depth`]`(k)`), vector
+/// count zero-padded to `vecs_pad` (= [`padded_a_rows`] / [`padded_b_cols`]).
+///
+/// This is the exact layout [`int8_gemm_prepacked_fused`] consumes, and the
+/// layout the fused convert phase of the `ozaki2` pipeline emits directly
+/// from f64 data — exposed so producers and tests can build panels without
+/// going through an intermediate i8 plane.
+pub fn pack_panels_i16(
     pack: &mut Vec<i16>,
     src: &[i8],
     ld: usize,
@@ -518,8 +543,64 @@ struct StripeJob<'a, E: Epilogue> {
     bpack: &'a mut Vec<i16>,
 }
 
-/// One worker: pack the stripe's B columns, sweep the cache-blocked tile
-/// grid, then apply the epilogue to the still-resident stripe.
+/// The cache-blocked tile sweep over one column stripe of already-packed
+/// panels, followed by the fused epilogue on the still-resident stripe.
+///
+/// `apack` and `bpack` are panel bases already offset to the depth window:
+/// row `i` of A at `i * lda`, stripe-local column `j` of B at `j * ldb`,
+/// with `kp_eff` (a multiple of [`PK`]) depth elements to consume.
+#[allow(clippy::too_many_arguments)]
+fn stripe_compute<E: Epilogue>(
+    m: usize,
+    kp_eff: usize,
+    lda: usize,
+    ldb: usize,
+    apack: &[i16],
+    bpack: &[i16],
+    nc: usize,
+    c: &mut [i32],
+    out: &mut [E::Out],
+    epi: &E,
+) {
+    let kernel = tile_kernel();
+    c.fill(0);
+    let mut tile = [[0i32; NR]; MR];
+    for ic in (0..m).step_by(MC) {
+        let ilim = (ic + MC).min(m);
+        let mut pc = 0;
+        while pc < kp_eff {
+            let kc = KC.min(kp_eff - pc);
+            for jt in (0..nc).step_by(NR) {
+                let cols = NR.min(nc - jt);
+                for it in (ic..ilim).step_by(MR) {
+                    let rows = MR.min(m - it);
+                    run_tile(
+                        kernel,
+                        kc,
+                        lda,
+                        ldb,
+                        &apack[it * lda + pc..],
+                        &bpack[jt * ldb + pc..],
+                        &mut tile,
+                    );
+                    for cc in 0..cols {
+                        let col = &mut c[(jt + cc) * m + it..(jt + cc) * m + it + rows];
+                        for (r, dst) in col.iter_mut().enumerate() {
+                            *dst = dst.wrapping_add(tile[r][cc]);
+                        }
+                    }
+                }
+            }
+            pc += kc;
+        }
+    }
+    if E::ACTIVE {
+        epi.apply(c, out);
+    }
+}
+
+/// One worker of the i8-input path: pack the stripe's B columns, then run
+/// the tile sweep.
 #[allow(clippy::too_many_arguments)]
 fn stripe_worker<E: Epilogue>(
     job: StripeJob<'_, E>,
@@ -538,43 +619,9 @@ fn stripe_worker<E: Epilogue>(
         out,
         bpack,
     } = job;
-    let kernel = tile_kernel();
     let nc_pad = nc.div_ceil(NR) * NR;
-    pack_i16(bpack, &b[j0 * ldb..], ldb, nc, nc_pad, k, kp);
-    c.fill(0);
-    let mut tile = [[0i32; NR]; MR];
-    for ic in (0..m).step_by(MC) {
-        let ilim = (ic + MC).min(m);
-        let mut pc = 0;
-        while pc < kp {
-            let kc = KC.min(kp - pc);
-            for jt in (0..nc).step_by(NR) {
-                let cols = NR.min(nc - jt);
-                for it in (ic..ilim).step_by(MR) {
-                    let rows = MR.min(m - it);
-                    run_tile(
-                        kernel,
-                        kc,
-                        kp,
-                        kp,
-                        &apack[it * kp + pc..],
-                        &bpack[jt * kp + pc..],
-                        &mut tile,
-                    );
-                    for cc in 0..cols {
-                        let col = &mut c[(jt + cc) * m + it..(jt + cc) * m + it + rows];
-                        for (r, dst) in col.iter_mut().enumerate() {
-                            *dst = dst.wrapping_add(tile[r][cc]);
-                        }
-                    }
-                }
-            }
-            pc += kc;
-        }
-    }
-    if E::ACTIVE {
-        epi.apply(c, out);
-    }
+    pack_panels_i16(bpack, &b[j0 * ldb..], ldb, nc, nc_pad, k, kp);
+    stripe_compute(m, kp, kp, kp, apack, bpack, nc, c, out, epi);
 }
 
 /// The blocked INT8 GEMM with optional fused epilogue and strided inputs.
@@ -621,9 +668,9 @@ pub fn int8_gemm_fused<E: Epilogue>(
         return;
     }
 
-    let kp = k.div_ceil(PK) * PK;
-    let m_pad = m.div_ceil(MR) * MR;
-    pack_i16(&mut ws.apack, a, lda, m, m_pad, k, kp);
+    let kp = padded_depth(k);
+    let m_pad = padded_a_rows(m);
+    pack_panels_i16(&mut ws.apack, a, lda, m, m_pad, k, kp);
     let apack: &[i16] = &ws.apack;
 
     // One stripe of whole B-panels per worker (fewer when n is small).
@@ -677,6 +724,138 @@ pub fn int8_gemm_fused<E: Epilogue>(
     } else {
         jobs.into_par_iter()
             .for_each(|job| stripe_worker(job, m, k, kp, b, ldb, apack, epi));
+    }
+}
+
+/// The blocked INT8 GEMM over **pre-packed i16 panels** — the zero-repack
+/// entry the fused convert phase of the `ozaki2` pipeline feeds.
+///
+/// `apack` holds [`padded_a_rows`]`(m)` row panels and `bpack`
+/// [`padded_b_cols`]`(n)` column panels in the [`pack_panels_i16`] layout
+/// with full padded depth `kp_stride`; the call multiplies the depth window
+/// `[depth_off, depth_off + k)` (so a `k`-blocked caller passes the same
+/// panels with advancing `depth_off`). Values must be sign-extended i8
+/// (`-128..=127`) for the pairwise i16 multiply-add to stay exact. `C` is
+/// column-major `m x n`, contiguous, fully overwritten; `out` is the fused
+/// epilogue plane exactly as in [`int8_gemm_fused`].
+///
+/// The kernel consumes the window rounded up to [`PK`], so the tail
+/// `[depth_off + k, depth_off + `[`padded_depth`]`(k))` must read zeros:
+/// pass either a `k` that is a multiple of `PK`, or the *final* window of
+/// the panels (whose rounded tail is the global zero padding). Block splits
+/// at multiples of `PK` — like the pipeline's `2^17` — satisfy this for
+/// every window.
+///
+/// Because no packing happens here, no workspace is needed and the call
+/// performs no allocation at all.
+///
+/// # Panics
+/// If `depth_off` is not a multiple of [`PK`], a window over-runs
+/// `kp_stride`, or a buffer is too short for its panel geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn int8_gemm_prepacked_fused<E: Epilogue>(
+    m: usize,
+    n: usize,
+    k: usize,
+    apack: &[i16],
+    bpack: &[i16],
+    kp_stride: usize,
+    depth_off: usize,
+    c: &mut [i32],
+    out: &mut [E::Out],
+    epi: &E,
+    parallel: bool,
+) {
+    let kp_eff = padded_depth(k);
+    assert!(
+        depth_off.is_multiple_of(PK),
+        "depth_off must be PK-aligned, got {depth_off}"
+    );
+    assert!(
+        depth_off + kp_eff <= kp_stride,
+        "depth window {depth_off}+{kp_eff} over-runs panel depth {kp_stride}"
+    );
+    assert!(
+        apack.len() >= padded_a_rows(m) * kp_stride,
+        "A panel buffer mismatch"
+    );
+    assert!(
+        bpack.len() >= padded_b_cols(n) * kp_stride,
+        "B panel buffer mismatch"
+    );
+    assert_eq!(c.len(), m * n, "C buffer mismatch");
+    if E::ACTIVE {
+        assert_eq!(out.len(), m * n, "epilogue plane mismatch");
+    }
+    INT8_STATS.record_gemm(m, n, k);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0);
+        if E::ACTIVE {
+            epi.apply(c, out);
+        }
+        return;
+    }
+    let a_base = &apack[depth_off..];
+
+    let n_panels = n.div_ceil(NR);
+    let stripes = if parallel {
+        rayon::current_num_threads().clamp(1, n_panels)
+    } else {
+        1
+    };
+
+    struct PrepackedJob<'a, E: Epilogue> {
+        j0: usize,
+        nc: usize,
+        c: &'a mut [i32],
+        out: &'a mut [E::Out],
+    }
+    let mut jobs: Vec<PrepackedJob<'_, E>> = Vec::with_capacity(stripes);
+    let mut c_rest = c;
+    let mut out_rest = out;
+    for s in 0..stripes {
+        let p0 = s * n_panels / stripes;
+        let p1 = (s + 1) * n_panels / stripes;
+        let j0 = p0 * NR;
+        let nc = n.min(p1 * NR) - j0;
+        let (c_stripe, rest) = c_rest.split_at_mut(m * nc);
+        c_rest = rest;
+        let out_stripe = if E::ACTIVE {
+            let (o, rest) = out_rest.split_at_mut(m * nc);
+            out_rest = rest;
+            o
+        } else {
+            &mut []
+        };
+        jobs.push(PrepackedJob {
+            j0,
+            nc,
+            c: c_stripe,
+            out: out_stripe,
+        });
+    }
+
+    let run = |job: PrepackedJob<'_, E>| {
+        stripe_compute(
+            m,
+            kp_eff,
+            kp_stride,
+            kp_stride,
+            a_base,
+            &bpack[job.j0 * kp_stride + depth_off..],
+            job.nc,
+            job.c,
+            job.out,
+            epi,
+        )
+    };
+    if jobs.len() == 1 {
+        run(jobs.pop().expect("one stripe"));
+    } else {
+        jobs.into_par_iter().for_each(run);
     }
 }
 
@@ -969,6 +1148,124 @@ mod tests {
         for (i, (&s, &x)) in acc.iter().zip(&c).enumerate() {
             assert_eq!(s as i64, 7 + (x as i64).rem_euclid(p as i64), "elem {i}");
         }
+    }
+
+    /// Pack a full operand set into prepacked panels (test helper).
+    fn pack_full(src: &[i8], ld: usize, vecs: usize, vecs_pad: usize, k: usize) -> Vec<i16> {
+        let kp = padded_depth(k);
+        let mut pack = Vec::new();
+        pack_panels_i16(&mut pack, src, ld, vecs, vecs_pad, k, kp);
+        pack
+    }
+
+    #[test]
+    fn prepacked_matches_packed_path() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 4, 5),
+            (17, 100, 9),
+            (MR + 1, PK + 1, NR + 1),
+            (2 * MR - 1, KC + 7, 3 * NR - 2),
+        ] {
+            let a = pattern_mat(m, k, 11).to_row_major();
+            let b = pattern_mat(k, n, 12);
+            let kp = padded_depth(k);
+            let apack = pack_full(&a, k, m, padded_a_rows(m), k);
+            let bpack = pack_full(b.as_slice(), k, n, padded_b_cols(n), k);
+            let mut want = vec![0i32; m * n];
+            let mut ws = Int8Workspace::new();
+            int8_gemm_fused(
+                m,
+                n,
+                k,
+                &a,
+                k,
+                b.as_slice(),
+                k,
+                &mut want,
+                &mut [],
+                &NoEpilogue,
+                &mut ws,
+                true,
+            );
+            let mut got = vec![0i32; m * n];
+            int8_gemm_prepacked_fused(
+                m,
+                n,
+                k,
+                &apack,
+                &bpack,
+                kp,
+                0,
+                &mut got,
+                &mut [],
+                &NoEpilogue,
+                true,
+            );
+            assert_eq!(got, want, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn prepacked_depth_window_matches_gathered_block() {
+        // A sub-product over the trailing k-window of larger panels — the
+        // pipeline's k-blocked path — must agree with a contiguous gather.
+        // The window is ragged (not a PK multiple), so its rounded-up tail
+        // exercises the global zero padding.
+        let (m, k_full, n) = (9usize, 4 * PK + 13, 7);
+        let (h0, kb) = (2 * PK, 2 * PK + 13); // final window, ragged width
+        let a = pattern_mat(m, k_full, 13).to_row_major();
+        let b = pattern_mat(k_full, n, 14);
+        let kp = padded_depth(k_full);
+        let apack = pack_full(&a, k_full, m, padded_a_rows(m), k_full);
+        let bpack = pack_full(b.as_slice(), k_full, n, padded_b_cols(n), k_full);
+        let mut want = vec![0i32; m * n];
+        {
+            let a_blk: Vec<i8> = (0..m)
+                .flat_map(|i| a[i * k_full + h0..i * k_full + h0 + kb].iter().copied())
+                .collect();
+            let b_blk: Vec<i8> = (0..n)
+                .flat_map(|j| {
+                    b.as_slice()[j * k_full + h0..j * k_full + h0 + kb]
+                        .iter()
+                        .copied()
+                })
+                .collect();
+            int8_gemm_rm_cm_scalar(m, n, kb, &a_blk, &b_blk, &mut want);
+        }
+        let p = 251u64;
+        let pinv = ((1u64 << 32) / p - 1) as u32;
+        let mut got = vec![0i32; m * n];
+        let mut u = vec![0u8; m * n];
+        let epi = ReduceEpilogue::new(p, pinv, None);
+        int8_gemm_prepacked_fused(
+            m, n, kb, &apack, &bpack, kp, h0, &mut got, &mut u, &epi, true,
+        );
+        assert_eq!(got, want);
+        for (i, (&r, &x)) in u.iter().zip(&want).enumerate() {
+            assert_eq!(r as i64, (x as i64).rem_euclid(p as i64), "elem {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth_off must be PK-aligned")]
+    fn prepacked_rejects_unaligned_offset() {
+        let apack = vec![0i16; padded_a_rows(1) * PK];
+        let bpack = vec![0i16; padded_b_cols(1) * PK];
+        let mut c = vec![0i32; 1];
+        int8_gemm_prepacked_fused(
+            1,
+            1,
+            1,
+            &apack,
+            &bpack,
+            PK,
+            3,
+            &mut c,
+            &mut [],
+            &NoEpilogue,
+            true,
+        );
     }
 
     #[test]

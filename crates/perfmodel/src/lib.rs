@@ -2,7 +2,7 @@
 //!
 //! Analytic device model that regenerates the *shape* of the paper's
 //! throughput and power figures. The substitution (documented in
-//! DESIGN.md): the paper measures wall-clock and NVML power on A100 /
+//! docs/ARCHITECTURE.md): the paper measures wall-clock and NVML power on A100 /
 //! GH200 / RTX 5080; we have no GPU, so we model each method's kernel
 //! schedule (exact flop and byte counts from Algorithm 1 and the baseline
 //! definitions — [`ops`]) through a roofline time model and per-operation

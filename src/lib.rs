@@ -19,7 +19,7 @@
 //! assert!(err < 1e-12, "N = 15 is double-precision level: {err:e}");
 //! ```
 //!
-//! Crate map (see DESIGN.md for the full inventory):
+//! Crate map (see docs/ARCHITECTURE.md for the full inventory):
 //!
 //! * [`ozaki2`] — the paper's contribution (Algorithm 1);
 //! * [`gemm_dense`] — matrices, native GEMM, Philox RNG, workloads;
