@@ -4,9 +4,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gemm_dense::workload::phi_matrix_f64;
 use gemm_engine::{padded_a_rows, padded_depth};
-use ozaki2::accumulate::{fold_planes, FoldPrecision};
+use ozaki2::accumulate::{fold_planes, fold_span_scalar, FoldPrecision};
 use ozaki2::constants;
-use ozaki2::convert::{convert_pack_panels, residue_planes};
+use ozaki2::convert::{
+    convert_pack_panels, residue_planes, trunc_convert_pack_panels, TruncSource,
+};
 use ozaki2::modred::reduce_plane;
 use ozaki2::scale::{
     accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
@@ -61,6 +63,29 @@ fn bench_phases(c: &mut Criterion) {
         bench.iter(|| convert_pack_panels(&aprime, N, n_pad, N, kp, consts, true, true, &mut a16));
     });
 
+    // The full fused sweep the pipeline actually runs: scale + trunc +
+    // transpose gather + rmod + pack in one cache-blocked pass over A.
+    group.bench_function("trunc_convert_fused (lines 2-5)", |bench| {
+        bench.iter(|| {
+            trunc_convert_pack_panels(
+                TruncSource::RowsColMajor {
+                    data: a.as_slice(),
+                    rows: N,
+                    exps: &exps_a,
+                },
+                N,
+                n_pad,
+                N,
+                kp,
+                consts,
+                true,
+                true,
+                &mut a16,
+                None,
+            )
+        });
+    });
+
     residue_planes(&aprime, consts, true, &mut a8);
     let mut b8 = vec![0i8; NMOD * N * N];
     residue_planes(&bprime, consts, true, &mut b8);
@@ -87,6 +112,25 @@ fn bench_phases(c: &mut Criterion) {
                 &exps_b,
                 &mut out,
             )
+        });
+    });
+
+    // The scalar lane oracle of the fold, for the SIMD-vs-scalar margin.
+    group.bench_function("fold_scalar_oracle (lines 8-12)", |bench| {
+        bench.iter(|| {
+            for (j, out_col) in out.chunks_mut(N).enumerate() {
+                fold_span_scalar(
+                    &u,
+                    N * N,
+                    j * N,
+                    &consts.s1,
+                    Some(&consts.s2),
+                    consts.p1,
+                    consts.p2,
+                    consts.p_inv,
+                    out_col,
+                );
+            }
         });
     });
     group.finish();

@@ -1,20 +1,31 @@
 //! INT8 engine benchmark harness: measures the blocked kernel against the
 //! seed scalar kernel, the fused vectorized convert phase against the PR 1
-//! scalar convert, and records GEMM GOPS, convert throughput, and the
+//! scalar convert, the vectorized trunc and CRT fold against their PR 2
+//! scalar forms, and records GEMM GOPS, per-stage throughput, and the
 //! per-phase shares of a representative emulated DGEMM to
 //! `BENCH_int8.json`, giving future PRs a perf trajectory.
 //!
+//! With `--check-against=<baseline.json>` the run doubles as the CI
+//! perf-regression gate: the freshly measured int8 GOPS, convert
+//! throughput and end-to-end pipeline time are compared against the
+//! checked-in baseline and the process exits non-zero when any of them
+//! regresses past `--tolerance` (default 0.8). Best-of-reps measurement on
+//! both sides keeps the gate noise-tolerant.
+//!
 //! Usage: `cargo run --release -p gemm_bench --bin bench_int8 --
-//! [--n=1024] [--reps=3] [--out=BENCH_int8.json]`
+//! [--n=1024] [--reps=3] [--out=BENCH_int8.json]
+//! [--check-against=BENCH_baseline.json] [--tolerance=0.8]`
 
+use gemm_bench::check::{check_regressions, json_number, json_string, GateMetric};
 use gemm_bench::report::Args;
 use gemm_dense::workload::phi_matrix_f64;
 use gemm_engine::{
     int8_gemm_blocked, int8_gemm_blocked_seq, int8_gemm_rm_cm_scalar, microkernel_name,
     padded_a_rows, padded_depth, Int8Workspace,
 };
+use ozaki2::accumulate::{fold_kernel_name, fold_planes, FoldPrecision};
 use ozaki2::convert::{convert_kernel_name, convert_pack_panels, rmod_to_i8, steps_for};
-use ozaki2::scale::{fast_scale_rows, scale_trunc_a_rowmajor};
+use ozaki2::scale::{fast_scale_rows, scale_by_pow2, scale_trunc_a_rowmajor, trunc_kernel_name};
 use ozaki2::{constants, Mode, Ozaki2, Workspace};
 use std::io::Write;
 use std::time::Instant;
@@ -62,18 +73,41 @@ fn main() {
     assert_eq!(c_blocked, c_scalar, "kernels must agree bit-for-bit");
     let speedup = t_scalar / t_seq;
 
+    // Trunc phase (Algorithm 1 lines 2-3): the PR 2 per-element
+    // scale_by_pow2 tile loop vs the vectorized strunc kernel (which the
+    // fused pipeline sweep also runs), both single-threaded.
+    let nmod = 15usize;
+    let consts = constants(nmod);
+    let ca = phi_matrix_f64(n, n, 0.5, 7, 0);
+    let exps = fast_scale_rows(&ca, consts.p_fast);
+    let mut src = vec![0f64; n * n];
+    let t_trunc_scalar = time_best(reps, || {
+        // PR 2 kernel: cache-blocked transpose with one powi per element.
+        const TILE: usize = 64;
+        let a_data = ca.as_slice();
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
+            for i0 in (0..n).step_by(TILE) {
+                let i1 = (i0 + TILE).min(n);
+                for j in j0..j1 {
+                    let col = &a_data[j * n..(j + 1) * n];
+                    for i in i0..i1 {
+                        src[i * n + j] = scale_by_pow2(col[i], exps[i]).trunc();
+                    }
+                }
+            }
+        }
+    });
+    let t_trunc_vec = time_best(reps, || scale_trunc_a_rowmajor(&ca, &exps, &mut src));
+    let gelem = |secs: f64| (n * n) as f64 / secs / 1e9;
+    let trunc_speedup = t_trunc_scalar / t_trunc_vec;
+
     // Convert phase (Algorithm 1 lines 4-5): the PR 1 scalar per-plane
     // sweep vs the fused vectorized convert->pack, both single-threaded on
     // realistic truncated operand data at N = 15. The baseline replicates
     // residue_planes' per-element kernel in a plain sequential loop so the
     // "1T" label holds on any core count (residue_planes itself is
     // rayon-parallel).
-    let nmod = 15usize;
-    let consts = constants(nmod);
-    let ca = phi_matrix_f64(n, n, 0.5, 7, 0);
-    let exps = fast_scale_rows(&ca, consts.p_fast);
-    let mut src = vec![0f64; n * n];
-    scale_trunc_a_rowmajor(&ca, &exps, &mut src);
     let mut planes8 = vec![0i8; nmod * n * n];
     let steps = steps_for(nmod, true);
     let t_conv_scalar = time_best(reps, || {
@@ -100,16 +134,68 @@ fn main() {
     let gres = |secs: f64| (nmod * n * n) as f64 / secs / 1e9;
     let conv_speedup = t_conv_scalar / t_conv_fused;
 
+    // Fold phase (Algorithm 1 lines 8-12): the PR 2 scalar per-element
+    // fold (mul+add weights, ties-away round, one powi per element) vs the
+    // vectorized FMA fold, over synthetic residue planes at N = 15.
+    let mut useed = 0x2545f491_4f6cdd1du64;
+    let u: Vec<u8> = (0..nmod * n * n)
+        .map(|i| {
+            useed = useed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((useed >> 33) % consts.p[i / (n * n)]) as u8
+        })
+        .collect();
+    let mut fold_out = vec![0f64; n * n];
+    let (s1w, s2w) = (&consts.s1, &consts.s2);
+    let (p1, p2, p_inv) = (consts.p1, consts.p2, consts.p_inv);
+    let t_fold_scalar = time_best(reps, || {
+        for j in 0..n {
+            let neg_eb = -exps[j];
+            for (i, &ei) in exps.iter().enumerate() {
+                let idx = j * n + i;
+                let mut c1 = 0.0f64;
+                let mut c2 = 0.0f64;
+                for s in 0..nmod {
+                    let us = u[s * n * n + idx] as f64;
+                    c1 += s1w[s] * us;
+                    c2 += s2w[s] * us;
+                }
+                let q = (p_inv * c1).round();
+                let t = q.mul_add(-p1, c1) + c2;
+                let cpp = q.mul_add(-p2, t);
+                fold_out[idx] = scale_by_pow2(cpp, neg_eb - ei);
+            }
+        }
+    });
+    let t_fold_vec = time_best(reps, || {
+        fold_planes(
+            &u,
+            n,
+            n,
+            consts,
+            FoldPrecision::Double,
+            &exps,
+            &exps,
+            &mut fold_out,
+        )
+    });
+    let fold_speedup = t_fold_scalar / t_fold_vec;
+
     // Per-phase shares of a representative emulated DGEMM (N = 15, the
     // paper's DGEMM-accuracy setting), reusing a pipeline workspace so the
-    // shares reflect the steady state.
+    // shares reflect the steady state. Best-of-reps end-to-end wall time
+    // feeds the perf gate.
     let pn = n.min(512); // keep the pipeline problem moderate
     let pa = phi_matrix_f64(pn, pn, 0.5, 42, 0);
     let pb = phi_matrix_f64(pn, pn, 0.5, 42, 1);
     let emu = Ozaki2::new(15, Mode::Fast);
     let mut pws = Workspace::new();
-    let _ = emu.try_dgemm_with_report_ws(&pa, &pb, &mut pws).unwrap();
-    let (_, report) = emu.try_dgemm_with_report_ws(&pa, &pb, &mut pws).unwrap();
+    let mut report = None;
+    let t_pipeline = time_best(reps, || {
+        let (_, rep) = emu.try_dgemm_with_report_ws(&pa, &pb, &mut pws).unwrap();
+        report = Some(rep);
+    });
+    let report = report.expect("pipeline ran");
+    let end_to_end_ms = t_pipeline * 1e3;
     let total = report.phases.total().as_secs_f64().max(1e-12);
     let phase_rows = report.phases.as_rows();
 
@@ -125,13 +211,25 @@ fn main() {
     ));
     json.push_str(&format!("  \"speedup_1t_vs_scalar\": {speedup:.3},\n"));
     json.push_str(&format!(
+        "  \"trunc\": {{\n    \"shape\": [{n}, {n}],\n    \"kernel\": \"{}\",\n    \"scalar_pr2_gelem_per_s\": {:.3},\n    \"vectorized_1t_gelem_per_s\": {:.3},\n    \"speedup_1t\": {trunc_speedup:.3}\n  }},\n",
+        trunc_kernel_name(),
+        gelem(t_trunc_scalar),
+        gelem(t_trunc_vec)
+    ));
+    json.push_str(&format!(
         "  \"convert\": {{\n    \"shape\": [{n}, {n}],\n    \"n_moduli\": {nmod},\n    \"kernel\": \"{}\",\n    \"scalar_pr1_gres_per_s\": {:.3},\n    \"fused_1t_gres_per_s\": {:.3},\n    \"speedup_1t\": {conv_speedup:.3}\n  }},\n",
         convert_kernel_name(),
         gres(t_conv_scalar),
         gres(t_conv_fused)
     ));
     json.push_str(&format!(
-        "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"phase_seconds\": {{\n",
+        "  \"fold\": {{\n    \"shape\": [{n}, {n}],\n    \"n_moduli\": {nmod},\n    \"kernel\": \"{}\",\n    \"scalar_pr2_gres_per_s\": {:.3},\n    \"vectorized_gres_per_s\": {:.3},\n    \"speedup\": {fold_speedup:.3}\n  }},\n",
+        fold_kernel_name(),
+        gres(t_fold_scalar),
+        gres(t_fold_vec)
+    ));
+    json.push_str(&format!(
+        "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"end_to_end_ms\": {end_to_end_ms:.3},\n    \"phase_seconds\": {{\n",
         report.n_moduli,
         report.mode.label(),
         report.int8_gemm_calls
@@ -162,6 +260,15 @@ fn main() {
         gops(t_par)
     );
     println!(
+        "trunc lines 2-3 @ {n}x{n} (kernel: {})",
+        trunc_kernel_name()
+    );
+    println!(
+        "  PR2 scalar  : {:8.2} Gelem/s\n  vectorized  : {:8.2} Gelem/s\n  1T speedup  : {trunc_speedup:8.2}x",
+        gelem(t_trunc_scalar),
+        gelem(t_trunc_vec)
+    );
+    println!(
         "convert lines 4-5 @ {n}x{n}, N={nmod} (kernel: {})",
         convert_kernel_name()
     );
@@ -170,5 +277,79 @@ fn main() {
         gres(t_conv_scalar),
         gres(t_conv_fused)
     );
+    println!(
+        "fold lines 8-12 @ {n}x{n}, N={nmod} (kernel: {})",
+        fold_kernel_name()
+    );
+    println!(
+        "  PR2 scalar  : {:8.2} Gres/s\n  vectorized  : {:8.2} Gres/s\n  speedup     : {fold_speedup:8.2}x",
+        gres(t_fold_scalar),
+        gres(t_fold_vec)
+    );
+    println!("pipeline @ {pn}^3, N=15: {end_to_end_ms:.1} ms end-to-end (steady state)");
     println!("wrote {out_path}");
+
+    // ---- CI perf-regression gate -----------------------------------------
+    if let Some(baseline_path) = args.get::<String>("check-against") {
+        let tolerance: f64 = args.get("tolerance").unwrap_or(0.8);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        // Absolute throughput is only comparable on the hardware class
+        // that produced the baseline. A different dispatched microkernel
+        // (e.g. an avx2-only runner vs an avx512-vnni baseline) would
+        // fail — or trivially pass — for reasons unrelated to the code,
+        // so skip the gate loudly instead of gating on noise.
+        let base_kernel = json_string(&baseline, "microkernel").unwrap_or("<missing>");
+        if base_kernel != microkernel_name() {
+            println!(
+                "perf gate SKIPPED: baseline {baseline_path} was measured with the \
+                 '{base_kernel}' microkernel, this machine dispatches '{}' — absolute \
+                 numbers are not comparable across hardware classes. Refresh the \
+                 baseline on this runner class to re-arm the gate.",
+                microkernel_name()
+            );
+            return;
+        }
+        let pull = |key: &str| {
+            json_number(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks \"{key}\""))
+        };
+        let metrics = [
+            GateMetric {
+                name: "blocked_gops",
+                current: gops(t_par),
+                baseline: pull("blocked_gops"),
+                higher_is_better: true,
+            },
+            GateMetric {
+                name: "fused_1t_gres_per_s",
+                current: gres(t_conv_fused),
+                baseline: pull("fused_1t_gres_per_s"),
+                higher_is_better: true,
+            },
+            GateMetric {
+                name: "end_to_end_ms",
+                current: end_to_end_ms,
+                baseline: pull("end_to_end_ms"),
+                higher_is_better: false,
+            },
+        ];
+        let failures = check_regressions(&metrics, tolerance);
+        for m in &metrics {
+            let status = if m.passes(tolerance) { "ok" } else { "FAIL" };
+            println!(
+                "gate {:22} current {:10.3} baseline {:10.3}  [{status}]",
+                m.name, m.current, m.baseline
+            );
+        }
+        if failures.is_empty() {
+            println!("perf gate PASSED vs {baseline_path} (tolerance {tolerance})");
+        } else {
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            eprintln!("perf gate FAILED vs {baseline_path} (tolerance {tolerance})");
+            std::process::exit(1);
+        }
+    }
 }

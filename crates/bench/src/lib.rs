@@ -6,9 +6,12 @@
 //!
 //! * [`report`] — CSV / aligned-table printing used by every binary;
 //! * [`accuracy`] — the Fig. 3 experiment: run every method over the
-//!   φ-lognormal workloads against the double-double oracle.
+//!   φ-lognormal workloads against the double-double oracle;
+//! * [`check`] — the CI perf-regression gate behind
+//!   `bench_int8 --check-against`.
 
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod check;
 pub mod report;

@@ -20,24 +20,33 @@
 //!   implement natively — using it everywhere is what lets the SIMD paths
 //!   below stay bit-identical to the scalar kernel, lane for lane.
 //!
-//! # The fused convert phase
+//! # The fused trunc+convert phase
 //!
 //! Converting a full operand is the memory-bound half of the pipeline, so
-//! [`convert_pack_panels`] fuses Algorithm 1 lines 4–5 with the INT8
-//! engine's operand packing: each cache-resident block of integer-valued
-//! f64s is loaded **once** and reduced against *all* `N` moduli, and the
-//! i8 residues are sign-extended and written straight into the engine's
-//! `i16` panel layout ([`gemm_engine::pack_panels_i16`]). The intermediate
-//! plane-major i8 buffers of the unfused pipeline — and the engine's own
-//! packing sweep over them — disappear entirely.
+//! [`trunc_convert_pack_panels`] fuses Algorithm 1 lines 2–5 with the
+//! INT8 engine's operand packing: each operand tile is gathered from the
+//! *original* matrix (transposing for `A`), scaled by its power-of-two
+//! exponent and truncated into a cache-resident staging tile
+//! ([`crate::scale::strunc_row`]), reduced against *all* `N` moduli while
+//! L1-resident, and the i8 residues are sign-extended and written straight
+//! into the engine's `i16` panel layout
+//! ([`gemm_engine::pack_panels_i16`]). The integer matrices `A'`/`B'` and
+//! the plane-major i8 buffers of the unfused pipeline — and the engine's
+//! own packing sweep — disappear entirely. [`convert_pack_panels`] is the
+//! lines-4–5-only form for pretruncated input.
 //!
-//! The inner `rmod` row kernel is runtime-dispatched (AVX-512 → AVX2+FMA →
-//! scalar). The scalar kernel [`rmod_row_scalar`] is the property-test
-//! oracle: every SIMD path must produce bit-identical residues for every
-//! lane, every step count, and every thread count.
+//! The inner scale+trunc and `rmod` row kernels are independently
+//! runtime-dispatched (AVX-512 → AVX2+FMA → scalar; forced to scalar by
+//! `OZAKI_FORCE_SCALAR=1`). The scalar kernels ([`rmod_row_scalar`],
+//! [`crate::scale::strunc_row_scalar`]) are the property-test oracles:
+//! every SIMD path must produce bit-identical residues for every lane,
+//! every step count, and every thread count.
 
 use crate::consts::Constants;
+use crate::scale::{pow2_split, strunc_row, strunc_row_inplace};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Correction-step thresholds for the DGEMM (`b = 64`) kernel.
 pub const N1_F64: usize = 13;
@@ -108,6 +117,9 @@ enum ConvKernel {
 }
 
 fn detect_conv_kernel() -> ConvKernel {
+    if gemm_engine::force_scalar() {
+        return ConvKernel::Scalar;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx512f")
@@ -302,8 +314,72 @@ pub fn rmod_row(
 }
 
 // ---------------------------------------------------------------------------
-// Fused convert -> packed-panel emission
+// Fused trunc+convert -> packed-panel emission
 // ---------------------------------------------------------------------------
+
+/// Where the fused trunc+convert sweep reads its `k`-vectors from.
+///
+/// The `RowsColMajor` / `ColsColMajor` variants fuse Algorithm 1 lines 2–3
+/// (the diagonal scale + truncation) into the convert sweep: each operand
+/// tile is read from DRAM exactly once for scale + reduce + pack, and the
+/// intermediate integer matrices `A'`, `B'` never exist in memory.
+#[derive(Clone, Copy)]
+pub enum TruncSource<'a> {
+    /// Already scaled+truncated integer-valued vectors, vector `v` at
+    /// `v * k` (the layout [`crate::scale::scale_trunc_a_rowmajor`] /
+    /// [`crate::scale::scale_trunc_b_colmajor`] emit).
+    Pretruncated(&'a [f64]),
+    /// Rows of a column-major `rows × k` matrix (operand `A`): vector `v`
+    /// is row `v`, scaled by `2^{exps[v]}` and truncated on the fly — the
+    /// fused transpose gather.
+    RowsColMajor {
+        /// Column-major matrix data (`rows * k` elements).
+        data: &'a [f64],
+        /// Number of rows (the leading dimension).
+        rows: usize,
+        /// Per-row scale exponents (`rows` entries).
+        exps: &'a [i32],
+    },
+    /// Columns of a column-major `k × cols` matrix (operand `B`): vector
+    /// `v` is column `v` (contiguous), scaled by `2^{exps[v]}` and
+    /// truncated on the fly.
+    ColsColMajor {
+        /// Column-major matrix data (`k * cols` elements).
+        data: &'a [f64],
+        /// Per-column scale exponents (`cols` entries).
+        exps: &'a [i32],
+    },
+}
+
+/// Phase-attribution counters for the fused sweep: nanoseconds spent in the
+/// scale+trunc portion of each job vs the job totals, summed over all jobs
+/// (CPU time). The caller splits its wall-clock measurement of the whole
+/// call proportionally — exact on one worker, a faithful CPU-share
+/// attribution on many.
+#[derive(Default)]
+pub struct ConvertTiming {
+    /// Summed nanoseconds the jobs spent gathering + scaling + truncating.
+    pub trunc_ns: AtomicU64,
+    /// Summed nanoseconds of whole jobs (trunc + rmod + pack).
+    pub job_ns: AtomicU64,
+}
+
+impl ConvertTiming {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of job CPU time spent in the trunc portion (0 when no job
+    /// has run).
+    pub fn trunc_fraction(&self) -> f64 {
+        let total = self.job_ns.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0.0;
+        }
+        self.trunc_ns.load(Ordering::Relaxed) as f64 / total as f64
+    }
+}
 
 /// One parallel unit of the fused convert: vectors `[v0, v0 + nv)` of every
 /// residue panel.
@@ -347,10 +423,72 @@ pub fn convert_pack_panels(
     parallel: bool,
     out: &mut [i16],
 ) {
+    trunc_convert_pack_panels(
+        TruncSource::Pretruncated(src),
+        vecs,
+        vecs_pad,
+        k,
+        kp,
+        consts,
+        b64,
+        parallel,
+        out,
+        None,
+    );
+}
+
+/// The fused trunc+convert phase (Algorithm 1 lines 2–5 + engine packing).
+///
+/// Generalizes [`convert_pack_panels`] to read directly from the *unscaled*
+/// operand matrices ([`TruncSource::RowsColMajor`] /
+/// [`TruncSource::ColsColMajor`]): each cache-resident operand tile is
+/// gathered (transposing for `A`), scaled by its power-of-two exponent,
+/// truncated, reduced against all `N` moduli and written as packed i16
+/// panels in one DRAM pass — the intermediate integer matrices of the
+/// unfused pipeline never exist.
+///
+/// The scale+trunc inner kernels ([`crate::scale::strunc_row`]) and the
+/// `rmod` row kernels are independently runtime-dispatched and each
+/// bit-identical to its scalar oracle, so the fused output equals the
+/// unfused composition `scale_trunc_* → convert_pack_panels` bitwise for
+/// every kernel, thread count and split.
+///
+/// `timing`, when given, accumulates per-job trunc vs total CPU
+/// nanoseconds for phase attribution (see [`ConvertTiming`]).
+///
+/// # Panics
+/// As [`convert_pack_panels`]; additionally if a fused source's `exps`
+/// length does not cover `vecs`.
+#[allow(clippy::too_many_arguments)]
+pub fn trunc_convert_pack_panels(
+    src: TruncSource<'_>,
+    vecs: usize,
+    vecs_pad: usize,
+    k: usize,
+    kp: usize,
+    consts: &Constants,
+    b64: bool,
+    parallel: bool,
+    out: &mut [i16],
+    timing: Option<&ConvertTiming>,
+) {
     let nmod = consts.n;
     assert!(vecs_pad >= vecs, "vector padding below count");
     assert!(kp >= k, "depth padding below depth");
-    assert!(src.len() >= vecs * k, "source buffer too short");
+    match src {
+        TruncSource::Pretruncated(data) => {
+            assert!(data.len() >= vecs * k, "source buffer too short");
+        }
+        TruncSource::RowsColMajor { data, rows, exps } => {
+            assert!(rows >= vecs, "row count below vector count");
+            assert!(data.len() >= rows * k, "source buffer too short");
+            assert!(exps.len() >= vecs, "exponent vector too short");
+        }
+        TruncSource::ColsColMajor { data, exps } => {
+            assert!(data.len() >= vecs * k, "source buffer too short");
+            assert!(exps.len() >= vecs, "exponent vector too short");
+        }
+    }
     assert_eq!(out.len(), nmod * vecs_pad * kp, "panel buffer mismatch");
     if vecs_pad == 0 || kp == 0 {
         return;
@@ -384,7 +522,7 @@ pub fn convert_pack_panels(
         v0 += nv;
     }
 
-    let run = |job: ConvertJob<'_>| convert_job(src, vecs, k, kp, consts, steps, job);
+    let run = |job: ConvertJob<'_>| convert_job(src, vecs, k, kp, consts, steps, timing, job);
     if !parallel || jobs.len() == 1 {
         jobs.into_iter().for_each(run);
     } else {
@@ -393,16 +531,24 @@ pub fn convert_pack_panels(
 }
 
 /// Convert one job's vector range across all moduli (cache-blocked depth).
+#[allow(clippy::too_many_arguments)]
 fn convert_job(
-    src: &[f64],
+    src: TruncSource<'_>,
     vecs: usize,
     k: usize,
     kp: usize,
     consts: &Constants,
     steps: u8,
+    timing: Option<&ConvertTiming>,
     job: ConvertJob<'_>,
 ) {
     let ConvertJob { v0, nv, mut planes } = job;
+    let job_t0 = timing.map(|_| Instant::now());
+    let mut trunc_ns = 0u64;
+    // Scale+trunc staging tile: stays L1-resident while all N moduli
+    // reduce it, so the fused sources stream each operand tile from DRAM
+    // exactly once.
+    let mut tmp = [0.0f64; CONVERT_DEPTH_BLOCK];
     for vl in 0..nv {
         let v = v0 + vl;
         let base = vl * kp;
@@ -413,11 +559,41 @@ fn convert_job(
             }
             continue;
         }
-        let row = &src[v * k..(v + 1) * k];
         let mut off = 0;
         while off < k {
             let len = CONVERT_DEPTH_BLOCK.min(k - off);
-            let xs = &row[off..off + len];
+            let xs: &[f64] = match src {
+                TruncSource::Pretruncated(data) => &data[v * k + off..v * k + off + len],
+                TruncSource::RowsColMajor { data, rows, exps } => {
+                    let t0 = timing.map(|_| Instant::now());
+                    let (s1, s2) = pow2_split(exps[v]);
+                    // Fused transpose gather: strided source, contiguous
+                    // tile. Consecutive vectors of this job re-hit the same
+                    // source cache lines while they are still resident.
+                    for (t, h) in tmp[..len].iter_mut().zip(off..) {
+                        *t = data[h * rows + v];
+                    }
+                    strunc_row_inplace(&mut tmp[..len], s1, s2);
+                    if let Some(t0) = t0 {
+                        trunc_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    &tmp[..len]
+                }
+                TruncSource::ColsColMajor { data, exps } => {
+                    let t0 = timing.map(|_| Instant::now());
+                    let (s1, s2) = pow2_split(exps[v]);
+                    strunc_row(
+                        &data[v * k + off..v * k + off + len],
+                        &mut tmp[..len],
+                        s1,
+                        s2,
+                    );
+                    if let Some(t0) = t0 {
+                        trunc_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                    &tmp[..len]
+                }
+            };
             for (s, plane) in planes.iter_mut().enumerate() {
                 rmod_row(
                     xs,
@@ -434,6 +610,11 @@ fn convert_job(
         for plane in planes.iter_mut() {
             plane[base + k..base + kp].fill(0);
         }
+    }
+    if let (Some(t), Some(t0)) = (timing, job_t0) {
+        t.trunc_ns.fetch_add(trunc_ns, Ordering::Relaxed);
+        t.job_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -741,6 +922,95 @@ mod tests {
                 let mut got = vec![-1i16; nmod * vecs_pad * kp];
                 convert_pack_panels(&src, vecs, vecs_pad, k, kp, c, true, parallel, &mut got);
                 assert_eq!(got, want, "vecs={vecs} k={k} parallel={parallel}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_trunc_sources_match_unfused_composition() {
+        // trunc_convert_pack_panels with a fused source must equal the
+        // standalone scale_trunc_* pass followed by the pretruncated
+        // convert, bitwise, for both operand layouts and both splits.
+        use crate::scale::{
+            fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor, scale_trunc_b_colmajor,
+        };
+        use gemm_dense::workload::phi_matrix_f64;
+        use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
+        let nmod = 13;
+        let c = constants(nmod);
+        for (vecs, k) in [(1usize, 1usize), (5, 37), (12, 100), (3, 2048 + 17)] {
+            // Operand A: rows of a column-major vecs × k matrix.
+            let a = phi_matrix_f64(vecs, k, 1.0, 3, 0);
+            let exps_a = fast_scale_rows(&a, c.p_fast);
+            let vecs_pad = padded_a_rows(vecs);
+            let kp = padded_depth(k);
+            let mut pretrunc = vec![0f64; vecs * k];
+            scale_trunc_a_rowmajor(&a, &exps_a, &mut pretrunc);
+            let mut want = vec![0i16; nmod * vecs_pad * kp];
+            convert_pack_panels(&pretrunc, vecs, vecs_pad, k, kp, c, true, false, &mut want);
+            for parallel in [false, true] {
+                let mut got = vec![-1i16; nmod * vecs_pad * kp];
+                let timing = ConvertTiming::new();
+                trunc_convert_pack_panels(
+                    TruncSource::RowsColMajor {
+                        data: a.as_slice(),
+                        rows: vecs,
+                        exps: &exps_a,
+                    },
+                    vecs,
+                    vecs_pad,
+                    k,
+                    kp,
+                    c,
+                    true,
+                    parallel,
+                    &mut got,
+                    Some(&timing),
+                );
+                assert_eq!(got, want, "A-source vecs={vecs} k={k} parallel={parallel}");
+                assert!(timing.job_ns.load(std::sync::atomic::Ordering::Relaxed) > 0);
+                assert!(timing.trunc_fraction() > 0.0 && timing.trunc_fraction() < 1.0);
+            }
+
+            // Operand B: columns of a column-major k × vecs matrix.
+            let b = phi_matrix_f64(k, vecs, 1.0, 4, 1);
+            let exps_b = fast_scale_cols(&b, c.p_fast);
+            let vecs_pad_b = padded_b_cols(vecs);
+            let mut pretrunc_b = vec![0f64; vecs * k];
+            scale_trunc_b_colmajor(&b, &exps_b, &mut pretrunc_b);
+            let mut want_b = vec![0i16; nmod * vecs_pad_b * kp];
+            convert_pack_panels(
+                &pretrunc_b,
+                vecs,
+                vecs_pad_b,
+                k,
+                kp,
+                c,
+                true,
+                false,
+                &mut want_b,
+            );
+            for parallel in [false, true] {
+                let mut got = vec![-1i16; nmod * vecs_pad_b * kp];
+                trunc_convert_pack_panels(
+                    TruncSource::ColsColMajor {
+                        data: b.as_slice(),
+                        exps: &exps_b,
+                    },
+                    vecs,
+                    vecs_pad_b,
+                    k,
+                    kp,
+                    c,
+                    true,
+                    parallel,
+                    &mut got,
+                    None,
+                );
+                assert_eq!(
+                    got, want_b,
+                    "B-source vecs={vecs} k={k} parallel={parallel}"
+                );
             }
         }
     }

@@ -42,9 +42,13 @@ pub mod pipeline;
 pub mod plan;
 pub mod scale;
 
+pub use accumulate::{fold_kernel_name, fold_planes, fold_span, fold_span_scalar, FoldPrecision};
 pub use blas::{dgemm_emulated, GemmOp};
 pub use consts::{constants, Constants};
-pub use convert::{convert_kernel_name, convert_pack_panels, residue_planes};
+pub use convert::{
+    convert_kernel_name, convert_pack_panels, residue_planes, trunc_convert_pack_panels,
+    ConvertTiming, TruncSource,
+};
 pub use mixed::{dgemm_dd, gemm_f32xf64, gemm_f64xf32};
 pub use moduli::{moduli, MODULI, N_MAX, N_MAX_SGEMM};
 pub use nselect::{auto_emulator, choose_n, n_for_dgemm_level, n_for_sgemm_level, predicted_error};
@@ -52,3 +56,4 @@ pub use pipeline::{
     EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, K_BLOCK_MAX,
 };
 pub use plan::GemmPlan;
+pub use scale::{pow2_split, strunc_row, strunc_row_scalar, trunc_kernel_name};

@@ -7,13 +7,10 @@
 
 use crate::accumulate::{fold_planes, FoldPrecision};
 use crate::consts::{constants, Constants};
-use crate::convert::convert_pack_panels;
+use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
 use crate::modred::finalize_block_residues;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
-use crate::scale::{
-    accurate_scale, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
-    scale_trunc_b_colmajor,
-};
+use crate::scale::{accurate_scale, fast_scale_cols, fast_scale_rows};
 use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
 use gemm_engine::{
     int8_gemm_prepacked_fused, padded_a_rows, padded_b_cols, padded_depth, AccumulateEpilogue,
@@ -82,11 +79,12 @@ pub struct PhaseTimes {
     /// Line 1: scale-vector determination (includes the `Ā·B̄` INT8 GEMM
     /// in accurate mode).
     pub scale: Duration,
-    /// Lines 2–3: truncation to integer matrices (plus operand repack).
+    /// Lines 2–3: the scale+trunc portion of the fused operand sweep
+    /// (transpose gather + `trunc(2^e · x)`), attributed out of the
+    /// combined trunc+convert pass by per-job CPU-time share.
     pub trunc: Duration,
-    /// Lines 4–5: fused conversion to INT8 residues, written directly as
-    /// the engine's packed i16 panels (includes what used to be the
-    /// engine-side operand packing).
+    /// Lines 4–5: the `rmod` + panel-packing portion of the fused operand
+    /// sweep (includes what used to be the engine-side operand packing).
     pub convert: Duration,
     /// Line 6: the `N` INT8 matrix multiplications.
     pub int8_gemm: Duration,
@@ -130,25 +128,25 @@ pub struct EmulationReport {
     pub int8_gemm_calls: usize,
 }
 
-/// Reusable scratch for the whole Algorithm-1 pipeline: integer operand
-/// matrices, the packed residue panels the fused convert phase emits, the
-/// INT32 product plane, and the block-residue accumulator.
+/// Reusable scratch for the whole Algorithm-1 pipeline: the packed residue
+/// panels the fused trunc+convert phase emits, the UINT8 residue planes,
+/// the INT32 product plane, and the block-residue accumulator.
 ///
-/// A single emulated GEMM needs ~`(5N + 20)·mn` bytes of scratch for a
-/// square product (`16·mk` f64 operands, `4N·mk` packed i16 panels, `N·mn`
-/// residue planes, `4·mn` INT32; `k > 2^17` adds a `4·mn` block-residue
-/// accumulator); the workspace grows to the high-water
-/// mark of the shapes it has seen and is then reused, so iterative
-/// consumers (LU panel updates, purification sweeps, the `N` residue-panel
-/// sets of every call) allocate nothing per call.
+/// A single emulated GEMM needs ~`(5N + 4)·mn` bytes of scratch for a
+/// square product (`4N·mk` packed i16 panels, `N·mn` residue planes,
+/// `4·mn` INT32; `k > 2^17` adds a `4·mn` block-residue accumulator); the
+/// integer matrices `A'`, `B'` of the unfused pipeline no longer exist —
+/// the truncation happens inside the convert sweep's cache-resident
+/// staging tiles. The workspace grows to the high-water mark of the shapes
+/// it has seen and is then reused, so iterative consumers (LU panel
+/// updates, purification sweeps, the `N` residue-panel sets of every call)
+/// allocate nothing per call.
 ///
 /// The residue panels are stored directly in the INT8 engine's packed i16
 /// layout, so the GEMMs run over them with zero repacking
 /// ([`gemm_engine::int8_gemm_prepacked_fused`]).
 #[derive(Default)]
 pub struct Workspace {
-    aprime_rm: Vec<f64>,
-    bprime_cm: Vec<f64>,
     a16: Vec<i16>,
     b16: Vec<i16>,
     u: Vec<u8>,
@@ -164,9 +162,7 @@ impl Workspace {
 
     /// Current scratch footprint in bytes (excluding `Vec` headers).
     pub fn bytes(&self) -> usize {
-        self.aprime_rm.capacity() * 8
-            + self.bprime_cm.capacity() * 8
-            + self.a16.capacity() * 2
+        self.a16.capacity() * 2
             + self.b16.capacity() * 2
             + self.u.capacity()
             + self.c32.capacity() * 4
@@ -176,13 +172,6 @@ impl Workspace {
     /// Grow-only resize of every pipeline buffer for an `m x k · k x n`
     /// product with `nmod` residue-panel sets.
     fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
-        let grow = |v: &mut Vec<f64>, len: usize| {
-            if v.len() < len {
-                v.resize(len, 0.0);
-            }
-        };
-        grow(&mut self.aprime_rm, m * k);
-        grow(&mut self.bprime_cm, k * n);
         let kp = padded_depth(k);
         if self.a16.len() < nmod * padded_a_rows(m) * kp {
             self.a16.resize(nmod * padded_a_rows(m) * kp, 0);
@@ -449,37 +438,61 @@ pub(crate) fn emulate(
     };
     phases.scale = t0.elapsed();
 
-    // ---- Lines 2–3: truncation ------------------------------------------
+    // ---- Lines 2–5: fused trunc+convert -> packed residue panels ---------
+    // One cache-blocked sweep per operand scales, truncates (A: also
+    // transposes), reduces against all N moduli and writes the INT8
+    // engine's packed i16 panels directly — the integer matrices A'/B'
+    // never exist in memory and the GEMMs below never repack. The trunc
+    // share of the combined sweep is attributed by per-job CPU time.
     let t0 = Instant::now();
     ws.reserve(m, n, k, nmod);
     let Workspace {
-        aprime_rm,
-        bprime_cm,
         a16,
         b16,
         u,
         c32,
         racc,
     } = ws;
-    let aprime_rm = &mut aprime_rm[..m * k];
-    scale_trunc_a_rowmajor(a, &exps_a, aprime_rm);
-    let bprime_cm = &mut bprime_cm[..k * n];
-    scale_trunc_b_colmajor(b, &exps_b, bprime_cm);
-    phases.trunc = t0.elapsed();
-
-    // ---- Lines 4–5: fused convert -> packed residue panels ---------------
-    // One cache-blocked sweep per operand covers all N moduli and writes
-    // the INT8 engine's packed i16 panels directly — no intermediate i8
-    // planes, and the GEMMs below never repack.
-    let t0 = Instant::now();
     let kp = padded_depth(k);
     let m_pad = padded_a_rows(m);
     let n_pad = padded_b_cols(n);
+    let timing = ConvertTiming::new();
     let a16 = &mut a16[..nmod * m_pad * kp];
-    convert_pack_panels(aprime_rm, m, m_pad, k, kp, consts, b64, true, a16);
+    trunc_convert_pack_panels(
+        TruncSource::RowsColMajor {
+            data: a.as_slice(),
+            rows: m,
+            exps: &exps_a,
+        },
+        m,
+        m_pad,
+        k,
+        kp,
+        consts,
+        b64,
+        true,
+        a16,
+        Some(&timing),
+    );
     let b16 = &mut b16[..nmod * n_pad * kp];
-    convert_pack_panels(bprime_cm, n, n_pad, k, kp, consts, b64, true, b16);
-    phases.convert = t0.elapsed();
+    trunc_convert_pack_panels(
+        TruncSource::ColsColMajor {
+            data: b.as_slice(),
+            exps: &exps_b,
+        },
+        n,
+        n_pad,
+        k,
+        kp,
+        consts,
+        b64,
+        true,
+        b16,
+        Some(&timing),
+    );
+    let sweep = t0.elapsed();
+    phases.trunc = sweep.mul_f64(timing.trunc_fraction());
+    phases.convert = sweep.saturating_sub(phases.trunc);
 
     // ---- Lines 6–7: INT8 GEMMs with fused modular reduction -------------
     // The mod-p reduction runs inside the GEMM call, on cache-resident `C`

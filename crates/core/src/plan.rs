@@ -1,9 +1,10 @@
 //! Reusable execution plans.
 //!
-//! A single emulated GEMM needs ~`(5N + 20)·mn` bytes of scratch for a
-//! square product (integer matrices, the packed i16 residue panels the
-//! fused convert emits, residue planes, the INT32 product buffer, plus a
-//! block-residue accumulator when `k > 2^17`).
+//! A single emulated GEMM needs ~`(5N + 4)·mn` bytes of scratch for a
+//! square product (the packed i16 residue panels the fused trunc+convert
+//! emits, residue planes, the INT32 product buffer, plus a block-residue
+//! accumulator when `k > 2^17` — the integer matrices of the unfused
+//! pipeline no longer exist).
 //! Iterative consumers — LU panel updates, purification
 //! iterations, repeated solves — call GEMM many times with one shape;
 //! [`GemmPlan`] keeps a [`Workspace`] alive across calls so the
@@ -106,9 +107,9 @@ mod tests {
         let b = phi_matrix_f64(k, n, 0.5, 3, 1);
         let _ = plan.execute(&a, &b);
         let after_first = plan.workspace_bytes();
-        // At least the dominant buffers must be resident: A'/B' (f64),
-        // the residue planes (i8), U planes (u8) and C32.
-        let floor = 2 * 8 * m * k.min(k * n) + nmod * (m * k + k * n) + nmod * m * n + 4 * m * n;
+        // At least the dominant buffers must be resident: the packed i16
+        // panel sets (one per modulus, padded), U planes (u8) and C32.
+        let floor = nmod * 2 * (m * k + k * n) + nmod * m * n + 4 * m * n;
         assert!(
             after_first >= floor,
             "workspace too small: {after_first} < {floor}"

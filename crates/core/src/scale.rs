@@ -209,40 +209,212 @@ pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32
     (e_a, e_b)
 }
 
+/// `2^e` as one or two exact f64 factors `(s1, s2)`: multiplying by both
+/// in order reproduces [`scale_by_pow2`] bit for bit (the in-range case
+/// has `s2 = 1.0`, and multiplying by `1.0` is the IEEE identity). This is
+/// what lets the trunc kernels hoist the power-of-two computation out of
+/// the per-element loop: one split per vector, two multiplies per element.
+#[inline]
+pub fn pow2_split(e: i32) -> (f64, f64) {
+    if (-969..=970).contains(&e) {
+        (2f64.powi(e), 1.0)
+    } else {
+        let half = e / 2;
+        (2f64.powi(half), 2f64.powi(e - half))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized scale+trunc row kernels (runtime-dispatched)
+// ---------------------------------------------------------------------------
+
+/// Which scale+trunc row kernel the running CPU supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TruncKernel {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Scalar,
+}
+
+fn detect_trunc_kernel() -> TruncKernel {
+    if gemm_engine::force_scalar() {
+        return TruncKernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return TruncKernel::Avx512;
+        }
+        if is_x86_feature_detected!("avx") {
+            return TruncKernel::Avx2;
+        }
+    }
+    TruncKernel::Scalar
+}
+
+fn trunc_kernel() -> TruncKernel {
+    static KERNEL: std::sync::OnceLock<TruncKernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(detect_trunc_kernel)
+}
+
+/// Human-readable name of the scale+trunc kernel the CPU dispatches to.
+pub fn trunc_kernel_name() -> &'static str {
+    match trunc_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        TruncKernel::Avx512 => "avx512",
+        #[cfg(target_arch = "x86_64")]
+        TruncKernel::Avx2 => "avx",
+        TruncKernel::Scalar => "scalar",
+    }
+}
+
+/// Scalar scale+trunc row kernel: `dst[i] = trunc(xs[i] * s1 * s2)` with
+/// `(s1, s2) = pow2_split(e)`. This is the lane oracle the SIMD paths are
+/// property-tested against, bit for bit.
+pub fn strunc_row_scalar(xs: &[f64], dst: &mut [f64], s1: f64, s2: f64) {
+    for (d, &x) in dst.iter_mut().zip(xs) {
+        *d = (x * s1 * s2).trunc();
+    }
+}
+
+/// Pointer form of the scalar kernel: lane `i` reads `src[i]` and writes
+/// `dst[i]` only, so `src == dst` (the in-place staging tile) is fine.
+///
+/// # Safety
+/// `src` and `dst` must each be valid for `len` elements; if they overlap
+/// they must be identical.
+unsafe fn strunc_ptr_scalar(src: *const f64, dst: *mut f64, len: usize, s1: f64, s2: f64) {
+    for i in 0..len {
+        *dst.add(i) = (*src.add(i) * s1 * s2).trunc();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX-512 / AVX scale+trunc row kernels. Two IEEE multiplies and a
+    //! round-toward-zero (`roundscale` / `roundpd` with imm 0x0B) — the
+    //! exact operation sequence of [`super::strunc_row_scalar`], so lanes
+    //! cannot diverge from the scalar oracle. Pointer-based so the same
+    //! body serves the out-of-place and in-place (src == dst) entries.
+
+    use std::arch::x86_64::*;
+
+    /// `_MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC` — truncation.
+    const RZ: i32 = 0x0B;
+
+    /// # Safety
+    /// AVX-512F must be available; `src`/`dst` valid for `len` elements,
+    /// identical if overlapping (each lane reads then writes its own slot).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn strunc_ptr_avx512(src: *const f64, dst: *mut f64, len: usize, s1: f64, s2: f64) {
+        let n8 = len / 8 * 8;
+        let s1v = _mm512_set1_pd(s1);
+        let s2v = _mm512_set1_pd(s2);
+        let mut i = 0;
+        while i < n8 {
+            let x = _mm512_loadu_pd(src.add(i));
+            let y = _mm512_mul_pd(_mm512_mul_pd(x, s1v), s2v);
+            _mm512_storeu_pd(dst.add(i), _mm512_roundscale_pd::<RZ>(y));
+            i += 8;
+        }
+        super::strunc_ptr_scalar(src.add(n8), dst.add(n8), len - n8, s1, s2);
+    }
+
+    /// # Safety
+    /// AVX must be available; same pointer contract as `strunc_ptr_avx512`.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn strunc_ptr_avx(src: *const f64, dst: *mut f64, len: usize, s1: f64, s2: f64) {
+        let n4 = len / 4 * 4;
+        let s1v = _mm256_set1_pd(s1);
+        let s2v = _mm256_set1_pd(s2);
+        let mut i = 0;
+        while i < n4 {
+            let x = _mm256_loadu_pd(src.add(i));
+            let y = _mm256_mul_pd(_mm256_mul_pd(x, s1v), s2v);
+            _mm256_storeu_pd(dst.add(i), _mm256_round_pd::<RZ>(y));
+            i += 4;
+        }
+        super::strunc_ptr_scalar(src.add(n4), dst.add(n4), len - n4, s1, s2);
+    }
+}
+
+/// Dispatch the pointer kernel (shared by the row and in-place entries).
+///
+/// # Safety
+/// `src`/`dst` valid for `len` elements; identical if overlapping.
+#[inline]
+unsafe fn strunc_ptr(src: *const f64, dst: *mut f64, len: usize, s1: f64, s2: f64) {
+    match trunc_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        TruncKernel::Avx512 => x86::strunc_ptr_avx512(src, dst, len, s1, s2),
+        #[cfg(target_arch = "x86_64")]
+        TruncKernel::Avx2 => x86::strunc_ptr_avx(src, dst, len, s1, s2),
+        TruncKernel::Scalar => strunc_ptr_scalar(src, dst, len, s1, s2),
+    }
+}
+
+/// Vectorized scale+trunc over a row: `dst[i] = trunc(xs[i] * s1 * s2)`
+/// with `(s1, s2)` from [`pow2_split`]. Dispatches to the best kernel the
+/// CPU supports; bit-identical to [`strunc_row_scalar`] on every path.
+#[inline]
+pub fn strunc_row(xs: &[f64], dst: &mut [f64], s1: f64, s2: f64) {
+    assert!(dst.len() >= xs.len(), "destination row too short");
+    // SAFETY: disjoint slices, lengths asserted, kernel feature-detected.
+    unsafe { strunc_ptr(xs.as_ptr(), dst.as_mut_ptr(), xs.len(), s1, s2) }
+}
+
+/// In-place vectorized scale+trunc: `buf[i] = trunc(buf[i] * s1 * s2)`.
+/// Same dispatched kernel as [`strunc_row`] (each lane reads then writes
+/// only its own slot, so aliasing is benign); used on the fused convert's
+/// staging tile after the transpose gather.
+#[inline]
+pub fn strunc_row_inplace(buf: &mut [f64], s1: f64, s2: f64) {
+    // SAFETY: src == dst is the documented in-place case of strunc_ptr.
+    unsafe { strunc_ptr(buf.as_ptr(), buf.as_mut_ptr(), buf.len(), s1, s2) }
+}
+
+/// Depth tile of the standalone transposing trunc: 256 source cache lines
+/// (16 KiB) stay L1-resident while consecutive rows gather from them.
+const TRUNC_DEPTH_TILE: usize = 256;
+
 /// Step 2 fused with the row-major repack: `A'^T` laid out row-major,
 /// `out[i*k + h] = trunc(2^{e_i} · a_ih)`, via cache-blocked transpose.
+///
+/// The hot pipeline no longer calls this (the truncation is fused into the
+/// convert sweep, [`crate::convert::trunc_convert_pack_panels`]); it stays
+/// as the standalone form for consumers that want the integer matrices
+/// (`mixed.rs`, diagnostics, the structural-independence property tests).
 pub fn scale_trunc_a_rowmajor(a: &MatF64, exps: &[i32], out: &mut [f64]) {
     let (m, k) = a.shape();
     assert_eq!(exps.len(), m);
     assert_eq!(out.len(), m * k);
-    const TILE: usize = 64;
     let a_data = a.as_slice();
-    for j0 in (0..k).step_by(TILE) {
-        let j1 = (j0 + TILE).min(k);
-        for i0 in (0..m).step_by(TILE) {
-            let i1 = (i0 + TILE).min(m);
-            for j in j0..j1 {
-                let col = &a_data[j * m..(j + 1) * m];
-                for i in i0..i1 {
-                    out[i * k + j] = scale_by_pow2(col[i], exps[i]).trunc();
-                }
+    let mut tmp = [0.0f64; TRUNC_DEPTH_TILE];
+    for j0 in (0..k).step_by(TRUNC_DEPTH_TILE) {
+        let len = TRUNC_DEPTH_TILE.min(k - j0);
+        for i in 0..m {
+            let (s1, s2) = pow2_split(exps[i]);
+            for (t, jj) in tmp[..len].iter_mut().zip(0..) {
+                *t = a_data[(j0 + jj) * m + i];
             }
+            strunc_row(&tmp[..len], &mut out[i * k + j0..i * k + j0 + len], s1, s2);
         }
     }
 }
 
 /// Step 3: `B'` stays column-major; `out[h + j*k] = trunc(2^{e_j} · b_hj)`.
+/// Columns are contiguous, so the vectorized [`strunc_row`] kernel runs
+/// directly over the source (same standalone role as
+/// [`scale_trunc_a_rowmajor`]).
 pub fn scale_trunc_b_colmajor(b: &MatF64, exps: &[i32], out: &mut [f64]) {
     let (k, n) = b.shape();
     assert_eq!(exps.len(), n);
     assert_eq!(out.len(), k * n);
     for j in 0..n {
-        let scale = exps[j];
-        let src = b.col(j);
-        let dst = &mut out[j * k..(j + 1) * k];
-        for (d, &x) in dst.iter_mut().zip(src) {
-            *d = scale_by_pow2(x, scale).trunc();
-        }
+        let (s1, s2) = pow2_split(exps[j]);
+        strunc_row(b.col(j), &mut out[j * k..(j + 1) * k], s1, s2);
     }
 }
 
@@ -363,6 +535,70 @@ mod tests {
                 let want = scale_by_pow2(b[(h, j)], exps[j]).trunc();
                 assert_eq!(out[h + j * 6], want);
             }
+        }
+    }
+
+    #[test]
+    fn pow2_split_reproduces_scale_by_pow2() {
+        for e in [
+            -1940, -1500, -1074, -970, -969, -500, -1, 0, 1, 513, 970, 971, 1500, 1940,
+        ] {
+            let (s1, s2) = pow2_split(e);
+            for &x in &[1.0f64, -3.7, 0.125, 12345.678, -2f64.powi(40)] {
+                assert_eq!(
+                    (x * s1 * s2).to_bits(),
+                    scale_by_pow2(x, e).to_bits(),
+                    "e={e} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strunc_row_bit_identical_to_scalar_and_reference() {
+        // Ragged lengths (SIMD body + tail), extreme exponents (both
+        // pow2_split regimes), negative zero producers.
+        for len in [1usize, 3, 4, 7, 8, 9, 16, 31, 64, 100] {
+            let xs: Vec<f64> = (0..len)
+                .map(|i| (i as f64 - 17.3) * 1.618f64.powi(i as i32 % 40 - 20))
+                .collect();
+            for e in [-1800i32, -975, -37, 0, 12, 975, 1800] {
+                let (s1, s2) = pow2_split(e);
+                let mut got = vec![0.0f64; len];
+                let mut want = vec![0.0f64; len];
+                strunc_row(&xs, &mut got, s1, s2);
+                strunc_row_scalar(&xs, &mut want, s1, s2);
+                for i in 0..len {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        want[i].to_bits(),
+                        "kernel={} len={len} e={e} lane={i}",
+                        trunc_kernel_name()
+                    );
+                    assert_eq!(
+                        want[i].to_bits(),
+                        scale_by_pow2(xs[i], e).trunc().to_bits(),
+                        "oracle deviates from scale_by_pow2: len={len} e={e} lane={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strunc_inplace_matches_out_of_place() {
+        let xs: Vec<f64> = (0..53).map(|i| (i as f64) * 0.7331 - 19.0).collect();
+        for e in [-40i32, 0, 7, 1100] {
+            let (s1, s2) = pow2_split(e);
+            let mut want = vec![0.0f64; xs.len()];
+            strunc_row(&xs, &mut want, s1, s2);
+            let mut buf = xs.clone();
+            strunc_row_inplace(&mut buf, s1, s2);
+            assert_eq!(
+                buf.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "e={e}"
+            );
         }
     }
 

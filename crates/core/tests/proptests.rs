@@ -2,15 +2,16 @@
 //! the uniqueness condition (3), and end-to-end reconstruction.
 
 use gemm_dense::Matrix;
+use ozaki2::accumulate::{fold_planes, fold_span, fold_span_scalar, FoldPrecision};
 use ozaki2::consts::constants;
 use ozaki2::convert::{
     convert_pack_panels, residue_planes, rmod_reference, rmod_row, rmod_row_scalar, rmod_to_i8,
-    steps_for,
+    steps_for, trunc_convert_pack_panels, ConvertTiming, TruncSource,
 };
 use ozaki2::modred::mod_i32_to_u8;
 use ozaki2::scale::{
-    condition3_holds, fast_scale_cols, fast_scale_rows, scale_trunc_a_rowmajor,
-    scale_trunc_b_colmajor,
+    condition3_holds, fast_scale_cols, fast_scale_rows, pow2_split, scale_by_pow2,
+    scale_trunc_a_rowmajor, scale_trunc_b_colmajor, strunc_row, strunc_row_scalar,
 };
 use ozaki2::{Mode, Ozaki2};
 use proptest::prelude::*;
@@ -121,6 +122,184 @@ proptest! {
             prop_assert_eq!(
                 (g as i64).rem_euclid(p as i64), reference.rem_euclid(p as i64),
                 "lane {} disagrees with rmod_reference: x={} p={}", i, x, p
+            );
+        }
+    }
+
+    #[test]
+    fn strunc_row_lane_exact_any_exponent(
+        len in 1usize..100,
+        e in -1300i32..1300,
+        seed in any::<u64>(),
+    ) {
+        // The dispatched scale+trunc kernel must equal the scalar oracle
+        // bit for bit on every lane (SIMD body + tail), and the oracle
+        // must equal scale_by_pow2(..).trunc() — including ±max-exponent
+        // scales that overflow/underflow a single multiply (|e| > 970) and
+        // subnormal products.
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        let row: Vec<f64> = (0..len)
+            .map(|_| {
+                let m = ((next() >> 12) as f64) / 2f64.powi(40) - 2048.0;
+                let ex = (next() % 600) as i32 - 300;
+                m * 2f64.powi(ex)
+            })
+            .collect();
+        let (s1, s2) = pow2_split(e);
+        let mut got = vec![0f64; len];
+        let mut want = vec![0f64; len];
+        strunc_row(&row, &mut got, s1, s2);
+        strunc_row_scalar(&row, &mut want, s1, s2);
+        for i in 0..len {
+            prop_assert_eq!(
+                got[i].to_bits(), want[i].to_bits(),
+                "lane {} diverges: x={} e={}", i, row[i], e
+            );
+            prop_assert_eq!(
+                want[i].to_bits(), scale_by_pow2(row[i], e).trunc().to_bits(),
+                "oracle deviates from scale_by_pow2: x={} e={}", row[i], e
+            );
+        }
+    }
+
+    #[test]
+    fn fold_span_lane_exact_odd_planes(
+        nmod in 2usize..=20,
+        len in 1usize..70,
+        idx0 in 0usize..9,
+        single in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // Lane-exact SIMD/scalar parity for the fold kernel across span
+        // edges (body + tail), span offsets, odd plane counts and the full
+        // residue range (including p-1 maxima).
+        prop_assume!(!single || nmod <= ozaki2::N_MAX_SGEMM);
+        let c = constants(nmod);
+        let plane = idx0 + len + (seed % 5) as usize;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(97);
+            s
+        };
+        let u: Vec<u8> = (0..nmod * plane)
+            .map(|i| {
+                let m = i / plane;
+                match next() % 5 {
+                    0 => (c.p[m] - 1) as u8,
+                    1 => 0,
+                    _ => ((next() >> 30) % c.p[m]) as u8,
+                }
+            })
+            .collect();
+        let (s1, s2): (&[f64], Option<&[f64]>) = if single {
+            (&c.s1_single, None)
+        } else {
+            (&c.s1, Some(&c.s2))
+        };
+        let mut got = vec![0f64; len];
+        let mut want = vec![0f64; len];
+        fold_span(&u, plane, idx0, s1, s2, c.p1, c.p2, c.p_inv, &mut got);
+        fold_span_scalar(&u, plane, idx0, s1, s2, c.p1, c.p2, c.p_inv, &mut want);
+        for i in 0..len {
+            prop_assert_eq!(
+                got[i].to_bits(), want[i].to_bits(),
+                "lane {} diverges: N={} len={} idx0={} single={}",
+                i, nmod, len, idx0, single
+            );
+        }
+    }
+
+    #[test]
+    fn fold_round_trip_vs_crt_oracle(
+        nmod in 2usize..=20,
+        seed in any::<u64>(),
+    ) {
+        // Random residue vectors must fold back to the exact CRT
+        // reconstruction (symmetric range) within a few ulps — the
+        // round-trip contract of the weight-split construction.
+        let c = constants(nmod);
+        let basis = gemm_exact::CrtBasis::new(&c.p);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            s
+        };
+        let us: Vec<u8> = (0..nmod).map(|m| ((next() >> 33) % c.p[m]) as u8).collect();
+        let mut out = [0.0f64];
+        fold_planes(&us, 1, 1, c, FoldPrecision::Double, &[0], &[0], &mut out);
+        let mut acc = gemm_exact::U256::ZERO;
+        for (i, &uv) in us.iter().enumerate() {
+            acc = acc.add(basis.weight(i).mul_u64(uv as u64));
+        }
+        let (_, r) = acc.div_rem(basis.p_big());
+        let half = basis.p_big().half();
+        let want = if r > half {
+            gemm_exact::I256::from_u256(basis.p_big().sub(r)).neg().to_f64()
+        } else {
+            gemm_exact::I256::from_u256(r).to_f64()
+        };
+        if want == 0.0 {
+            prop_assert_eq!(out[0], 0.0);
+        } else {
+            let rel = ((out[0] - want) / want).abs();
+            prop_assert!(rel <= 8.0 * f64::EPSILON, "N={} rel={} got={} want={}", nmod, rel, out[0], want);
+        }
+    }
+
+    #[test]
+    fn fused_trunc_convert_matches_unfused_any_split(
+        vecs in 1usize..10,
+        k in 1usize..80,
+        nmod in 2usize..=20,
+        b64 in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        // The fused trunc+convert (both operand layouts) must equal the
+        // unfused composition scale_trunc_* -> convert_pack_panels bitwise
+        // for every plane count and both parallel splits.
+        prop_assume!(b64 || nmod <= 18);
+        let c = constants(nmod);
+        let a = gemm_dense::workload::phi_matrix_f64(vecs, k, 1.0, seed, 0);
+        let exps_a = fast_scale_rows(&a, c.p_fast);
+        let vecs_pad = gemm_engine::padded_a_rows(vecs);
+        let kp = gemm_engine::padded_depth(k);
+        let mut pre = vec![0f64; vecs * k];
+        scale_trunc_a_rowmajor(&a, &exps_a, &mut pre);
+        let mut want = vec![0i16; nmod * vecs_pad * kp];
+        convert_pack_panels(&pre, vecs, vecs_pad, k, kp, c, b64, false, &mut want);
+        for parallel in [false, true] {
+            let mut got = vec![-1i16; nmod * vecs_pad * kp];
+            let timing = ConvertTiming::new();
+            trunc_convert_pack_panels(
+                TruncSource::RowsColMajor { data: a.as_slice(), rows: vecs, exps: &exps_a },
+                vecs, vecs_pad, k, kp, c, b64, parallel, &mut got, Some(&timing),
+            );
+            prop_assert_eq!(
+                &got, &want,
+                "A-source N={} vecs={} k={} parallel={}", nmod, vecs, k, parallel
+            );
+        }
+
+        let b = gemm_dense::workload::phi_matrix_f64(k, vecs, 1.0, seed ^ 0xabcd, 1);
+        let exps_b = fast_scale_cols(&b, c.p_fast);
+        let vecs_pad_b = gemm_engine::padded_b_cols(vecs);
+        let mut pre_b = vec![0f64; vecs * k];
+        scale_trunc_b_colmajor(&b, &exps_b, &mut pre_b);
+        let mut want_b = vec![0i16; nmod * vecs_pad_b * kp];
+        convert_pack_panels(&pre_b, vecs, vecs_pad_b, k, kp, c, b64, false, &mut want_b);
+        for parallel in [false, true] {
+            let mut got = vec![-1i16; nmod * vecs_pad_b * kp];
+            trunc_convert_pack_panels(
+                TruncSource::ColsColMajor { data: b.as_slice(), exps: &exps_b },
+                vecs, vecs_pad_b, k, kp, c, b64, parallel, &mut got, None,
+            );
+            prop_assert_eq!(
+                &got, &want_b,
+                "B-source N={} vecs={} k={} parallel={}", nmod, vecs, k, parallel
             );
         }
     }

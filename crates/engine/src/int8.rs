@@ -319,7 +319,23 @@ enum TileKernel {
     Scalar,
 }
 
+/// Whether SIMD dispatch is globally forced to the scalar kernels via the
+/// `OZAKI_FORCE_SCALAR` environment variable (any non-empty value other
+/// than `0`). Read once and cached; the CI `scalar-fallback` job uses it to
+/// exercise every scalar oracle kernel on AVX-capable runners.
+pub fn force_scalar() -> bool {
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("OZAKI_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
 fn detect_tile_kernel() -> TileKernel {
+    if force_scalar() {
+        return TileKernel::Scalar;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         if is_x86_feature_detected!("avx512bw") && is_x86_feature_detected!("avx512vnni") {
