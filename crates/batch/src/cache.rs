@@ -1,0 +1,336 @@
+//! A small LRU cache of [`PreparedOperand`]s keyed on operand identity.
+//!
+//! The batched runtime amortizes Algorithm 1's front end (lines 1–5) by
+//! caching the prepared panels of operands that repeat — within one
+//! batched call (a broadcast/stride-0 operand, a matrix referenced by
+//! several group items) and **across** calls (the weight matrix of a
+//! serving loop). Identity combines the operand's data pointer, length,
+//! shape and pipeline configuration `(N, mode, precision)`, guarded by a
+//! **full-content** fingerprint: a buffer that is freed and
+//! coincidentally reallocated at the same address, or mutated in place —
+//! even at a single element — changes the key, so stale panels can never
+//! be served. Hashing every element costs one streaming pass over the
+//! operand per lookup, far below the cost of the `N`-moduli preparation
+//! it guards (and paid once per *call* for a shared operand, not per
+//! item).
+
+use ozaki2::{Mode, OperandSide, PreparedOperand};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Mix one 64-bit word into an FNV-1a style running hash.
+#[inline]
+fn mix(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Full-content hash: four interleaved FNV streams (breaking the
+/// multiply latency chain) folded together, covering every element.
+fn fingerprint_bits(len: usize, word: impl Fn(usize) -> u64) -> u64 {
+    let mut lanes = [
+        0xcbf2_9ce4_8422_2325u64,
+        0x9e37_79b9_7f4a_7c15,
+        0xc2b2_ae3d_27d4_eb4f,
+        0x1656_67b1_9e37_79f9,
+    ];
+    let mut i = 0;
+    while i + 4 <= len {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = mix(*lane, word(i + l));
+        }
+        i += 4;
+    }
+    while i < len {
+        lanes[0] = mix(lanes[0], word(i));
+        i += 1;
+    }
+    let mut h = mix(lanes[0], len as u64);
+    h = mix(h, lanes[1]);
+    h = mix(h, lanes[2]);
+    mix(h, lanes[3])
+}
+
+/// Full-content fingerprint of an f64 operand buffer.
+pub fn fingerprint_f64(data: &[f64]) -> u64 {
+    fingerprint_bits(data.len(), |i| data[i].to_bits())
+}
+
+/// Full-content fingerprint of an f32 operand buffer.
+pub fn fingerprint_f32(data: &[f32]) -> u64 {
+    fingerprint_bits(data.len(), |i| data[i].to_bits() as u64)
+}
+
+/// Cache identity of one prepared operand (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperandKey {
+    ptr: usize,
+    len: usize,
+    rows: usize,
+    cols: usize,
+    side: OperandSide,
+    n_moduli: usize,
+    mode: Mode,
+    b64: bool,
+    fingerprint: u64,
+}
+
+impl OperandKey {
+    /// Key for an f64 operand slice with logical shape `rows x cols`.
+    pub fn f64(
+        data: &[f64],
+        rows: usize,
+        cols: usize,
+        side: OperandSide,
+        n_moduli: usize,
+        mode: Mode,
+    ) -> Self {
+        Self {
+            ptr: data.as_ptr() as usize,
+            len: data.len(),
+            rows,
+            cols,
+            side,
+            n_moduli,
+            mode,
+            b64: true,
+            fingerprint: fingerprint_f64(data),
+        }
+    }
+
+    /// Key for an f32 operand slice (SGEMM precision).
+    pub fn f32(
+        data: &[f32],
+        rows: usize,
+        cols: usize,
+        side: OperandSide,
+        n_moduli: usize,
+        mode: Mode,
+    ) -> Self {
+        Self {
+            ptr: data.as_ptr() as usize,
+            len: data.len(),
+            rows,
+            cols,
+            side,
+            n_moduli,
+            mode,
+            b64: false,
+            fingerprint: fingerprint_f32(data),
+        }
+    }
+}
+
+/// LRU cache mapping [`OperandKey`]s to shared [`PreparedOperand`]s.
+/// Entries are `Arc`s, so an eviction never invalidates an execution in
+/// flight. All methods take `&self`; the cache is internally locked.
+pub struct OperandCache {
+    /// MRU-ordered (front = most recent).
+    entries: Mutex<Vec<(OperandKey, Arc<PreparedOperand>)>>,
+    /// Recently missed keys (no values): an operand not shared within its
+    /// call must miss twice before the runtime pays for preparing and
+    /// retaining it — see [`OperandCache::repeat_miss`].
+    probation: Mutex<VecDeque<OperandKey>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OperandCache {
+    /// Cache retaining up to `capacity` preparations.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+            probation: Mutex::new(VecDeque::new()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum retained preparations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current retained preparations.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that returned a cached preparation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Summed heap footprint of the retained preparations in bytes.
+    pub fn bytes(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .iter()
+            .map(|(_, p)| p.bytes())
+            .sum()
+    }
+
+    /// Look up a preparation, refreshing its recency on hit.
+    pub fn get(&self, key: &OperandKey) -> Option<Arc<PreparedOperand>> {
+        let mut entries = self.entries.lock().expect("cache lock");
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            let entry = entries.remove(pos);
+            let hit = entry.1.clone();
+            entries.insert(0, entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(hit)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert (or refresh) a preparation, evicting the least recently
+    /// used entries beyond capacity.
+    pub fn insert(&self, key: OperandKey, value: Arc<PreparedOperand>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("cache lock");
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(pos);
+        }
+        entries.insert(0, (key, value));
+        entries.truncate(self.capacity);
+    }
+
+    /// Record a miss for a *lone* operand (not shared within its call)
+    /// and report whether the same key missed recently before — i.e. the
+    /// operand is repeating across calls, so preparing and retaining it
+    /// will pay off. First sightings return `false` (the caller should
+    /// run the cheaper raw/pooled-workspace path instead of allocating
+    /// panels that may never be reused); a repeat sighting returns `true`
+    /// and leaves probation.
+    pub fn repeat_miss(&self, key: &OperandKey) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        let mut probation = self.probation.lock().expect("cache lock");
+        if let Some(pos) = probation.iter().position(|k| k == key) {
+            probation.remove(pos);
+            true
+        } else {
+            probation.push_front(key.clone());
+            probation.truncate(2 * self.capacity);
+            false
+        }
+    }
+
+    /// Drop every retained preparation (use after mutating a cached
+    /// operand in place).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+        self.probation.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::workload::phi_matrix_f64;
+    use ozaki2::Ozaki2;
+
+    fn prep(seed: u64) -> (Vec<f64>, Arc<PreparedOperand>) {
+        let b = phi_matrix_f64(8, 6, 0.5, seed, 1);
+        let p = Ozaki2::new(8, Mode::Fast).prepare_b(&b);
+        (b.into_vec(), Arc::new(p))
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_refreshes_on_hit() {
+        let cache = OperandCache::new(2);
+        let (d1, p1) = prep(1);
+        let (d2, p2) = prep(2);
+        let (d3, p3) = prep(3);
+        let key = |d: &[f64]| OperandKey::f64(d, 8, 6, OperandSide::B, 8, Mode::Fast);
+        cache.insert(key(&d1), p1);
+        cache.insert(key(&d2), p2);
+        assert!(cache.get(&key(&d1)).is_some()); // refresh 1 → MRU
+        cache.insert(key(&d3), p3); // evicts 2 (LRU), not 1
+        assert!(cache.get(&key(&d1)).is_some());
+        assert!(cache.get(&key(&d2)).is_none());
+        assert!(cache.get(&key(&d3)).is_some());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+        assert!(cache.bytes() > 0);
+    }
+
+    #[test]
+    fn fingerprint_guards_against_stale_content() {
+        // Same pointer, same shape, mutated content: the full-content
+        // fingerprint must differ — for a mutation of ANY single element
+        // — so the lookup misses instead of serving stale panels.
+        let cache = OperandCache::new(4);
+        let (d0, p) = prep(4);
+        for idx in 0..d0.len() {
+            let mut d = d0.clone();
+            let k1 = OperandKey::f64(&d, 8, 6, OperandSide::B, 8, Mode::Fast);
+            cache.insert(k1.clone(), p.clone());
+            d[idx] += 1.0;
+            let k2 = OperandKey::f64(&d, 8, 6, OperandSide::B, 8, Mode::Fast);
+            assert_ne!(k1, k2, "mutation at {idx} must change the key");
+        }
+    }
+
+    #[test]
+    fn repeat_miss_promotes_on_second_sighting() {
+        let cache = OperandCache::new(4);
+        let (d, _) = prep(6);
+        let k = OperandKey::f64(&d, 8, 6, OperandSide::B, 8, Mode::Fast);
+        assert!(!cache.repeat_miss(&k), "first sighting stays raw");
+        assert!(cache.repeat_miss(&k), "second sighting promotes");
+        // Leaving probation: a third miss starts over.
+        assert!(!cache.repeat_miss(&k));
+        // Zero capacity never promotes.
+        let none = OperandCache::new(0);
+        assert!(!none.repeat_miss(&k));
+        assert!(!none.repeat_miss(&k));
+    }
+
+    #[test]
+    fn key_separates_sides_and_configs() {
+        let d = vec![1.0f64; 48];
+        let base = OperandKey::f64(&d, 8, 6, OperandSide::B, 8, Mode::Fast);
+        assert_ne!(
+            base,
+            OperandKey::f64(&d, 8, 6, OperandSide::A, 8, Mode::Fast)
+        );
+        assert_ne!(
+            base,
+            OperandKey::f64(&d, 8, 6, OperandSide::B, 9, Mode::Fast)
+        );
+        assert_ne!(
+            base,
+            OperandKey::f64(&d, 6, 8, OperandSide::B, 8, Mode::Fast)
+        );
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let cache = OperandCache::new(0);
+        let (d, p) = prep(5);
+        let k = OperandKey::f64(&d, 8, 6, OperandSide::B, 8, Mode::Fast);
+        cache.insert(k.clone(), p);
+        assert!(cache.get(&k).is_none());
+        assert!(cache.is_empty());
+    }
+}

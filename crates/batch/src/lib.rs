@@ -1,0 +1,670 @@
+//! # gemm-batch — batched execution runtime for Ozaki Scheme II
+//!
+//! Real matrix-engine workloads are dominated by *many* GEMMs, often
+//! small and often sharing an operand (weight-stationary inference, the
+//! shared component products of CRT complex multiplication, blocked
+//! factorizations). Driving [`ozaki2::Ozaki2`] one call at a time leaves
+//! three kinds of performance on the table, and this crate's
+//! [`BatchedOzaki2`] collects all three:
+//!
+//! * **Prepared-operand reuse** — Algorithm 1's front end (scale, trunc,
+//!   convert, pack; lines 1–5) depends on one operand only, so a shared
+//!   matrix is prepared **once** and its packed residue panels reused by
+//!   every item, and across calls via a small LRU keyed on operand
+//!   identity ([`OperandCache`]).
+//! * **Workspace pooling** — per-item scratch comes from a
+//!   [`WorkspacePool`] of grow-once workspaces, so steady-state batched
+//!   iterations allocate nothing beyond the output buffers.
+//! * **Scheduling** — small items run one-per-worker with engine stripes
+//!   disabled, large items run striped one after another; the crossover
+//!   comes from the plan-level arithmetic intensity ([`Schedule`]).
+//!
+//! Every batched result is **bit-identical** to the equivalent sequence
+//! of [`ozaki2::Ozaki2::dgemm`] / `sgemm` calls — caching, pooling and
+//! either schedule change *when* work happens, never *what* is computed.
+//! (In [`Mode::Accurate`] the scales couple `A` and `B`, so operands
+//! cannot be prepared one-sided; accurate batches keep the pool and
+//! scheduler but skip the cache.)
+//!
+//! ```
+//! use gemm_batch::{BatchedOzaki2, StridedBatchF64};
+//! use gemm_dense::workload::phi_matrix_f64;
+//! use ozaki2::{Mode, Ozaki2};
+//!
+//! // A weight-stationary micro-batch: one shared B, four streaming As.
+//! let b = phi_matrix_f64(32, 24, 0.5, 7, 1);
+//! let a_stream: Vec<f64> = (0..4u64)
+//!     .flat_map(|s| phi_matrix_f64(16, 32, 0.5, s, 0).into_vec())
+//!     .collect();
+//! let runtime = BatchedOzaki2::new(15, Mode::Fast);
+//! let cs = runtime.dgemm_batched(
+//!     &StridedBatchF64::packed(&a_stream, 16, 32, 4),
+//!     &StridedBatchF64::broadcast(&b, 4), // stride 0: prepared once
+//! );
+//! // Bit-identical to the per-item emulator.
+//! let emu = Ozaki2::new(15, Mode::Fast);
+//! for (s, c) in cs.iter().enumerate() {
+//!     let a = phi_matrix_f64(16, 32, 0.5, s as u64, 0);
+//!     assert_eq!(c, &emu.dgemm(&a, &b));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+pub mod schedule;
+pub mod strided;
+
+pub use cache::{fingerprint_f32, fingerprint_f64, OperandCache, OperandKey};
+pub use pool::{PooledWorkspace, WorkspacePool};
+pub use schedule::{Schedule, INTENSITY_CROSSOVER};
+pub use strided::{StridedBatch, StridedBatchF32, StridedBatchF64};
+
+use gemm_dense::{MatF32, MatF64, Matrix};
+use ozaki2::{EmulationError, Mode, OperandInput, OperandSide, Ozaki2, PreparedOperand};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default capacity of the cross-call prepared-operand LRU.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// One side of a batch item: raw data converted in the worker's pooled
+/// workspace, or a shared preparation.
+enum Side<'s> {
+    Raw(&'s [f64]),
+    Prep(Arc<PreparedOperand>),
+}
+
+/// One schedulable unit of work.
+struct Job<'s> {
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Side<'s>,
+    b: Side<'s>,
+    parallel: bool,
+    out: &'s mut MatF64,
+    err: &'s mut Option<EmulationError>,
+}
+
+/// One schedulable SGEMM unit (f32 in/out, widened in the worker).
+struct SgemmJob<'s> {
+    m: usize,
+    k: usize,
+    n: usize,
+    a: Option<Arc<PreparedOperand>>,
+    a_raw: &'s [f32],
+    b: Option<Arc<PreparedOperand>>,
+    b_raw: &'s [f32],
+    parallel: bool,
+    out: &'s mut MatF32,
+    err: &'s mut Option<EmulationError>,
+}
+
+/// The batched Ozaki Scheme II runtime: prepared-operand cache +
+/// workspace pool + many-GEMM scheduler. See the crate docs for the
+/// design and the bit-identicality contract.
+///
+/// The runtime is `Sync`: one instance can serve concurrent callers (the
+/// cache and pool are internally locked).
+///
+/// # Examples
+/// ```
+/// use gemm_batch::BatchedOzaki2;
+/// use gemm_dense::workload::phi_matrix_f64;
+/// use ozaki2::{Mode, Ozaki2};
+///
+/// let runtime = BatchedOzaki2::new(12, Mode::Fast);
+/// // Ragged shape group: items need not share shapes — sharing an
+/// // operand (here `w`) is still detected and prepared once.
+/// let w = phi_matrix_f64(20, 16, 0.5, 1, 1);
+/// let a0 = phi_matrix_f64(8, 20, 0.5, 2, 0);
+/// let a1 = phi_matrix_f64(30, 20, 0.5, 3, 0);
+/// let cs = runtime.dgemm_group(&[(&a0, &w), (&a1, &w)]);
+/// let emu = Ozaki2::new(12, Mode::Fast);
+/// assert_eq!(cs[0], emu.dgemm(&a0, &w));
+/// assert_eq!(cs[1], emu.dgemm(&a1, &w));
+/// ```
+pub struct BatchedOzaki2 {
+    emu: Ozaki2,
+    pool: WorkspacePool,
+    cache: OperandCache,
+}
+
+impl BatchedOzaki2 {
+    /// Runtime with `n_moduli ∈ 2..=20` and the given mode, retaining up
+    /// to [`DEFAULT_CACHE_CAPACITY`] prepared operands across calls.
+    pub fn new(n_moduli: usize, mode: Mode) -> Self {
+        Self::with_cache_capacity(n_moduli, mode, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Runtime with an explicit prepared-operand cache capacity
+    /// (`0` disables cross-call caching; within-call sharing still
+    /// prepares once).
+    pub fn with_cache_capacity(n_moduli: usize, mode: Mode, capacity: usize) -> Self {
+        Self {
+            emu: Ozaki2::new(n_moduli, mode),
+            pool: WorkspacePool::new(),
+            cache: OperandCache::new(capacity),
+        }
+    }
+
+    /// The underlying per-call emulator (the bit-identicality reference).
+    pub fn emulator(&self) -> Ozaki2 {
+        self.emu
+    }
+
+    /// The workspace pool (inspect for steady-state no-realloc checks).
+    pub fn pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    /// The prepared-operand cache (inspect hits/misses/footprint).
+    pub fn cache(&self) -> &OperandCache {
+        &self.cache
+    }
+
+    /// Drop every cached preparation. Rarely needed for correctness —
+    /// the full-content fingerprint already prevents a mutated or
+    /// reallocated operand from hitting — but useful to release the
+    /// retained panel memory of operands that will not recur.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    // -- uniform-shape strided batches ----------------------------------
+
+    /// Batched emulated DGEMM over uniform-shape strided batches:
+    /// `C_i ≈ A_i · B_i` for every item. Broadcast (stride-0) operands
+    /// are prepared once and shared.
+    ///
+    /// # Panics
+    /// On shape/count mismatch or non-finite input (see
+    /// [`BatchedOzaki2::try_dgemm_batched`]).
+    pub fn dgemm_batched(&self, a: &StridedBatchF64<'_>, b: &StridedBatchF64<'_>) -> Vec<MatF64> {
+        self.try_dgemm_batched(a, b)
+            .unwrap_or_else(|e| panic!("dgemm_batched: {e}"))
+    }
+
+    /// Checked form of [`BatchedOzaki2::dgemm_batched`].
+    pub fn try_dgemm_batched(
+        &self,
+        a: &StridedBatchF64<'_>,
+        b: &StridedBatchF64<'_>,
+    ) -> Result<Vec<MatF64>, EmulationError> {
+        let mut outs: Vec<MatF64> = (0..a.count())
+            .map(|_| Matrix::zeros(a.rows(), b.cols()))
+            .collect();
+        self.try_dgemm_batched_into(a, b, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// [`BatchedOzaki2::try_dgemm_batched`] into caller-owned outputs
+    /// (each must already have shape `(a.rows(), b.cols())`; fully
+    /// overwritten). With outputs reused across calls, steady-state
+    /// iterations perform **zero** heap allocations beyond the grow-once
+    /// pool and cache.
+    pub fn try_dgemm_batched_into(
+        &self,
+        a: &StridedBatchF64<'_>,
+        b: &StridedBatchF64<'_>,
+        outs: &mut [MatF64],
+    ) -> Result<(), EmulationError> {
+        let (m, k) = (a.rows(), a.cols());
+        let (kb, n) = (b.rows(), b.cols());
+        if k != kb || a.count() != b.count() || outs.len() != a.count() {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        if outs.iter().any(|c| c.shape() != (m, n)) {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        let count = a.count();
+        if count == 0 {
+            return Ok(());
+        }
+
+        if self.emu.mode() != Mode::Fast {
+            // Accurate mode scales A and B jointly: no one-sided
+            // preparation exists. Run the monolithic per-item pipeline
+            // over pooled workspaces (items striped internally).
+            let a0;
+            let b0;
+            let a_shared: Option<&MatF64> = if a.is_broadcast() {
+                a0 = Matrix::from_vec(m, k, a.item(0).to_vec());
+                Some(&a0)
+            } else {
+                None
+            };
+            let b_shared: Option<&MatF64> = if b.is_broadcast() {
+                b0 = Matrix::from_vec(k, n, b.item(0).to_vec());
+                Some(&b0)
+            } else {
+                None
+            };
+            let mut ws = self.pool.checkout();
+            for (i, out) in outs.iter_mut().enumerate() {
+                let ai;
+                let a_ref = match a_shared {
+                    Some(r) => r,
+                    None => {
+                        ai = Matrix::from_vec(m, k, a.item(i).to_vec());
+                        &ai
+                    }
+                };
+                let bi;
+                let b_ref = match b_shared {
+                    Some(r) => r,
+                    None => {
+                        bi = Matrix::from_vec(k, n, b.item(i).to_vec());
+                        &bi
+                    }
+                };
+                self.emu.try_dgemm_into_ws(a_ref, b_ref, out, &mut ws)?;
+            }
+            return Ok(());
+        }
+
+        // Fast mode: shared sides go through the prepared-operand cache,
+        // per-item sides convert in the worker's pooled workspace.
+        let pa_shared = self.shared_f64(a, OperandSide::A)?;
+        let pb_shared = self.shared_f64(b, OperandSide::B)?;
+        let schedule = Schedule::choose(m, n, k, self.emu.n_moduli(), count);
+        let parallel = schedule.intra_parallel();
+        let mut errs: Vec<Option<EmulationError>> = (0..count).map(|_| None).collect();
+        let jobs: Vec<Job<'_>> = outs
+            .iter_mut()
+            .zip(errs.iter_mut())
+            .enumerate()
+            .map(|(i, (out, err))| Job {
+                m,
+                k,
+                n,
+                a: match &pa_shared {
+                    Some(p) => Side::Prep(p.clone()),
+                    None => Side::Raw(a.item(i)),
+                },
+                b: match &pb_shared {
+                    Some(p) => Side::Prep(p.clone()),
+                    None => Side::Raw(b.item(i)),
+                },
+                parallel,
+                out,
+                err,
+            })
+            .collect();
+        self.run_jobs(jobs, schedule);
+        collect_errors(errs)
+    }
+
+    /// Batched emulated SGEMM over uniform-shape strided f32 batches.
+    /// Broadcast operands (either side) are prepared once and cached;
+    /// per-item operands are widened and prepared in the workers (the
+    /// f32 path widens, so it is not allocation-free — the zero-alloc
+    /// contract is the f64 path's).
+    ///
+    /// # Panics
+    /// On shape/count mismatch, non-finite input, or `N > 18`.
+    pub fn sgemm_batched(&self, a: &StridedBatchF32<'_>, b: &StridedBatchF32<'_>) -> Vec<MatF32> {
+        self.try_sgemm_batched(a, b)
+            .unwrap_or_else(|e| panic!("sgemm_batched: {e}"))
+    }
+
+    /// Checked form of [`BatchedOzaki2::sgemm_batched`].
+    pub fn try_sgemm_batched(
+        &self,
+        a: &StridedBatchF32<'_>,
+        b: &StridedBatchF32<'_>,
+    ) -> Result<Vec<MatF32>, EmulationError> {
+        let (m, k) = (a.rows(), a.cols());
+        let (kb, n) = (b.rows(), b.cols());
+        if k != kb || a.count() != b.count() {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        let count = a.count();
+        let mut outs: Vec<MatF32> = (0..count).map(|_| Matrix::zeros(m, n)).collect();
+        if count == 0 {
+            return Ok(outs);
+        }
+
+        if self.emu.mode() != Mode::Fast {
+            let mut ws = self.pool.checkout();
+            for (i, out) in outs.iter_mut().enumerate() {
+                let ai = Matrix::from_vec(m, k, a.item(i).to_vec());
+                let bi = Matrix::from_vec(k, n, b.item(i).to_vec());
+                let (c, _) = self.emu.try_sgemm_with_report_ws(&ai, &bi, &mut ws)?;
+                *out = c;
+            }
+            return Ok(outs);
+        }
+
+        let pa_shared = self.shared_f32(a, OperandSide::A)?;
+        let pb_shared = self.shared_f32(b, OperandSide::B)?;
+        let schedule = Schedule::choose(m, n, k, self.emu.n_moduli(), count);
+        let parallel = schedule.intra_parallel();
+        let mut errs: Vec<Option<EmulationError>> = (0..count).map(|_| None).collect();
+        let jobs: Vec<SgemmJob<'_>> = outs
+            .iter_mut()
+            .zip(errs.iter_mut())
+            .enumerate()
+            .map(|(i, (out, err))| SgemmJob {
+                m,
+                k,
+                n,
+                a: pa_shared.clone(),
+                a_raw: a.item(i),
+                b: pb_shared.clone(),
+                b_raw: b.item(i),
+                parallel,
+                out,
+                err,
+            })
+            .collect();
+        let run = |job: SgemmJob<'_>| self.run_sgemm_job(job);
+        match schedule {
+            Schedule::InterItem => jobs.into_par_iter().for_each(run),
+            Schedule::IntraItem => jobs.into_iter().for_each(run),
+        }
+        collect_errors(errs)?;
+        Ok(outs)
+    }
+
+    // -- ragged shape groups --------------------------------------------
+
+    /// Batched emulated DGEMM over a ragged group: items may have
+    /// arbitrary (compatible) shapes. Operands referenced by more than
+    /// one item — compared by data identity — are prepared once; large
+    /// items run striped, small items run one-per-worker.
+    ///
+    /// # Panics
+    /// On a shape mismatch or non-finite input (see
+    /// [`BatchedOzaki2::try_dgemm_group`]).
+    pub fn dgemm_group(&self, items: &[(&MatF64, &MatF64)]) -> Vec<MatF64> {
+        self.try_dgemm_group(items)
+            .unwrap_or_else(|e| panic!("dgemm_group: {e}"))
+    }
+
+    /// Checked form of [`BatchedOzaki2::dgemm_group`].
+    pub fn try_dgemm_group(
+        &self,
+        items: &[(&MatF64, &MatF64)],
+    ) -> Result<Vec<MatF64>, EmulationError> {
+        for (a, b) in items {
+            if a.cols() != b.rows() {
+                return Err(EmulationError::ShapeMismatch);
+            }
+        }
+        let mut outs: Vec<MatF64> = items
+            .iter()
+            .map(|(a, b)| Matrix::zeros(a.rows(), b.cols()))
+            .collect();
+        if items.is_empty() {
+            return Ok(outs);
+        }
+
+        if self.emu.mode() != Mode::Fast {
+            let mut ws = self.pool.checkout();
+            for ((a, b), out) in items.iter().zip(outs.iter_mut()) {
+                self.emu.try_dgemm_into_ws(a, b, out, &mut ws)?;
+            }
+            return Ok(outs);
+        }
+
+        // Identity-based sharing: operands referenced by >= 2 items are
+        // prepared once (and cached across calls); unique operands stay
+        // raw and convert in the worker's pooled workspace — unless a
+        // previous call already cached them.
+        let mult_a = multiplicities(items.iter().map(|(a, _)| ident(a)));
+        let mult_b = multiplicities(items.iter().map(|(_, b)| ident(b)));
+        let workers = rayon::current_num_threads();
+        let nmod = self.emu.n_moduli();
+
+        let mut errs: Vec<Option<EmulationError>> = (0..items.len()).map(|_| None).collect();
+        let mut prepared_a: HashMap<(usize, usize, usize), Arc<PreparedOperand>> = HashMap::new();
+        let mut prepared_b: HashMap<(usize, usize, usize), Arc<PreparedOperand>> = HashMap::new();
+        let mut small = Vec::new();
+        let mut large = Vec::new();
+        for (((a, b), out), err) in items.iter().zip(outs.iter_mut()).zip(errs.iter_mut()) {
+            let (m, k) = a.shape();
+            let n = b.cols();
+            let a_side = self.group_side(a, OperandSide::A, mult_a[&ident(a)], &mut prepared_a)?;
+            let b_side = self.group_side(b, OperandSide::B, mult_b[&ident(b)], &mut prepared_b)?;
+            let schedule = Schedule::choose_with(m, n, k, nmod, items.len(), workers);
+            let job = Job {
+                m,
+                k,
+                n,
+                a: a_side,
+                b: b_side,
+                parallel: schedule.intra_parallel(),
+                out,
+                err,
+            };
+            match schedule {
+                Schedule::InterItem => small.push(job),
+                Schedule::IntraItem => large.push(job),
+            }
+        }
+        // Large items first, striped one at a time; then the small tail
+        // fans out one item per worker.
+        self.run_jobs(large, Schedule::IntraItem);
+        self.run_jobs(small, Schedule::InterItem);
+        collect_errors(errs)?;
+        Ok(outs)
+    }
+
+    // -- internals -------------------------------------------------------
+
+    /// Resolve a strided side to a shared preparation. Broadcast
+    /// multi-item batches always prepare (the within-call reuse pays
+    /// immediately). A single-item batch consults the cache and, on a
+    /// miss, goes through probation ([`OperandCache::repeat_miss`]): only
+    /// an operand seen on an earlier call gets prepared and retained —
+    /// a one-off operand stays on the cheaper zero-alloc raw path.
+    fn shared_f64(
+        &self,
+        batch: &StridedBatchF64<'_>,
+        side: OperandSide,
+    ) -> Result<Option<Arc<PreparedOperand>>, EmulationError> {
+        let within_call = batch.is_broadcast() && batch.count() > 1;
+        if !within_call && batch.count() != 1 {
+            return Ok(None);
+        }
+        let data = batch.item(0);
+        let (rows, cols) = (batch.rows(), batch.cols());
+        let key = OperandKey::f64(data, rows, cols, side, self.emu.n_moduli(), self.emu.mode());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(Some(hit));
+        }
+        if !within_call && !self.cache.repeat_miss(&key) {
+            return Ok(None);
+        }
+        // For side A the batch shape is (m, k); for side B it is (k, n) —
+        // both match the prepare entry's (rows, cols) order directly.
+        let prepared = Arc::new(match side {
+            OperandSide::A => self.emu.try_prepare_a_slice(data, rows, cols)?,
+            OperandSide::B => self.emu.try_prepare_b_slice(data, rows, cols)?,
+        });
+        self.cache.insert(key, prepared.clone());
+        Ok(Some(prepared))
+    }
+
+    /// As [`BatchedOzaki2::shared_f64`] for SGEMM operands (either side).
+    fn shared_f32(
+        &self,
+        batch: &StridedBatchF32<'_>,
+        side: OperandSide,
+    ) -> Result<Option<Arc<PreparedOperand>>, EmulationError> {
+        let within_call = batch.is_broadcast() && batch.count() > 1;
+        if !within_call && batch.count() != 1 {
+            return Ok(None);
+        }
+        let data = batch.item(0);
+        let (rows, cols) = (batch.rows(), batch.cols());
+        let key = OperandKey::f32(data, rows, cols, side, self.emu.n_moduli(), self.emu.mode());
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(Some(hit));
+        }
+        if !within_call && !self.cache.repeat_miss(&key) {
+            return Ok(None);
+        }
+        let prepared = Arc::new(match side {
+            OperandSide::A => self.emu.try_prepare_a_slice_f32(data, rows, cols)?,
+            OperandSide::B => self.emu.try_prepare_b_slice_f32(data, rows, cols)?,
+        });
+        self.cache.insert(key, prepared.clone());
+        Ok(Some(prepared))
+    }
+
+    /// Resolve one group-item side: operands shared by ≥ 2 items are
+    /// prepared and cached immediately; unique operands stay raw
+    /// (converting in the worker's pooled workspace beats allocating
+    /// panels) unless a cache hit or a probation repeat sighting shows
+    /// they recur across calls.
+    fn group_side<'s>(
+        &self,
+        mat: &'s MatF64,
+        side: OperandSide,
+        multiplicity: usize,
+        local: &mut HashMap<(usize, usize, usize), Arc<PreparedOperand>>,
+    ) -> Result<Side<'s>, EmulationError> {
+        let id = ident(mat);
+        if let Some(p) = local.get(&id) {
+            return Ok(Side::Prep(p.clone()));
+        }
+        let (rows, cols) = mat.shape();
+        let key = OperandKey::f64(
+            mat.as_slice(),
+            rows,
+            cols,
+            side,
+            self.emu.n_moduli(),
+            self.emu.mode(),
+        );
+        if let Some(hit) = self.cache.get(&key) {
+            local.insert(id, hit.clone());
+            return Ok(Side::Prep(hit));
+        }
+        if multiplicity < 2 && !self.cache.repeat_miss(&key) {
+            return Ok(Side::Raw(mat.as_slice()));
+        }
+        let prepared = Arc::new(match side {
+            OperandSide::A => self.emu.try_prepare_a(mat)?,
+            OperandSide::B => self.emu.try_prepare_b(mat)?,
+        });
+        self.cache.insert(key, prepared.clone());
+        local.insert(id, prepared.clone());
+        Ok(Side::Prep(prepared))
+    }
+
+    /// Execute jobs under the chosen schedule.
+    fn run_jobs(&self, jobs: Vec<Job<'_>>, schedule: Schedule) {
+        let run = |job: Job<'_>| self.run_job(job);
+        match schedule {
+            Schedule::InterItem => jobs.into_par_iter().for_each(run),
+            Schedule::IntraItem => jobs.into_iter().for_each(run),
+        }
+    }
+
+    /// Execute one item with a pooled workspace.
+    fn run_job(&self, job: Job<'_>) {
+        let mut ws = self.pool.checkout();
+        let a_in = match &job.a {
+            Side::Raw(s) => OperandInput::Raw(s),
+            Side::Prep(p) => OperandInput::Prepared(p),
+        };
+        let b_in = match &job.b {
+            Side::Raw(s) => OperandInput::Raw(s),
+            Side::Prep(p) => OperandInput::Prepared(p),
+        };
+        if let Err(e) = self.emu.try_execute_into_ws(
+            a_in,
+            b_in,
+            job.m,
+            job.k,
+            job.n,
+            &mut ws,
+            job.parallel,
+            job.out.as_mut_slice(),
+        ) {
+            *job.err = Some(e);
+        }
+    }
+
+    /// Execute one SGEMM item: shared sides use their cached
+    /// preparation, an unshared `B` is prepared in the worker, an
+    /// unshared `A` is widened and converted raw; execute in f64, narrow
+    /// into the f32 output.
+    fn run_sgemm_job(&self, job: SgemmJob<'_>) {
+        let SgemmJob {
+            m,
+            k,
+            n,
+            a,
+            a_raw,
+            b,
+            b_raw,
+            parallel,
+            out,
+            err,
+        } = job;
+        let mut body = || -> Result<(), EmulationError> {
+            let pb = match &b {
+                Some(p) => p.clone(),
+                None => Arc::new(self.emu.try_prepare_b_slice_f32(b_raw, k, n)?),
+            };
+            let a64: Vec<f64>;
+            let a_in = match &a {
+                Some(p) => OperandInput::Prepared(p),
+                None => {
+                    a64 = a_raw.iter().map(|&x| x as f64).collect();
+                    OperandInput::Raw(&a64)
+                }
+            };
+            let mut c64 = vec![0f64; m * n];
+            let mut ws = self.pool.checkout();
+            self.emu.try_execute_into_ws(
+                a_in,
+                OperandInput::Prepared(&pb),
+                m,
+                k,
+                n,
+                &mut ws,
+                parallel,
+                &mut c64,
+            )?;
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(&c64) {
+                *o = x as f32;
+            }
+            Ok(())
+        };
+        if let Err(e) = body() {
+            *err = Some(e);
+        }
+    }
+}
+
+/// Data identity of a matrix: pointer + shape.
+fn ident(m: &MatF64) -> (usize, usize, usize) {
+    (m.as_slice().as_ptr() as usize, m.rows(), m.cols())
+}
+
+/// Count occurrences of each identity.
+fn multiplicities<I: Iterator<Item = (usize, usize, usize)>>(
+    ids: I,
+) -> HashMap<(usize, usize, usize), usize> {
+    let mut map = HashMap::new();
+    for id in ids {
+        *map.entry(id).or_insert(0usize) += 1;
+    }
+    map
+}
+
+/// First recorded per-item error, if any.
+fn collect_errors(errs: Vec<Option<EmulationError>>) -> Result<(), EmulationError> {
+    match errs.into_iter().flatten().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,152 @@
+//! A checkout pool of pipeline [`Workspace`]s.
+//!
+//! Each concurrently executing batch item needs its own scratch (packed
+//! panels for raw operands, residue planes, the INT32 product plane).
+//! Allocating a fresh [`Workspace`] per item would put multi-megabyte
+//! allocations on the hot path; the pool instead keeps returned
+//! workspaces alive — each already grown to its high-water mark — and
+//! hands them back out on the next checkout. In steady state a batched
+//! call performs **zero** workspace allocations: the pool holds one
+//! grown workspace per peak-concurrent item.
+
+use ozaki2::Workspace;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Pool of reusable pipeline workspaces (see the module docs).
+///
+/// # Examples
+/// ```
+/// use gemm_batch::WorkspacePool;
+///
+/// let pool = WorkspacePool::new();
+/// {
+///     let _ws = pool.checkout(); // fresh workspace created
+/// } // returned on drop
+/// let _ws2 = pool.checkout(); // the same workspace, reused
+/// assert_eq!(pool.created(), 1);
+/// ```
+#[derive(Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<Workspace>>,
+    created: AtomicUsize,
+}
+
+impl WorkspacePool {
+    /// Empty pool; workspaces are created on demand at checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a workspace (reusing a returned one when available).
+    /// The guard returns it to the pool on drop.
+    pub fn checkout(&self) -> PooledWorkspace<'_> {
+        let ws = self.free.lock().expect("pool lock").pop();
+        let ws = ws.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Workspace::new()
+        });
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+
+    /// Total workspaces ever created — the peak checkout concurrency the
+    /// pool has seen. Flat across steady-state iterations.
+    pub fn created(&self) -> usize {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Workspaces currently parked in the pool.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("pool lock").len()
+    }
+
+    /// Summed scratch footprint of the parked workspaces in bytes.
+    /// Stable across steady-state iterations (grow-once, reuse forever).
+    pub fn bytes(&self) -> usize {
+        self.free
+            .lock()
+            .expect("pool lock")
+            .iter()
+            .map(Workspace::bytes)
+            .sum()
+    }
+}
+
+/// Checkout guard: derefs to [`Workspace`], returns it to the pool on
+/// drop.
+pub struct PooledWorkspace<'p> {
+    pool: &'p WorkspacePool,
+    ws: Option<Workspace>,
+}
+
+impl Deref for PooledWorkspace<'_> {
+    type Target = Workspace;
+    fn deref(&self) -> &Workspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace<'_> {
+    fn deref_mut(&mut self) -> &mut Workspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace<'_> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.free.lock().expect("pool lock").push(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_returned_workspaces() {
+        let pool = WorkspacePool::new();
+        {
+            let _a = pool.checkout();
+            let _b = pool.checkout();
+            assert_eq!(pool.created(), 2);
+            assert_eq!(pool.available(), 0);
+        }
+        assert_eq!(pool.available(), 2);
+        {
+            let _c = pool.checkout();
+            assert_eq!(pool.created(), 2, "reuse, not create");
+            assert_eq!(pool.available(), 1);
+        }
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn pooled_workspace_keeps_its_growth() {
+        use gemm_dense::workload::phi_matrix_f64;
+        use ozaki2::{Mode, Ozaki2};
+        let pool = WorkspacePool::new();
+        let emu = Ozaki2::new(10, Mode::Fast);
+        let a = phi_matrix_f64(16, 24, 0.5, 1, 0);
+        let b = phi_matrix_f64(24, 12, 0.5, 1, 1);
+        {
+            let mut ws = pool.checkout();
+            let _ = emu.dgemm_ws(&a, &b, &mut ws);
+        }
+        let grown = pool.bytes();
+        assert!(grown > 0, "workspace growth must survive the return");
+        // Steady state: same shape, no further growth, no new workspaces.
+        for _ in 0..3 {
+            let mut ws = pool.checkout();
+            let _ = emu.dgemm_ws(&a, &b, &mut ws);
+            drop(ws);
+            assert_eq!(pool.bytes(), grown, "no realloc in steady state");
+            assert_eq!(pool.created(), 1);
+        }
+    }
+}

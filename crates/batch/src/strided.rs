@@ -1,0 +1,154 @@
+//! Strided batch descriptors: the batched-BLAS input convention.
+//!
+//! A uniform-shape batch is one buffer holding `count` column-major
+//! matrices of identical shape, matrix `i` starting at `i * stride`.
+//! `stride = 0` broadcasts a single matrix to every item — the idiomatic
+//! way to express a shared operand (and what lets the runtime prepare it
+//! exactly once).
+
+use gemm_dense::{MatF32, MatF64};
+
+/// A strided batch of column-major matrices over a borrowed element slice.
+#[derive(Clone, Copy, Debug)]
+pub struct StridedBatch<'a, T> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    count: usize,
+}
+
+/// Strided batch of f64 matrices (DGEMM operands).
+pub type StridedBatchF64<'a> = StridedBatch<'a, f64>;
+/// Strided batch of f32 matrices (SGEMM operands).
+pub type StridedBatchF32<'a> = StridedBatch<'a, f32>;
+
+impl<'a, T> StridedBatch<'a, T> {
+    /// Batch of `count` `rows x cols` column-major matrices, matrix `i`
+    /// at `data[i * stride ..]`. `stride` must be `0` (broadcast one
+    /// matrix to every item) or at least `rows * cols`.
+    ///
+    /// # Panics
+    /// If a nonzero stride is below the matrix footprint or `data` cannot
+    /// hold `count` matrices.
+    pub fn new(data: &'a [T], rows: usize, cols: usize, stride: usize, count: usize) -> Self {
+        assert!(
+            stride == 0 || stride >= rows * cols,
+            "stride {stride} below matrix footprint {}",
+            rows * cols
+        );
+        if count > 0 {
+            let need = (count - 1) * stride + rows * cols;
+            assert!(
+                data.len() >= need,
+                "batch data too short: {} < {need}",
+                data.len()
+            );
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            stride,
+            count,
+        }
+    }
+
+    /// Contiguous batch: matrices packed back to back
+    /// (`stride = rows * cols`).
+    pub fn packed(data: &'a [T], rows: usize, cols: usize, count: usize) -> Self {
+        Self::new(data, rows, cols, rows * cols, count)
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element stride between consecutive matrices (`0` = broadcast).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of items in the batch.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every item reads the same matrix.
+    pub fn is_broadcast(&self) -> bool {
+        self.stride == 0
+    }
+
+    /// Column-major element slice of item `i`.
+    pub fn item(&self, i: usize) -> &'a [T] {
+        assert!(i < self.count, "item {i} out of {}", self.count);
+        &self.data[i * self.stride..i * self.stride + self.rows * self.cols]
+    }
+}
+
+impl<'a> StridedBatchF64<'a> {
+    /// Broadcast one matrix to every item of a `count`-item batch
+    /// (`stride = 0`): the shared-operand form the runtime caches.
+    pub fn broadcast(m: &'a MatF64, count: usize) -> Self {
+        Self::new(m.as_slice(), m.rows(), m.cols(), 0, count)
+    }
+}
+
+impl<'a> StridedBatchF32<'a> {
+    /// Broadcast one f32 matrix to every item (`stride = 0`).
+    pub fn broadcast(m: &'a MatF32, count: usize) -> Self {
+        Self::new(m.as_slice(), m.rows(), m.cols(), 0, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_items_tile_the_buffer() {
+        let data: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let b = StridedBatchF64::packed(&data, 2, 3, 4);
+        assert_eq!(b.item(0), &data[0..6]);
+        assert_eq!(b.item(3), &data[18..24]);
+        assert!(!b.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_repeats_one_matrix() {
+        let m = MatF64::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        let b = StridedBatchF64::broadcast(&m, 5);
+        assert_eq!(b.count(), 5);
+        assert!(b.is_broadcast());
+        assert_eq!(b.item(0), b.item(4));
+        assert_eq!(b.item(2), m.as_slice());
+    }
+
+    #[test]
+    fn padded_stride_skips_gaps() {
+        let data = vec![0f64; 3 * 10 + 6];
+        let b = StridedBatchF64::new(&data, 2, 3, 10, 4);
+        assert_eq!(b.item(1).len(), 6);
+        assert_eq!(b.item(3).as_ptr(), data[30..].as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch data too short")]
+    fn rejects_short_buffers() {
+        let data = vec![0f64; 11];
+        let _ = StridedBatchF64::packed(&data, 2, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "below matrix footprint")]
+    fn rejects_undersized_stride() {
+        let data = vec![0f64; 100];
+        let _ = StridedBatchF64::new(&data, 4, 4, 10, 2);
+    }
+}

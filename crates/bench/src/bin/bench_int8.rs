@@ -5,23 +5,31 @@
 //! per-phase shares of a representative emulated DGEMM to
 //! `BENCH_int8.json`, giving future PRs a perf trajectory.
 //!
+//! The `batched` section drives the `gemm_batch` runtime against the
+//! naive sequential per-item loop on the two scheduler regimes (a
+//! shared-operand 64³ x 256 service batch and a compute-bound 256³ x 16
+//! batch), recording items/s and the speedup, after asserting the batched
+//! results bit-identical to the loop's.
+//!
 //! With `--check-against=<baseline.json>` the run doubles as the CI
 //! perf-regression gate: the freshly measured int8 GOPS, convert
-//! throughput and end-to-end pipeline time are compared against the
-//! checked-in baseline and the process exits non-zero when any of them
-//! regresses past `--tolerance` (default 0.8). Best-of-reps measurement on
-//! both sides keeps the gate noise-tolerant.
+//! throughput, end-to-end pipeline time and batched speedups are compared
+//! against the checked-in baseline and the process exits non-zero when any
+//! of them regresses past `--tolerance` (default 0.8). Best-of-reps
+//! measurement on both sides keeps the gate noise-tolerant.
 //!
 //! Usage: `cargo run --release -p gemm_bench --bin bench_int8 --
 //! [--n=1024] [--reps=3] [--out=BENCH_int8.json]
 //! [--check-against=BENCH_baseline.json] [--tolerance=0.8]`
 
+use gemm_batch::{BatchedOzaki2, StridedBatchF64};
 use gemm_bench::check::{check_regressions, json_number, json_string, GateMetric};
 use gemm_bench::report::Args;
 use gemm_dense::workload::phi_matrix_f64;
+use gemm_dense::{MatF64, Matrix};
 use gemm_engine::{
     int8_gemm_blocked, int8_gemm_blocked_seq, int8_gemm_rm_cm_scalar, microkernel_name,
-    padded_a_rows, padded_depth, Int8Workspace,
+    mod_kernel_name, padded_a_rows, padded_depth, Int8Workspace,
 };
 use ozaki2::accumulate::{fold_kernel_name, fold_planes, FoldPrecision};
 use ozaki2::convert::{convert_kernel_name, convert_pack_panels, rmod_to_i8, steps_for};
@@ -180,6 +188,47 @@ fn main() {
     });
     let fold_speedup = t_fold_scalar / t_fold_vec;
 
+    // Batched runtime (crates/batch): throughput of many-GEMM serving vs
+    // the naive sequential per-item loop, on both scheduler regimes.
+    //  * shared64: 64^3 x 256 items with one broadcast B — the
+    //    weight-stationary service batch (inter-item schedule, cached B,
+    //    pooled workspaces, raw-A conversion into reused panels);
+    //  * large256: 256^3 x 16 items — compute-bound (intra-item stripes,
+    //    pooled workspaces).
+    // Results are asserted bit-identical to the naive loop before timing
+    // counts for anything.
+    let bench_batched = |bs: usize, count: usize| -> (f64, f64) {
+        let bb = phi_matrix_f64(bs, bs, 0.5, 17, 1);
+        let a_mats: Vec<MatF64> = (0..count)
+            .map(|i| phi_matrix_f64(bs, bs, 0.5, 100 + i as u64, 0))
+            .collect();
+        let mut a_data = Vec::with_capacity(count * bs * bs);
+        for a in &a_mats {
+            a_data.extend_from_slice(a.as_slice());
+        }
+        let emu = Ozaki2::new(nmod, Mode::Fast);
+        let mut naive_out: Vec<MatF64> = Vec::new();
+        let t_naive = time_best(reps, || {
+            naive_out = a_mats.iter().map(|a| emu.dgemm(a, &bb)).collect();
+        });
+        let runtime = BatchedOzaki2::new(nmod, Mode::Fast);
+        let a_batch = StridedBatchF64::packed(&a_data, bs, bs, count);
+        let b_batch = StridedBatchF64::broadcast(&bb, count);
+        let mut outs: Vec<MatF64> = (0..count).map(|_| Matrix::zeros(bs, bs)).collect();
+        let t_batched = time_best(reps, || {
+            runtime
+                .try_dgemm_batched_into(&a_batch, &b_batch, &mut outs)
+                .expect("batched run");
+        });
+        assert_eq!(outs, naive_out, "batched must stay bit-identical");
+        (count as f64 / t_batched, t_naive / t_batched)
+    };
+    let (shared64_items_per_s, shared64_speedup) = bench_batched(64, 256);
+    let (large256_items_per_s, large256_speedup) = bench_batched(256, 16);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
     // Per-phase shares of a representative emulated DGEMM (N = 15, the
     // paper's DGEMM-accuracy setting), reusing a pipeline workspace so the
     // shares reflect the steady state. Best-of-reps end-to-end wall time
@@ -203,6 +252,7 @@ fn main() {
     json.push_str("{\n");
     json.push_str(&format!("  \"shape\": [{n}, {n}, {n}],\n"));
     json.push_str(&format!("  \"microkernel\": \"{}\",\n", microkernel_name()));
+    json.push_str(&format!("  \"mod_kernel\": \"{}\",\n", mod_kernel_name()));
     json.push_str(&format!(
         "  \"scalar_seed_gops\": {:.3},\n  \"blocked_1t_gops\": {:.3},\n  \"blocked_gops\": {:.3},\n",
         gops(t_scalar),
@@ -227,6 +277,13 @@ fn main() {
         fold_kernel_name(),
         gres(t_fold_scalar),
         gres(t_fold_vec)
+    ));
+    // `workers` contextualizes the speedups: on a single-core host the
+    // inter-item schedule cannot overlap items, so the shared-operand
+    // speedup reflects only caching + pooling + per-call overhead removal;
+    // with W workers the small-item case additionally scales ~W-fold.
+    json.push_str(&format!(
+        "  \"batched\": {{\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"shared64\": {{\n      \"shape\": [64, 64, 64],\n      \"items\": 256,\n      \"shared64_items_per_s\": {shared64_items_per_s:.3},\n      \"shared64_speedup_vs_naive\": {shared64_speedup:.3}\n    }},\n    \"large256\": {{\n      \"shape\": [256, 256, 256],\n      \"items\": 16,\n      \"large256_items_per_s\": {large256_items_per_s:.3},\n      \"large256_speedup_vs_naive\": {large256_speedup:.3}\n    }}\n  }},\n"
     ));
     json.push_str(&format!(
         "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"end_to_end_ms\": {end_to_end_ms:.3},\n    \"phase_seconds\": {{\n",
@@ -286,6 +343,10 @@ fn main() {
         gres(t_fold_scalar),
         gres(t_fold_vec)
     );
+    println!("batched runtime, N={nmod}, {workers} worker(s) (vs naive sequential per-item loop)");
+    println!(
+        "  shared-B 64^3 x256 : {shared64_items_per_s:8.1} items/s  ({shared64_speedup:.2}x)\n  large 256^3 x16    : {large256_items_per_s:8.1} items/s  ({large256_speedup:.2}x)"
+    );
     println!("pipeline @ {pn}^3, N=15: {end_to_end_ms:.1} ms end-to-end (steady state)");
     println!("wrote {out_path}");
 
@@ -332,6 +393,22 @@ fn main() {
                 current: end_to_end_ms,
                 baseline: pull("end_to_end_ms"),
                 higher_is_better: false,
+            },
+            // The batched section gates on the *speedups* over the naive
+            // loop (ratios travel across hardware better than absolute
+            // items/s, and the kernel-mismatch skip above still shields
+            // cross-class runs).
+            GateMetric {
+                name: "shared64_speedup_vs_naive",
+                current: shared64_speedup,
+                baseline: pull("shared64_speedup_vs_naive"),
+                higher_is_better: true,
+            },
+            GateMetric {
+                name: "large256_speedup_vs_naive",
+                current: large256_speedup,
+                baseline: pull("large256_speedup_vs_naive"),
+                higher_is_better: true,
             },
         ];
         let failures = check_regressions(&metrics, tolerance);

@@ -40,6 +40,7 @@ pub mod moduli;
 pub mod nselect;
 pub mod pipeline;
 pub mod plan;
+pub mod prepared;
 pub mod scale;
 
 pub use accumulate::{fold_kernel_name, fold_planes, fold_span, fold_span_scalar, FoldPrecision};
@@ -55,5 +56,9 @@ pub use nselect::{auto_emulator, choose_n, n_for_dgemm_level, n_for_sgemm_level,
 pub use pipeline::{
     EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, K_BLOCK_MAX,
 };
-pub use plan::GemmPlan;
-pub use scale::{pow2_split, strunc_row, strunc_row_scalar, trunc_kernel_name};
+pub use plan::{arithmetic_intensity, GemmPlan};
+pub use prepared::{OperandInput, OperandSide, PreparedOperand};
+pub use scale::{
+    fast_scale_cols_slice, fast_scale_rows_slice, pow2_split, strunc_row, strunc_row_scalar,
+    trunc_kernel_name,
+};

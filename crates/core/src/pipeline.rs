@@ -57,6 +57,20 @@ pub enum EmulationError {
     },
     /// Inner dimensions disagree.
     ShapeMismatch,
+    /// Operand preparation requested for a mode that cannot prepare
+    /// operands independently ([`Mode::Accurate`] scales `A` and `B`
+    /// jointly, so a cached one-sided preparation cannot exist).
+    PreparationUnsupported {
+        /// The offending mode.
+        mode: Mode,
+    },
+    /// Two [`crate::prepared::PreparedOperand`]s (or an operand and the
+    /// executing emulator) disagree on side, inner dimension, moduli
+    /// count, mode, or precision.
+    PreparedMismatch {
+        /// What disagreed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for EmulationError {
@@ -67,6 +81,14 @@ impl std::fmt::Display for EmulationError {
                 write!(f, "N = {n} outside supported range 2..={max}")
             }
             EmulationError::ShapeMismatch => write!(f, "inner matrix dimensions disagree"),
+            EmulationError::PreparationUnsupported { mode } => write!(
+                f,
+                "operand preparation is only defined for Mode::Fast \
+                 (Mode::{mode:?} scales A and B jointly)"
+            ),
+            EmulationError::PreparedMismatch { reason } => {
+                write!(f, "prepared operands disagree: {reason}")
+            }
         }
     }
 }
@@ -172,13 +194,32 @@ impl Workspace {
     /// Grow-only resize of every pipeline buffer for an `m x k · k x n`
     /// product with `nmod` residue-panel sets.
     fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
-        let kp = padded_depth(k);
-        if self.a16.len() < nmod * padded_a_rows(m) * kp {
-            self.a16.resize(nmod * padded_a_rows(m) * kp, 0);
+        self.reserve_a(m, k, nmod);
+        self.reserve_b(n, k, nmod);
+        self.reserve_exec(m, n, k, nmod);
+    }
+
+    /// Grow-only resize of the A-side packed panel buffer.
+    pub(crate) fn reserve_a(&mut self, m: usize, k: usize, nmod: usize) {
+        let want = nmod * padded_a_rows(m) * padded_depth(k);
+        if self.a16.len() < want {
+            self.a16.resize(want, 0);
         }
-        if self.b16.len() < nmod * padded_b_cols(n) * kp {
-            self.b16.resize(nmod * padded_b_cols(n) * kp, 0);
+    }
+
+    /// Grow-only resize of the B-side packed panel buffer.
+    pub(crate) fn reserve_b(&mut self, n: usize, k: usize, nmod: usize) {
+        let want = nmod * padded_b_cols(n) * padded_depth(k);
+        if self.b16.len() < want {
+            self.b16.resize(want, 0);
         }
+    }
+
+    /// Grow-only resize of the execute-half buffers only (residue planes,
+    /// INT32 product, block accumulator) — what a run over *prepared*
+    /// operand panels needs, since the packed `a16`/`b16` live inside the
+    /// [`crate::prepared::PreparedOperand`]s instead of the workspace.
+    pub(crate) fn reserve_exec(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
         if self.u.len() < nmod * m * n {
             self.u.resize(nmod * m * n, 0);
         }
@@ -188,6 +229,22 @@ impl Workspace {
         if k > K_BLOCK_MAX && self.racc.len() < m * n {
             self.racc.resize(m * n, 0);
         }
+    }
+
+    /// Every buffer at once (`a16`, `b16`, `u`, `c32`, `racc`), for the
+    /// mixed raw/prepared execution path. Call the `reserve_*` methods for
+    /// the sides in use first.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn all_buffers(
+        &mut self,
+    ) -> (&mut [i16], &mut [i16], &mut [u8], &mut [i32], &mut [i32]) {
+        (
+            &mut self.a16,
+            &mut self.b16,
+            &mut self.u,
+            &mut self.c32,
+            &mut self.racc,
+        )
     }
 }
 
@@ -199,11 +256,11 @@ pub struct Ozaki2 {
 }
 
 impl Ozaki2 {
-    /// Create an emulator with `n ∈ 2..=20` moduli.
+    /// Create an emulator with `n ∈ 2..=`[`N_MAX`] moduli.
     pub fn new(n_moduli: usize, mode: Mode) -> Self {
         assert!(
             (2..=N_MAX).contains(&n_moduli),
-            "N must be in 2..=20, got {n_moduli}"
+            "N must be in 2..={N_MAX}, got {n_moduli}"
         );
         Self { n_moduli, mode }
     }
@@ -288,6 +345,46 @@ impl Ozaki2 {
             return Err(EmulationError::ShapeMismatch);
         }
         Ok(emulate(a, b, self.n_moduli, self.mode, true, ws))
+    }
+
+    /// Emulated DGEMM writing into a caller-owned output matrix, reusing a
+    /// caller-owned [`Workspace`]: the fully allocation-free steady state.
+    /// `c` must already have shape `(a.rows(), b.cols())`; it is fully
+    /// overwritten. Bit-identical to [`Ozaki2::dgemm`].
+    ///
+    /// # Panics
+    /// On shape mismatch (including `c`) or non-finite input.
+    pub fn dgemm_into_ws(&self, a: &MatF64, b: &MatF64, c: &mut MatF64, ws: &mut Workspace) {
+        self.try_dgemm_into_ws(a, b, c, ws)
+            .unwrap_or_else(|e| panic!("dgemm: {e}"));
+    }
+
+    /// Checked form of [`Ozaki2::dgemm_into_ws`], returning the phase
+    /// report. The per-call output allocation of `dgemm` disappears: over
+    /// repeated same-shape calls neither the workspace nor the output
+    /// allocate.
+    pub fn try_dgemm_into_ws(
+        &self,
+        a: &MatF64,
+        b: &MatF64,
+        c: &mut MatF64,
+        ws: &mut Workspace,
+    ) -> Result<EmulationReport, EmulationError> {
+        validate_f64(a)?;
+        validate_f64(b)?;
+        if a.cols() != b.rows() || c.shape() != (a.rows(), b.cols()) {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        Ok(emulate_into(
+            a,
+            b,
+            self.n_moduli,
+            self.mode,
+            true,
+            ws,
+            true,
+            c.as_mut_slice(),
+        ))
     }
 
     /// Emulated SGEMM: `C ≈ A·B` for f32 operands.
@@ -403,25 +500,45 @@ pub(crate) fn emulate(
     b64: bool,
     ws: &mut Workspace,
 ) -> (MatF64, EmulationReport) {
+    let mut out = Matrix::<f64>::zeros(a.rows(), b.cols());
+    let report = emulate_into(a, b, n_moduli, mode, b64, ws, true, out.as_mut_slice());
+    (out, report)
+}
+
+/// [`emulate`] writing into a caller-owned column-major `m x n` output
+/// slice (fully overwritten) — the allocation-free form the batched
+/// runtime and [`crate::plan::GemmPlan::execute_into`] run. `parallel`
+/// gates every internal rayon region (convert sweep, engine stripes): the
+/// inter-GEMM scheduler sets it to `false` so concurrent items do not
+/// nest parallel regions. The result is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emulate_into(
+    a: &MatF64,
+    b: &MatF64,
+    n_moduli: usize,
+    mode: Mode,
+    b64: bool,
+    ws: &mut Workspace,
+    parallel: bool,
+    out: &mut [f64],
+) -> EmulationReport {
     let (m, k) = a.shape();
     let n = b.cols();
     let consts: &Constants = constants(n_moduli);
     let nmod = consts.n;
-    let plane = m * n;
+    assert_eq!(out.len(), m * n, "output buffer mismatch");
     let mut phases = PhaseTimes::default();
     let mut gemm_calls = 0usize;
 
     if m == 0 || n == 0 || k == 0 {
-        return (
-            Matrix::zeros(m, n),
-            EmulationReport {
-                shape: (m, n, k),
-                n_moduli: nmod,
-                mode,
-                phases,
-                int8_gemm_calls: 0,
-            },
-        );
+        out.fill(0.0);
+        return EmulationReport {
+            shape: (m, n, k),
+            n_moduli: nmod,
+            mode,
+            phases,
+            int8_gemm_calls: 0,
+        };
     }
 
     // ---- Line 1: scale vectors ------------------------------------------
@@ -470,7 +587,7 @@ pub(crate) fn emulate(
         kp,
         consts,
         b64,
-        true,
+        parallel,
         a16,
         Some(&timing),
     );
@@ -486,13 +603,76 @@ pub(crate) fn emulate(
         kp,
         consts,
         b64,
-        true,
+        parallel,
         b16,
         Some(&timing),
     );
     let sweep = t0.elapsed();
     phases.trunc = sweep.mul_f64(timing.trunc_fraction());
     phases.convert = sweep.saturating_sub(phases.trunc);
+
+    // ---- Lines 6–12 over the packed panels -------------------------------
+    gemm_calls += execute_panels(
+        m,
+        n,
+        k,
+        consts,
+        b64,
+        a16,
+        b16,
+        &exps_a,
+        &exps_b,
+        u,
+        c32,
+        racc,
+        parallel,
+        out,
+        &mut phases,
+    );
+
+    EmulationReport {
+        shape: (m, n, k),
+        n_moduli: nmod,
+        mode,
+        phases,
+        int8_gemm_calls: gemm_calls,
+    }
+}
+
+/// Algorithm 1 lines 6–12 over already-packed residue panels: the `N` INT8
+/// GEMMs with fused modular reduction, the block-residue finalization for
+/// `k > 2^17`, and the CRT fold with inverse scaling. This is the shared
+/// back half of [`emulate_into`] and the prepared-operand execution path
+/// ([`crate::prepared`]) — both run the very same code, which is what makes
+/// batched results bit-identical to per-call [`Ozaki2::dgemm`].
+///
+/// `a16` / `b16` hold `N` panel sets of `m_pad * kp` / `n_pad * kp` i16
+/// each; `u`, `c32`, `racc` are the workspace planes (`racc` only consumed
+/// when `k > K_BLOCK_MAX`). Returns the number of INT8 GEMMs issued.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_panels(
+    m: usize,
+    n: usize,
+    k: usize,
+    consts: &Constants,
+    b64: bool,
+    a16: &[i16],
+    b16: &[i16],
+    exps_a: &[i32],
+    exps_b: &[i32],
+    u: &mut [u8],
+    c32: &mut [i32],
+    racc: &mut [i32],
+    parallel: bool,
+    out: &mut [f64],
+    phases: &mut PhaseTimes,
+) -> usize {
+    let nmod = consts.n;
+    let plane = m * n;
+    let kp = padded_depth(k);
+    let m_pad = padded_a_rows(m);
+    let n_pad = padded_b_cols(n);
+    let mut gemm_calls = 0usize;
 
     // ---- Lines 6–7: INT8 GEMMs with fused modular reduction -------------
     // The mod-p reduction runs inside the GEMM call, on cache-resident `C`
@@ -516,7 +696,7 @@ pub(crate) fn emulate(
                 c32,
                 &mut u[s * plane..(s + 1) * plane],
                 &epi,
-                true,
+                parallel,
             );
             gemm_calls += 1;
             let total = t0.elapsed();
@@ -541,7 +721,7 @@ pub(crate) fn emulate(
                 let epi =
                     AccumulateEpilogue::new(consts.p[s], consts.p_inv_u32[s], Some(&mod_nanos));
                 int8_gemm_prepacked_fused(
-                    m, n, kb, a_panels, b_panels, kp, h0, c32, racc, &epi, true,
+                    m, n, kb, a_panels, b_panels, kp, h0, c32, racc, &epi, parallel,
                 );
                 gemm_calls += 1;
                 let total = t0.elapsed();
@@ -562,35 +742,18 @@ pub(crate) fn emulate(
     }
 
     // ---- Lines 8–12: fold ------------------------------------------------
+    // fold_planes' internal column parallelism nests safely inside an
+    // inter-GEMM worker (nested regions run sequentially on the worker),
+    // and its output is bit-identical for every split.
     let t0 = Instant::now();
-    let mut out = Matrix::<f64>::zeros(m, n);
     let precision = if b64 {
         FoldPrecision::Double
     } else {
         FoldPrecision::Single
     };
-    fold_planes(
-        u,
-        m,
-        n,
-        consts,
-        precision,
-        &exps_a,
-        &exps_b,
-        out.as_mut_slice(),
-    );
+    fold_planes(u, m, n, consts, precision, exps_a, exps_b, out);
     phases.fold = t0.elapsed();
-
-    (
-        out,
-        EmulationReport {
-            shape: (m, n, k),
-            n_moduli: nmod,
-            mode,
-            phases,
-            int8_gemm_calls: gemm_calls,
-        },
-    )
+    gemm_calls
 }
 
 #[cfg(test)]
@@ -705,6 +868,17 @@ mod tests {
         let (_, rep) = Ozaki2::new(9, Mode::Accurate).dgemm_with_report(&a, &b);
         assert_eq!(rep.int8_gemm_calls, 10); // +1 estimation GEMM
         assert_eq!(rep.shape, (8, 8, 8));
+    }
+
+    #[test]
+    fn new_assert_message_tracks_n_max() {
+        // The message derives its range from N_MAX, so it can't drift from
+        // the constant if the supported range ever widens.
+        let err = std::panic::catch_unwind(|| Ozaki2::new(N_MAX + 1, Mode::Fast)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("assert! with format args panics with String");
+        assert!(msg.contains(&format!("2..={N_MAX}")), "{msg}");
     }
 
     #[test]

@@ -12,8 +12,31 @@
 //! Results are bit-identical to [`crate::Ozaki2::dgemm`]: the plan runs the
 //! very same Algorithm-1 body, only with retained scratch.
 
-use crate::pipeline::{emulate, Ozaki2, Workspace};
-use gemm_dense::MatF64;
+use crate::pipeline::{emulate_into, Ozaki2, Workspace};
+use gemm_dense::{MatF64, Matrix};
+
+/// Estimated arithmetic intensity of the emulated product's engine phase:
+/// INT8 multiply-add operations per byte of memory traffic (packed i16
+/// panels streamed per GEMM, INT32 product and UINT8 residue planes
+/// written, the folded f64 output).
+///
+/// High intensity means one product saturates the engine's compute with
+/// intra-GEMM stripe parallelism; low intensity means a single item is
+/// memory/latency-bound and a batched runtime is better off running whole
+/// items concurrently (inter-GEMM parallelism) — the crossover the
+/// `gemm_batch` scheduler picks from.
+pub fn arithmetic_intensity(m: usize, n: usize, k: usize, n_moduli: usize) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let nmod = n_moduli as f64;
+    let (mf, nf, kf) = (m as f64, n as f64, k as f64);
+    let ops = 2.0 * nmod * mf * nf * kf;
+    let bytes = 2.0 * nmod * (mf * kf + kf * nf) // i16 panels, read once per GEMM
+        + nmod * (4.0 + 1.0) * mf * nf // c32 write + u8 residue plane
+        + 8.0 * mf * nf; // folded f64 output
+    ops / bytes
+}
 
 /// Pre-allocated workspace for repeated emulated DGEMMs of a fixed shape.
 pub struct GemmPlan {
@@ -51,22 +74,39 @@ impl GemmPlan {
     /// # Panics
     /// On shape mismatch or non-finite input.
     pub fn execute(&mut self, a: &MatF64, b: &MatF64) -> MatF64 {
+        let (m, n, _) = self.shape;
+        let mut out = Matrix::<f64>::zeros(m, n);
+        self.execute_into(a, b, &mut out);
+        out
+    }
+
+    /// Run one product into a caller-owned output matrix (fully
+    /// overwritten): with the workspace retained and the output reused,
+    /// the steady state performs **zero** heap allocations per call. Used
+    /// by the batched runtime's per-item execution. Bit-identical to
+    /// [`GemmPlan::execute`] / [`Ozaki2::dgemm`].
+    ///
+    /// # Panics
+    /// On shape mismatch (including `c`) or non-finite input.
+    pub fn execute_into(&mut self, a: &MatF64, b: &MatF64, c: &mut MatF64) {
         let (m, n, k) = self.shape;
         assert_eq!(a.shape(), (m, k), "A shape mismatch");
         assert_eq!(b.shape(), (k, n), "B shape mismatch");
+        assert_eq!(c.shape(), (m, n), "C shape mismatch");
         assert!(
             a.iter().all(|x| x.is_finite()) && b.iter().all(|x| x.is_finite()),
             "inputs must be finite"
         );
-        emulate(
+        emulate_into(
             a,
             b,
             self.emu.n_moduli(),
             self.emu.mode(),
             true,
             &mut self.ws,
-        )
-        .0
+            true,
+            c.as_mut_slice(),
+        );
     }
 }
 
@@ -122,6 +162,50 @@ mod tests {
                 "steady state must not allocate"
             );
         }
+    }
+
+    #[test]
+    fn execute_into_bit_identical_and_alloc_free() {
+        let (m, n, k) = (20usize, 16, 28);
+        let emu = Ozaki2::new(12, Mode::Fast);
+        let mut plan = GemmPlan::new(emu, m, n, k);
+        let mut out = MatF64::zeros(m, n);
+        let a = phi_matrix_f64(m, k, 0.6, 1, 0);
+        let b = phi_matrix_f64(k, n, 0.6, 1, 1);
+        plan.execute_into(&a, &b, &mut out);
+        assert_eq!(out, emu.dgemm(&a, &b));
+        let steady = plan.workspace_bytes();
+        for seed in 2..5u64 {
+            let a = phi_matrix_f64(m, k, 0.6, seed, 0);
+            let b = phi_matrix_f64(k, n, 0.6, seed, 1);
+            plan.execute_into(&a, &b, &mut out);
+            assert_eq!(out, emu.dgemm(&a, &b), "seed={seed}");
+            assert_eq!(
+                plan.workspace_bytes(),
+                steady,
+                "steady state must not allocate"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "C shape mismatch")]
+    fn execute_into_rejects_wrong_output_shape() {
+        let mut plan = GemmPlan::new(Ozaki2::new(8, Mode::Fast), 8, 8, 8);
+        let a = MatF64::zeros(8, 8);
+        let b = MatF64::zeros(8, 8);
+        let mut c = MatF64::zeros(8, 7);
+        plan.execute_into(&a, &b, &mut c);
+    }
+
+    #[test]
+    fn intensity_orders_small_below_large() {
+        // The scheduler's crossover signal: small service-sized items sit
+        // well below large compute-bound ones.
+        let small = arithmetic_intensity(64, 64, 64, 15);
+        let large = arithmetic_intensity(1024, 1024, 1024, 15);
+        assert!(small > 0.0 && large > 10.0 * small, "{small} vs {large}");
+        assert_eq!(arithmetic_intensity(0, 4, 4, 15), 0.0);
     }
 
     #[test]

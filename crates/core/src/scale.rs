@@ -62,9 +62,17 @@ pub fn scale_by_pow2(x: f64, e: i32) -> f64 {
 /// overflow, exactly as the paper's formula is structured).
 pub fn fast_scale_rows(a: &MatF64, budget: f64) -> Vec<i32> {
     let (m, k) = a.shape();
+    fast_scale_rows_slice(a.as_slice(), m, k, budget)
+}
+
+/// [`fast_scale_rows`] over a raw column-major `m x k` slice (vector `h` of
+/// the matrix at `data[h*m..(h+1)*m]`) — the borrowed-view entry the batched
+/// runtime's strided batches use. Bit-identical to the matrix form.
+pub fn fast_scale_rows_slice(data: &[f64], m: usize, k: usize, budget: f64) -> Vec<i32> {
+    assert!(data.len() >= m * k, "operand slice too short");
     let mut row_max = vec![0.0f64; m];
     for h in 0..k {
-        for (rm, &x) in row_max.iter_mut().zip(a.col(h)) {
+        for (rm, &x) in row_max.iter_mut().zip(&data[h * m..(h + 1) * m]) {
             let ax = x.abs();
             if ax > *rm {
                 *rm = ax;
@@ -78,7 +86,11 @@ pub fn fast_scale_rows(a: &MatF64, budget: f64) -> Vec<i32> {
     let inv_scale: Vec<f64> = m_exp.iter().map(|&e| scale_by_pow2(1.0, -e)).collect();
     let mut norm_sq = vec![0.0f64; m];
     for h in 0..k {
-        for ((ns, &s), &x) in norm_sq.iter_mut().zip(&inv_scale).zip(a.col(h)) {
+        for ((ns, &s), &x) in norm_sq
+            .iter_mut()
+            .zip(&inv_scale)
+            .zip(&data[h * m..(h + 1) * m])
+        {
             let t = x * s;
             *ns += t * t;
         }
@@ -100,10 +112,18 @@ pub fn fast_scale_rows(a: &MatF64, budget: f64) -> Vec<i32> {
 
 /// Per-column fast-mode scale exponents for `B` (`ν_j = 2^{e_j}`).
 pub fn fast_scale_cols(b: &MatF64, budget: f64) -> Vec<i32> {
-    let (_k, n) = b.shape();
+    let (k, n) = b.shape();
+    fast_scale_cols_slice(b.as_slice(), k, n, budget)
+}
+
+/// [`fast_scale_cols`] over a raw column-major `k x n` slice (column `j` at
+/// `data[j*k..(j+1)*k]`) — the borrowed-view entry the batched runtime's
+/// strided batches use. Bit-identical to the matrix form.
+pub fn fast_scale_cols_slice(data: &[f64], k: usize, n: usize, budget: f64) -> Vec<i32> {
+    assert!(data.len() >= k * n, "operand slice too short");
     (0..n)
         .map(|j| {
-            let col = b.col(j);
+            let col = &data[j * k..(j + 1) * k];
             let cm = col.iter().fold(0.0f64, |acc, &x| acc.max(x.abs()));
             if cm == 0.0 {
                 return 0;

@@ -106,6 +106,247 @@ pub fn barrett_mod_u8(x: i32, p: i32, pinv: u32) -> u8 {
     y as u8
 }
 
+/// Scalar `mod p` row reduction into u8 residues — the lane-exact oracle
+/// the SIMD paths of [`barrett_mod_row_u8`] are tested against.
+pub fn barrett_mod_row_u8_scalar(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
+    for (d, &x) in out.iter_mut().zip(c) {
+        *d = barrett_mod_u8(x, p, pinv);
+    }
+}
+
+/// Scalar `acc += mod p` row reduction — the oracle for
+/// [`barrett_mod_row_acc`].
+pub fn barrett_mod_row_acc_scalar(c: &[i32], out: &mut [i32], p: i32, pinv: u32) {
+    for (d, &x) in out.iter_mut().zip(c) {
+        *d += barrett_mod_u8(x, p, pinv) as i32;
+    }
+}
+
+/// Which mod-reduce row kernel the running CPU supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ModKernel {
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    Scalar,
+}
+
+fn detect_mod_kernel() -> ModKernel {
+    if force_scalar() {
+        return ModKernel::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            return ModKernel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return ModKernel::Avx2;
+        }
+    }
+    ModKernel::Scalar
+}
+
+fn mod_kernel() -> ModKernel {
+    static KERNEL: std::sync::OnceLock<ModKernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(detect_mod_kernel)
+}
+
+/// Human-readable name of the mod-reduce row kernel the running CPU
+/// dispatches to.
+pub fn mod_kernel_name() -> &'static str {
+    match mod_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        ModKernel::Avx512 => "avx512",
+        #[cfg(target_arch = "x86_64")]
+        ModKernel::Avx2 => "avx2",
+        ModKernel::Scalar => "scalar",
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod modx86 {
+    //! Vectorized Barrett `mod p` row kernels. The quotient estimate is
+    //! the **high dword** of the signed 64-bit product `x · pinv` — every
+    //! reciprocal `⌊2^32/p⌋ - 1` for `p ≥ 2` fits in a non-negative i32,
+    //! so the widening signed multiply reproduces the scalar
+    //! `(x as i64 * pinv as i64) >> 32` exactly, and the two conditional
+    //! fix-ups become masked adds/subs. Bit-identical to
+    //! [`super::barrett_mod_u8`] for every i32 input.
+
+    use std::arch::x86_64::*;
+
+    /// Dword shuffle pattern `[1, 1, 3, 3]` (per 128-bit lane): moves the
+    /// odd dwords (or the high dwords of 64-bit products) into the even
+    /// slots.
+    const ODD_TO_EVEN: i32 = 0b11_11_01_01;
+
+    /// 16-lane Barrett quotient-and-residue: returns `mod(x, p)` in each
+    /// i32 lane, in `[0, p)`.
+    ///
+    /// # Safety
+    /// AVX-512F required.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn residue16(x: __m512i, pv: __m512i, pinv64: __m512i) -> __m512i {
+        // Signed widening products of the even / odd dword lanes; the
+        // quotient of each lane is the high dword of its product.
+        let pe = _mm512_mul_epi32(x, pinv64);
+        let po = _mm512_mul_epi32(_mm512_shuffle_epi32::<{ ODD_TO_EVEN as _ }>(x), pinv64);
+        let qe = _mm512_shuffle_epi32::<{ ODD_TO_EVEN as _ }>(pe);
+        // Even lanes: high dwords of pe (moved into place); odd lanes:
+        // the products of the odd inputs already hold their high dwords
+        // at the odd positions.
+        let q = _mm512_mask_blend_epi32(0xAAAA, qe, po);
+        let y0 = _mm512_sub_epi32(x, _mm512_mullo_epi32(q, pv));
+        let ge = _mm512_cmpge_epi32_mask(y0, pv);
+        let y1 = _mm512_mask_sub_epi32(y0, ge, y0, pv);
+        let lt = _mm512_cmplt_epi32_mask(y1, _mm512_setzero_si512());
+        _mm512_mask_add_epi32(y1, lt, y1, pv)
+    }
+
+    /// # Safety
+    /// AVX-512F + AVX-512BW required; `out.len() >= c.len()`.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn mod_row_u8_avx512(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
+        debug_assert!(out.len() >= c.len());
+        let pv = _mm512_set1_epi32(p);
+        let pinv64 = _mm512_set1_epi64(pinv as i64);
+        let n16 = c.len() / 16 * 16;
+        let mut i = 0;
+        while i < n16 {
+            let x = _mm512_loadu_si512(c.as_ptr().add(i).cast());
+            let y = residue16(x, pv, pinv64);
+            // Residues are in [0, p) ⊆ [0, 255]: truncating narrow.
+            _mm_storeu_si128(out.as_mut_ptr().add(i).cast(), _mm512_cvtepi32_epi8(y));
+            i += 16;
+        }
+        super::barrett_mod_row_u8_scalar(&c[n16..], &mut out[n16..], p, pinv);
+    }
+
+    /// # Safety
+    /// AVX-512F required; `out.len() >= c.len()`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn mod_row_acc_avx512(c: &[i32], out: &mut [i32], p: i32, pinv: u32) {
+        debug_assert!(out.len() >= c.len());
+        let pv = _mm512_set1_epi32(p);
+        let pinv64 = _mm512_set1_epi64(pinv as i64);
+        let n16 = c.len() / 16 * 16;
+        let mut i = 0;
+        while i < n16 {
+            let x = _mm512_loadu_si512(c.as_ptr().add(i).cast());
+            let y = residue16(x, pv, pinv64);
+            let acc = _mm512_loadu_si512(out.as_ptr().add(i).cast());
+            _mm512_storeu_si512(out.as_mut_ptr().add(i).cast(), _mm512_add_epi32(acc, y));
+            i += 16;
+        }
+        super::barrett_mod_row_acc_scalar(&c[n16..], &mut out[n16..], p, pinv);
+    }
+
+    /// 8-lane Barrett residue (see [`residue16`]).
+    ///
+    /// # Safety
+    /// AVX2 required.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn residue8(x: __m256i, pv: __m256i, pinv64: __m256i) -> __m256i {
+        let pe = _mm256_mul_epi32(x, pinv64);
+        let po = _mm256_mul_epi32(_mm256_shuffle_epi32::<ODD_TO_EVEN>(x), pinv64);
+        let qe = _mm256_shuffle_epi32::<ODD_TO_EVEN>(pe);
+        let q = _mm256_blend_epi32::<0b10101010>(qe, po);
+        let y0 = _mm256_sub_epi32(x, _mm256_mullo_epi32(q, pv));
+        // y0 >= p  <=>  y0 > p - 1 (signed).
+        let pm1 = _mm256_sub_epi32(pv, _mm256_set1_epi32(1));
+        let ge = _mm256_cmpgt_epi32(y0, pm1);
+        let y1 = _mm256_sub_epi32(y0, _mm256_and_si256(ge, pv));
+        let lt = _mm256_cmpgt_epi32(_mm256_setzero_si256(), y1);
+        _mm256_add_epi32(y1, _mm256_and_si256(lt, pv))
+    }
+
+    /// # Safety
+    /// AVX2 required; `out.len() >= c.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mod_row_u8_avx2(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
+        debug_assert!(out.len() >= c.len());
+        let pv = _mm256_set1_epi32(p);
+        let pinv64 = _mm256_set1_epi64x(pinv as i64);
+        // Byte 0 of every dword, gathered into the low 4 bytes of each
+        // 128-bit lane (residues are < 256, the other bytes are zero).
+        let gather = _mm256_set_epi8(
+            -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 12, 8, 4, 0, //
+            -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 12, 8, 4, 0,
+        );
+        let n8 = c.len() / 8 * 8;
+        let mut i = 0;
+        while i < n8 {
+            let x = _mm256_loadu_si256(c.as_ptr().add(i).cast());
+            let y = residue8(x, pv, pinv64);
+            let packed = _mm256_shuffle_epi8(y, gather);
+            let lo = _mm_cvtsi128_si32(_mm256_castsi256_si128(packed));
+            let hi = _mm_cvtsi128_si32(_mm256_extracti128_si256::<1>(packed));
+            (out.as_mut_ptr().add(i) as *mut i32).write_unaligned(lo);
+            (out.as_mut_ptr().add(i + 4) as *mut i32).write_unaligned(hi);
+            i += 8;
+        }
+        super::barrett_mod_row_u8_scalar(&c[n8..], &mut out[n8..], p, pinv);
+    }
+
+    /// # Safety
+    /// AVX2 required; `out.len() >= c.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mod_row_acc_avx2(c: &[i32], out: &mut [i32], p: i32, pinv: u32) {
+        debug_assert!(out.len() >= c.len());
+        let pv = _mm256_set1_epi32(p);
+        let pinv64 = _mm256_set1_epi64x(pinv as i64);
+        let n8 = c.len() / 8 * 8;
+        let mut i = 0;
+        while i < n8 {
+            let x = _mm256_loadu_si256(c.as_ptr().add(i).cast());
+            let y = residue8(x, pv, pinv64);
+            let acc = _mm256_loadu_si256(out.as_ptr().add(i).cast());
+            _mm256_storeu_si256(out.as_mut_ptr().add(i).cast(), _mm256_add_epi32(acc, y));
+            i += 8;
+        }
+        super::barrett_mod_row_acc_scalar(&c[n8..], &mut out[n8..], p, pinv);
+    }
+}
+
+/// Vectorized `out[i] = mod(c[i], p)` as u8 residues — the row kernel
+/// behind [`ReduceEpilogue`] (Algorithm 1 line 7). Runtime-dispatched
+/// (AVX-512 → AVX2 → scalar, forced scalar by `OZAKI_FORCE_SCALAR=1`);
+/// bit-identical to [`barrett_mod_row_u8_scalar`] on every path.
+pub fn barrett_mod_row_u8(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
+    assert!(out.len() >= c.len(), "output row too short");
+    match mod_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: variant selected by runtime feature detection; length
+        // contract asserted above.
+        ModKernel::Avx512 => unsafe { modx86::mod_row_u8_avx512(c, out, p, pinv) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        ModKernel::Avx2 => unsafe { modx86::mod_row_u8_avx2(c, out, p, pinv) },
+        ModKernel::Scalar => barrett_mod_row_u8_scalar(c, out, p, pinv),
+    }
+}
+
+/// Vectorized `out[i] += mod(c[i], p)` residue accumulation — the row
+/// kernel behind [`AccumulateEpilogue`] (the `k > 2^17` block path).
+/// Bit-identical to [`barrett_mod_row_acc_scalar`] on every path.
+pub fn barrett_mod_row_acc(c: &[i32], out: &mut [i32], p: i32, pinv: u32) {
+    assert!(out.len() >= c.len(), "output row too short");
+    match mod_kernel() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: variant selected by runtime feature detection; length
+        // contract asserted above.
+        ModKernel::Avx512 => unsafe { modx86::mod_row_acc_avx512(c, out, p, pinv) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above.
+        ModKernel::Avx2 => unsafe { modx86::mod_row_acc_avx2(c, out, p, pinv) },
+        ModKernel::Scalar => barrett_mod_row_acc_scalar(c, out, p, pinv),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Epilogues
 // ---------------------------------------------------------------------------
@@ -176,9 +417,7 @@ impl Epilogue for ReduceEpilogue<'_> {
     #[inline]
     fn apply(&self, c: &[i32], out: &mut [u8]) {
         timed_epilogue(self.nanos, || {
-            for (d, &x) in out.iter_mut().zip(c) {
-                *d = barrett_mod_u8(x, self.p, self.pinv);
-            }
+            barrett_mod_row_u8(c, out, self.p, self.pinv);
         });
     }
 }
@@ -210,9 +449,7 @@ impl Epilogue for AccumulateEpilogue<'_> {
     #[inline]
     fn apply(&self, c: &[i32], out: &mut [i32]) {
         timed_epilogue(self.nanos, || {
-            for (d, &x) in out.iter_mut().zip(c) {
-                *d += barrett_mod_u8(x, self.p, self.pinv) as i32;
-            }
+            barrett_mod_row_acc(c, out, self.p, self.pinv);
         });
     }
 }
@@ -369,14 +606,15 @@ pub fn microkernel_name() -> &'static str {
     }
 }
 
-/// Portable tile kernel: `out[r][c] = sum_p a[r*lda + p] * b[c*ldb + p]`
-/// over `kc` (wrapping). Also the reference implementation the SIMD paths
-/// are tested against.
-fn tile_scalar(kc: usize, lda: usize, ldb: usize, a: &[i16], b: &[i16], out: &mut [[i32; NR]; MR]) {
-    for (r, orow) in out.iter_mut().enumerate() {
-        let arow = &a[r * lda..r * lda + kc];
-        for (c, o) in orow.iter_mut().enumerate() {
-            let bcol = &b[c * ldb..c * ldb + kc];
+/// Portable tile kernel: `out[c][r] = sum_p a[r*lda + p] * b[c*ldb + p]`
+/// over `kc` (wrapping) — the tile is **column-major** so the driver can
+/// copy whole columns into `C` contiguously. Also the reference
+/// implementation the SIMD paths are tested against.
+fn tile_scalar(kc: usize, lda: usize, ldb: usize, a: &[i16], b: &[i16], out: &mut [[i32; MR]; NR]) {
+    for (c, ocol) in out.iter_mut().enumerate() {
+        let bcol = &b[c * ldb..c * ldb + kc];
+        for (r, o) in ocol.iter_mut().enumerate() {
+            let arow = &a[r * lda..r * lda + kc];
             let mut acc = 0i32;
             for (&x, &y) in arow.iter().zip(bcol) {
                 acc = acc.wrapping_add(x as i32 * y as i32);
@@ -396,6 +634,30 @@ mod x86 {
     use super::{MR, NR, PK};
     use std::arch::x86_64::*;
 
+    /// Reduce four 16-lane accumulators to their four dot products in
+    /// one xmm: halve each zmm, then a 3-`hadd` network. The same
+    /// wrapping-i32 adds as four `reduce_add` calls, in a different
+    /// (immaterial — wrapping addition commutes) order, at a fraction of
+    /// the instruction count; grouped per output *column*, the xmm is a
+    /// ready-to-store column segment of `C`. This is what keeps short-`k`
+    /// microtiles — the batched small-GEMM regime — from being dominated
+    /// by horizontal-reduction overhead.
+    ///
+    /// # Safety
+    /// AVX-512F required (implies the AVX2 `hadd` used here).
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn reduce_quad(accs: &[__m512i; MR]) -> __m128i {
+        let halve = |v: __m512i| -> __m256i {
+            _mm256_add_epi32(_mm512_castsi512_si256(v), _mm512_extracti64x4_epi64::<1>(v))
+        };
+        let h01 = _mm256_hadd_epi32(halve(accs[0]), halve(accs[1]));
+        let h23 = _mm256_hadd_epi32(halve(accs[2]), halve(accs[3]));
+        let q = _mm256_hadd_epi32(h01, h23);
+        // q lanes: [s0,s1,s2,s3] of the low halves | high halves.
+        _mm_add_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256::<1>(q))
+    }
+
     /// # Safety
     /// Caller must ensure AVX-512BW + AVX-512VNNI are available, `kc` is a
     /// multiple of [`PK`], and `a`/`b` cover `(MR-1)*lda + kc` /
@@ -408,7 +670,7 @@ mod x86 {
         ldb: usize,
         a: &[i16],
         b: &[i16],
-        out: &mut [[i32; NR]; MR],
+        out: &mut [[i32; MR]; NR],
     ) {
         debug_assert!(kc.is_multiple_of(PK));
         debug_assert!(a.len() >= (MR - 1) * lda + kc && b.len() >= (NR - 1) * ldb + kc);
@@ -428,10 +690,9 @@ mod x86 {
                 }
             }
         }
-        for (r, orow) in out.iter_mut().enumerate() {
-            for (c, o) in orow.iter_mut().enumerate() {
-                *o = _mm512_reduce_add_epi32(acc[r][c]);
-            }
+        for (c, ocol) in out.iter_mut().enumerate() {
+            let col = [acc[0][c], acc[1][c], acc[2][c], acc[3][c]];
+            _mm_storeu_si128(ocol.as_mut_ptr() as *mut __m128i, reduce_quad(&col));
         }
     }
 
@@ -445,7 +706,7 @@ mod x86 {
         ldb: usize,
         a: &[i16],
         b: &[i16],
-        out: &mut [[i32; NR]; MR],
+        out: &mut [[i32; MR]; NR],
     ) {
         debug_assert!(kc.is_multiple_of(PK));
         debug_assert!(a.len() >= (MR - 1) * lda + kc && b.len() >= (NR - 1) * ldb + kc);
@@ -465,10 +726,9 @@ mod x86 {
                 }
             }
         }
-        for (r, orow) in out.iter_mut().enumerate() {
-            for (c, o) in orow.iter_mut().enumerate() {
-                *o = _mm512_reduce_add_epi32(acc[r][c]);
-            }
+        for (c, ocol) in out.iter_mut().enumerate() {
+            let col = [acc[0][c], acc[1][c], acc[2][c], acc[3][c]];
+            _mm_storeu_si128(ocol.as_mut_ptr() as *mut __m128i, reduce_quad(&col));
         }
     }
 
@@ -482,7 +742,7 @@ mod x86 {
         ldb: usize,
         a: &[i16],
         b: &[i16],
-        out: &mut [[i32; NR]; MR],
+        out: &mut [[i32; MR]; NR],
     ) {
         const L: usize = 16; // i16 lanes per 256-bit vector
         debug_assert!(kc.is_multiple_of(L));
@@ -503,8 +763,8 @@ mod x86 {
                 }
             }
         }
-        for (r, orow) in out.iter_mut().enumerate() {
-            for (c, o) in orow.iter_mut().enumerate() {
+        for (c, ocol) in out.iter_mut().enumerate() {
+            for (r, o) in ocol.iter_mut().enumerate() {
                 let v = acc[r][c];
                 let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
                 let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
@@ -525,7 +785,7 @@ fn run_tile(
     ldb: usize,
     a: &[i16],
     b: &[i16],
-    out: &mut [[i32; NR]; MR],
+    out: &mut [[i32; MR]; NR],
 ) {
     match kernel {
         #[cfg(target_arch = "x86_64")]
@@ -579,13 +839,21 @@ fn stripe_compute<E: Epilogue>(
     epi: &E,
 ) {
     let kernel = tile_kernel();
-    c.fill(0);
-    let mut tile = [[0i32; NR]; MR];
+    if kp_eff == 0 {
+        // No depth to consume: the product is all zeros (only reachable
+        // through entry points that do not early-out on k == 0).
+        c.fill(0);
+    }
+    let mut tile = [[0i32; MR]; NR];
     for ic in (0..m).step_by(MC) {
         let ilim = (ic + MC).min(m);
         let mut pc = 0;
         while pc < kp_eff {
             let kc = KC.min(kp_eff - pc);
+            // The first depth chunk assigns C outright (every element of
+            // the stripe belongs to some tile), later chunks accumulate —
+            // which saves the separate zero-fill sweep over C.
+            let first = pc == 0;
             for jt in (0..nc).step_by(NR) {
                 let cols = NR.min(nc - jt);
                 for it in (ic..ilim).step_by(MR) {
@@ -599,10 +867,14 @@ fn stripe_compute<E: Epilogue>(
                         &bpack[jt * ldb + pc..],
                         &mut tile,
                     );
-                    for cc in 0..cols {
+                    for (cc, tcol) in tile.iter().enumerate().take(cols) {
                         let col = &mut c[(jt + cc) * m + it..(jt + cc) * m + it + rows];
-                        for (r, dst) in col.iter_mut().enumerate() {
-                            *dst = dst.wrapping_add(tile[r][cc]);
+                        if first {
+                            col.copy_from_slice(&tcol[..rows]);
+                        } else {
+                            for (dst, &t) in col.iter_mut().zip(tcol) {
+                                *dst = dst.wrapping_add(t);
+                            }
                         }
                     }
                 }
@@ -1356,6 +1628,50 @@ mod tests {
                     (v as i64).rem_euclid(p as i64),
                     "x={v} p={p}"
                 );
+            }
+        }
+    }
+
+    /// Rows exercising the SIMD body + scalar tail with wrap-prone values
+    /// (extremes, ±p multiples, dense small values).
+    fn mod_parity_rows() -> Vec<Vec<i32>> {
+        let mut rows = Vec::new();
+        for len in [1usize, 7, 8, 15, 16, 17, 33, 100] {
+            let mut row = Vec::with_capacity(len);
+            for i in 0..len {
+                let v = match i % 7 {
+                    0 => i32::MIN + i as i32,
+                    1 => i32::MAX - i as i32,
+                    2 => -(i as i32) * 257,
+                    3 => (i as i32) * 256,
+                    4 => -1 - i as i32,
+                    5 => (i as i32).wrapping_mul(0x0123_4567),
+                    _ => i as i32,
+                };
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn dispatched_mod_rows_bit_identical_to_scalar() {
+        for &p in &[2u64, 3, 127, 251, 255, 256] {
+            let pinv = ((1u64 << 32) / p - 1) as u32;
+            for row in mod_parity_rows() {
+                let mut got = vec![0u8; row.len()];
+                let mut want = vec![0u8; row.len()];
+                barrett_mod_row_u8(&row, &mut got, p as i32, pinv);
+                barrett_mod_row_u8_scalar(&row, &mut want, p as i32, pinv);
+                assert_eq!(got, want, "u8 kernel={} p={p}", mod_kernel_name());
+
+                // Accumulate variant over a dirty accumulator.
+                let mut got_acc: Vec<i32> = (0..row.len() as i32).collect();
+                let mut want_acc = got_acc.clone();
+                barrett_mod_row_acc(&row, &mut got_acc, p as i32, pinv);
+                barrett_mod_row_acc_scalar(&row, &mut want_acc, p as i32, pinv);
+                assert_eq!(got_acc, want_acc, "acc kernel={} p={p}", mod_kernel_name());
             }
         }
     }

@@ -2,8 +2,9 @@
 
 use gemm_dense::Matrix;
 use gemm_engine::{
+    barrett_mod_row_acc, barrett_mod_row_acc_scalar, barrett_mod_row_u8, barrett_mod_row_u8_scalar,
     int8_gemm, int8_gemm_fused, int8_gemm_naive, int8_gemm_rm_cm, int8_gemm_rm_cm_scalar,
-    lowfp_gemm, quantize, Int8Workspace, ReduceEpilogue,
+    lowfp_gemm, mod_kernel_name, quantize, Int8Workspace, ReduceEpilogue,
 };
 use gemm_lowfp::{BF16, F16};
 use proptest::prelude::*;
@@ -36,6 +37,40 @@ proptest! {
     #[test]
     fn arbitrary_values_match(a in arb_i8_matrix(5, 7), b in arb_i8_matrix(7, 4)) {
         prop_assert_eq!(int8_gemm(&a, &b), int8_gemm_naive(&a, &b));
+    }
+
+    /// The dispatched mod-reduce row kernels (the fused line-7 epilogues)
+    /// are lane-exact against their scalar oracles over the full i32
+    /// domain, for every pipeline modulus and awkward row lengths.
+    #[test]
+    fn mod_rows_lane_exact_vs_scalar(
+        len in 1usize..70,
+        p in 2u64..=256,
+        seed in any::<u64>(),
+    ) {
+        let pinv = ((1u64 << 32) / p - 1) as u32;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            // Mix full-range values with near-multiples of p (the fix-up
+            // boundaries).
+            if s & 0b100 == 0 {
+                ((s >> 32) as i32 / p as i32) * p as i32
+            } else {
+                (s >> 32) as i32
+            }
+        };
+        let row: Vec<i32> = (0..len).map(|_| next()).collect();
+        let mut got = vec![0u8; len];
+        let mut want = vec![0u8; len];
+        barrett_mod_row_u8(&row, &mut got, p as i32, pinv);
+        barrett_mod_row_u8_scalar(&row, &mut want, p as i32, pinv);
+        prop_assert_eq!(&got, &want, "u8 kernel={} p={}", mod_kernel_name(), p);
+        let mut got_acc: Vec<i32> = (0..len as i32).collect();
+        let mut want_acc = got_acc.clone();
+        barrett_mod_row_acc(&row, &mut got_acc, p as i32, pinv);
+        barrett_mod_row_acc_scalar(&row, &mut want_acc, p as i32, pinv);
+        prop_assert_eq!(&got_acc, &want_acc, "acc kernel={} p={}", mod_kernel_name(), p);
     }
 
     #[test]

@@ -25,10 +25,18 @@ thread_local! {
 }
 
 /// Number of worker threads a fresh parallel region may use.
+///
+/// Cached after the first call: `std::thread::available_parallelism`
+/// re-reads cgroup limits from the filesystem on every invocation (tens
+/// of microseconds inside containers), which a dispatch check on the hot
+/// path of every small GEMM cannot afford.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static N: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// A materialised "parallel" iterator: a list of independent work items.

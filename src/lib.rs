@@ -22,6 +22,8 @@
 //! Crate map (see docs/ARCHITECTURE.md for the full inventory):
 //!
 //! * [`ozaki2`] — the paper's contribution (Algorithm 1);
+//! * [`gemm_batch`] — batched runtime: prepared-operand cache, workspace
+//!   pool, many-GEMM scheduler;
 //! * [`gemm_dense`] — matrices, native GEMM, Philox RNG, workloads;
 //! * [`gemm_engine`] — the simulated INT8 / FP16 / BF16 / TF32 engines;
 //! * [`gemm_lowfp`] — software low-precision formats;
@@ -34,6 +36,7 @@
 pub mod apps;
 
 pub use gemm_baselines;
+pub use gemm_batch;
 pub use gemm_dense;
 pub use gemm_engine;
 pub use gemm_exact;
@@ -44,11 +47,12 @@ pub use ozaki2;
 /// Everything a typical user needs in scope.
 pub mod prelude {
     pub use gemm_baselines::{Bf16x9, CuMpSgemm, OzImmu, Tf32Gemm};
+    pub use gemm_batch::{BatchedOzaki2, StridedBatchF32, StridedBatchF64, WorkspacePool};
     pub use gemm_dense::norms::{max_relative_error, normwise_relative_error};
     pub use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64, PHI_HPL};
     pub use gemm_dense::{
         MatF32, MatF64, MatMulF32, MatMulF64, Matrix, NativeDgemm, NativeSgemm, Philox4x32,
     };
     pub use gemm_exact::{dd_gemm, max_rel_error_vs_dd, Dd};
-    pub use ozaki2::{Mode, Ozaki2};
+    pub use ozaki2::{GemmPlan, Mode, Ozaki2, PreparedOperand};
 }
