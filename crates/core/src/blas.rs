@@ -1,14 +1,15 @@
 //! BLAS-compatible surface: `C ← α·op(A)·op(B) + β·C` with transpose
 //! options, mirroring the `cublasGemmEx` signature GEMMul8 slots into.
 //!
-//! The transposed operand is materialised once (cache-blocked copy) and
-//! fed to the standard pipeline — the emulation itself is layout-agnostic,
-//! so this keeps the kernel surface small at the cost of one extra pass
-//! over the transposed operand, which is already far below the conversion
-//! traffic.
+//! Untransposed operands are borrowed as-is (no copy); a transposed
+//! operand is materialised once (cache-blocked copy) and fed to the
+//! standard pipeline — the emulation itself is layout-agnostic, so this
+//! keeps the kernel surface small at the cost of one extra pass over the
+//! transposed operand, which is already far below the conversion traffic.
 
 use crate::pipeline::Ozaki2;
 use gemm_dense::{MatF32, MatF64, Matrix};
+use std::borrow::Cow;
 
 /// Operand transpose option (BLAS `trans` parameter).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,17 +20,17 @@ pub enum GemmOp {
     T,
 }
 
-fn apply_op_f64(a: &MatF64, op: GemmOp) -> MatF64 {
+fn apply_op_f64(a: &MatF64, op: GemmOp) -> Cow<'_, MatF64> {
     match op {
-        GemmOp::N => a.clone(),
-        GemmOp::T => a.transpose(),
+        GemmOp::N => Cow::Borrowed(a),
+        GemmOp::T => Cow::Owned(a.transpose()),
     }
 }
 
-fn apply_op_f32(a: &MatF32, op: GemmOp) -> MatF32 {
+fn apply_op_f32(a: &MatF32, op: GemmOp) -> Cow<'_, MatF32> {
     match op {
-        GemmOp::N => a.clone(),
-        GemmOp::T => a.transpose(),
+        GemmOp::N => Cow::Borrowed(a),
+        GemmOp::T => Cow::Owned(a.transpose()),
     }
 }
 
@@ -149,6 +150,22 @@ mod tests {
             &mut c_tt,
         );
         assert_eq!(c_nn, c_tt);
+    }
+
+    #[test]
+    fn untransposed_operands_are_borrowed() {
+        let a = phi_matrix_f64(4, 5, 0.5, 1, 0);
+        let b = phi_matrix_f64(5, 3, 0.5, 1, 1);
+        match apply_op_f64(&a, GemmOp::N) {
+            std::borrow::Cow::Borrowed(r) => {
+                assert!(std::ptr::eq(r, &a), "N must borrow the original")
+            }
+            std::borrow::Cow::Owned(_) => panic!("GemmOp::N must not copy the operand"),
+        }
+        assert!(matches!(
+            apply_op_f64(&b, GemmOp::T),
+            std::borrow::Cow::Owned(_)
+        ));
     }
 
     #[test]
