@@ -14,6 +14,7 @@
 //! it guards (and paid once per *call* for a shared operand, not per
 //! item).
 
+use gemm_dense::MatView;
 use ozaki2::{Mode, OperandSide, PreparedOperand};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,6 +62,50 @@ pub fn fingerprint_f32(data: &[f32]) -> u64 {
     fingerprint_bits(data.len(), |i| data[i].to_bits() as u64)
 }
 
+/// Shared strided-view fingerprint body: logical elements only, in
+/// column-major traversal with plain nested loops (no per-element
+/// div/mod), four round-robin FNV lanes folded like [`fingerprint_bits`].
+fn fingerprint_view_with<T: Copy>(v: &MatView<'_, T>, word: impl Fn(T) -> u64) -> u64 {
+    let mut lanes = [
+        0xcbf2_9ce4_8422_2325u64,
+        0x9e37_79b9_7f4a_7c15,
+        0xc2b2_ae3d_27d4_eb4f,
+        0x1656_67b1_9e37_79f9,
+    ];
+    let (rows, cols) = v.shape();
+    let mut idx = 0usize;
+    for j in 0..cols {
+        for i in 0..rows {
+            lanes[idx & 3] = mix(lanes[idx & 3], word(v.get(i, j)));
+            idx += 1;
+        }
+    }
+    let mut h = mix(lanes[0], idx as u64);
+    h = mix(h, lanes[1]);
+    h = mix(h, lanes[2]);
+    mix(h, lanes[3])
+}
+
+/// Full-content fingerprint of the **logical** elements of a strided f64
+/// view (column-major traversal; the inter-column gap elements belong to
+/// neighbouring items and are excluded, so their mutation cannot fault an
+/// unrelated entry). On a dense view this equals [`fingerprint_f64`] of
+/// the element slice.
+pub fn fingerprint_view_f64(v: &MatView<'_, f64>) -> u64 {
+    if let Some(s) = v.as_col_major_slice() {
+        return fingerprint_f64(s);
+    }
+    fingerprint_view_with(v, f64::to_bits)
+}
+
+/// [`fingerprint_view_f64`] for f32 views.
+pub fn fingerprint_view_f32(v: &MatView<'_, f32>) -> u64 {
+    if let Some(s) = v.as_col_major_slice() {
+        return fingerprint_f32(s);
+    }
+    fingerprint_view_with(v, |x| x.to_bits() as u64)
+}
+
 /// Cache identity of one prepared operand (see the module docs).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OperandKey {
@@ -68,6 +113,13 @@ pub struct OperandKey {
     len: usize,
     rows: usize,
     cols: usize,
+    /// Leading dimension of the source view (`rows` for dense operands) —
+    /// two windows of one parent buffer sharing a base pointer but read
+    /// at different strides must not collide.
+    ld: usize,
+    /// Whether the source view stores elements row-major (a zero-copy
+    /// transpose): same buffer, other layout ⇒ different operand.
+    row_major: bool,
     side: OperandSide,
     n_moduli: usize,
     mode: Mode,
@@ -90,12 +142,49 @@ impl OperandKey {
             len: data.len(),
             rows,
             cols,
+            ld: rows,
+            row_major: false,
             side,
             n_moduli,
             mode,
             b64: true,
             fingerprint: fingerprint_f64(data),
         }
+    }
+
+    /// Shared body of the view-key constructors.
+    fn from_view<T: Copy>(
+        v: &MatView<'_, T>,
+        side: OperandSide,
+        n_moduli: usize,
+        mode: Mode,
+        b64: bool,
+        fingerprint: u64,
+    ) -> Self {
+        let (rows, cols) = v.shape();
+        Self {
+            ptr: v.data().as_ptr() as usize,
+            len: v.min_len(),
+            rows,
+            cols,
+            ld: v.ld(),
+            row_major: v.layout() == gemm_dense::Layout::RowMajor,
+            side,
+            n_moduli,
+            mode,
+            b64,
+            fingerprint,
+        }
+    }
+
+    /// Key for a (possibly `ld`-strided, either-layout) f64 operand view.
+    pub fn f64_view(v: &MatView<'_, f64>, side: OperandSide, n_moduli: usize, mode: Mode) -> Self {
+        Self::from_view(v, side, n_moduli, mode, true, fingerprint_view_f64(v))
+    }
+
+    /// Key for a (possibly `ld`-strided, either-layout) f32 operand view.
+    pub fn f32_view(v: &MatView<'_, f32>, side: OperandSide, n_moduli: usize, mode: Mode) -> Self {
+        Self::from_view(v, side, n_moduli, mode, false, fingerprint_view_f32(v))
     }
 
     /// Key for an f32 operand slice (SGEMM precision).
@@ -112,6 +201,8 @@ impl OperandKey {
             len: data.len(),
             rows,
             cols,
+            ld: rows,
+            row_major: false,
             side,
             n_moduli,
             mode,

@@ -56,13 +56,16 @@ pub mod pool;
 pub mod schedule;
 pub mod strided;
 
-pub use cache::{fingerprint_f32, fingerprint_f64, OperandCache, OperandKey};
+pub use cache::{
+    fingerprint_f32, fingerprint_f64, fingerprint_view_f32, fingerprint_view_f64, OperandCache,
+    OperandKey,
+};
 pub use pool::{PooledWorkspace, WorkspacePool};
 pub use schedule::{Schedule, INTENSITY_CROSSOVER};
 pub use strided::{StridedBatch, StridedBatchF32, StridedBatchF64};
 
-use gemm_dense::{MatF32, MatF64, Matrix};
-use ozaki2::{EmulationError, Mode, OperandInput, OperandSide, Ozaki2, PreparedOperand};
+use gemm_dense::{MatF32, MatF64, MatView, Matrix};
+use ozaki2::{EmulationError, GemmArgs, Mode, OperandInput, OperandSide, Ozaki2, PreparedOperand};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,10 +73,11 @@ use std::sync::Arc;
 /// Default capacity of the cross-call prepared-operand LRU.
 pub const DEFAULT_CACHE_CAPACITY: usize = 8;
 
-/// One side of a batch item: raw data converted in the worker's pooled
-/// workspace, or a shared preparation.
+/// One side of a batch item: a raw borrowed view converted in the
+/// worker's pooled workspace (zero-copy, even for `ld`-strided items), or
+/// a shared preparation.
 enum Side<'s> {
-    Raw(&'s [f64]),
+    Raw(MatView<'s, f64>),
     Prep(Arc<PreparedOperand>),
 }
 
@@ -95,9 +99,9 @@ struct SgemmJob<'s> {
     k: usize,
     n: usize,
     a: Option<Arc<PreparedOperand>>,
-    a_raw: &'s [f32],
+    a_raw: MatView<'s, f32>,
     b: Option<Arc<PreparedOperand>>,
-    b_raw: &'s [f32],
+    b_raw: MatView<'s, f32>,
     parallel: bool,
     out: &'s mut MatF32,
     err: &'s mut Option<EmulationError>,
@@ -228,40 +232,14 @@ impl BatchedOzaki2 {
         if self.emu.mode() != Mode::Fast {
             // Accurate mode scales A and B jointly: no one-sided
             // preparation exists. Run the monolithic per-item pipeline
-            // over pooled workspaces (items striped internally).
-            let a0;
-            let b0;
-            let a_shared: Option<&MatF64> = if a.is_broadcast() {
-                a0 = Matrix::from_vec(m, k, a.item(0).to_vec());
-                Some(&a0)
-            } else {
-                None
-            };
-            let b_shared: Option<&MatF64> = if b.is_broadcast() {
-                b0 = Matrix::from_vec(k, n, b.item(0).to_vec());
-                Some(&b0)
-            } else {
-                None
-            };
+            // over pooled workspaces (items striped internally) — still
+            // zero-copy: the facade takes the item views directly.
             let mut ws = self.pool.checkout();
             for (i, out) in outs.iter_mut().enumerate() {
-                let ai;
-                let a_ref = match a_shared {
-                    Some(r) => r,
-                    None => {
-                        ai = Matrix::from_vec(m, k, a.item(i).to_vec());
-                        &ai
-                    }
-                };
-                let bi;
-                let b_ref = match b_shared {
-                    Some(r) => r,
-                    None => {
-                        bi = Matrix::from_vec(k, n, b.item(i).to_vec());
-                        &bi
-                    }
-                };
-                self.emu.try_dgemm_into_ws(a_ref, b_ref, out, &mut ws)?;
+                self.emu.gemm_into(
+                    GemmArgs::new(a.view(i), b.view(i)).workspace(&mut ws),
+                    out.view_mut(),
+                )?;
             }
             return Ok(());
         }
@@ -283,11 +261,11 @@ impl BatchedOzaki2 {
                 n,
                 a: match &pa_shared {
                     Some(p) => Side::Prep(p.clone()),
-                    None => Side::Raw(a.item(i)),
+                    None => Side::Raw(a.view(i)),
                 },
                 b: match &pb_shared {
                     Some(p) => Side::Prep(p.clone()),
-                    None => Side::Raw(b.item(i)),
+                    None => Side::Raw(b.view(i)),
                 },
                 parallel,
                 out,
@@ -331,10 +309,10 @@ impl BatchedOzaki2 {
         if self.emu.mode() != Mode::Fast {
             let mut ws = self.pool.checkout();
             for (i, out) in outs.iter_mut().enumerate() {
-                let ai = Matrix::from_vec(m, k, a.item(i).to_vec());
-                let bi = Matrix::from_vec(k, n, b.item(i).to_vec());
-                let (c, _) = self.emu.try_sgemm_with_report_ws(&ai, &bi, &mut ws)?;
-                *out = c;
+                self.emu.gemm_into(
+                    GemmArgs::new(a.view(i), b.view(i)).workspace(&mut ws),
+                    out.view_mut(),
+                )?;
             }
             return Ok(outs);
         }
@@ -353,9 +331,9 @@ impl BatchedOzaki2 {
                 k,
                 n,
                 a: pa_shared.clone(),
-                a_raw: a.item(i),
+                a_raw: a.view(i),
                 b: pb_shared.clone(),
-                b_raw: b.item(i),
+                b_raw: b.view(i),
                 parallel,
                 out,
                 err,
@@ -471,9 +449,8 @@ impl BatchedOzaki2 {
         if !within_call && batch.count() != 1 {
             return Ok(None);
         }
-        let data = batch.item(0);
-        let (rows, cols) = (batch.rows(), batch.cols());
-        let key = OperandKey::f64(data, rows, cols, side, self.emu.n_moduli(), self.emu.mode());
+        let view = batch.view(0);
+        let key = OperandKey::f64_view(&view, side, self.emu.n_moduli(), self.emu.mode());
         if let Some(hit) = self.cache.get(&key) {
             return Ok(Some(hit));
         }
@@ -481,10 +458,10 @@ impl BatchedOzaki2 {
             return Ok(None);
         }
         // For side A the batch shape is (m, k); for side B it is (k, n) —
-        // both match the prepare entry's (rows, cols) order directly.
+        // both match the prepare entry's logical orientation directly.
         let prepared = Arc::new(match side {
-            OperandSide::A => self.emu.try_prepare_a_slice(data, rows, cols)?,
-            OperandSide::B => self.emu.try_prepare_b_slice(data, rows, cols)?,
+            OperandSide::A => self.emu.try_prepare_a_view(&view)?,
+            OperandSide::B => self.emu.try_prepare_b_view(&view)?,
         });
         self.cache.insert(key, prepared.clone());
         Ok(Some(prepared))
@@ -500,9 +477,8 @@ impl BatchedOzaki2 {
         if !within_call && batch.count() != 1 {
             return Ok(None);
         }
-        let data = batch.item(0);
-        let (rows, cols) = (batch.rows(), batch.cols());
-        let key = OperandKey::f32(data, rows, cols, side, self.emu.n_moduli(), self.emu.mode());
+        let view = batch.view(0);
+        let key = OperandKey::f32_view(&view, side, self.emu.n_moduli(), self.emu.mode());
         if let Some(hit) = self.cache.get(&key) {
             return Ok(Some(hit));
         }
@@ -510,8 +486,8 @@ impl BatchedOzaki2 {
             return Ok(None);
         }
         let prepared = Arc::new(match side {
-            OperandSide::A => self.emu.try_prepare_a_slice_f32(data, rows, cols)?,
-            OperandSide::B => self.emu.try_prepare_b_slice_f32(data, rows, cols)?,
+            OperandSide::A => self.emu.try_prepare_a_view(&view)?,
+            OperandSide::B => self.emu.try_prepare_b_view(&view)?,
         });
         self.cache.insert(key, prepared.clone());
         Ok(Some(prepared))
@@ -547,7 +523,7 @@ impl BatchedOzaki2 {
             return Ok(Side::Prep(hit));
         }
         if multiplicity < 2 && !self.cache.repeat_miss(&key) {
-            return Ok(Side::Raw(mat.as_slice()));
+            return Ok(Side::Raw(mat.view()));
         }
         let prepared = Arc::new(match side {
             OperandSide::A => self.emu.try_prepare_a(mat)?,
@@ -571,11 +547,11 @@ impl BatchedOzaki2 {
     fn run_job(&self, job: Job<'_>) {
         let mut ws = self.pool.checkout();
         let a_in = match &job.a {
-            Side::Raw(s) => OperandInput::Raw(s),
+            Side::Raw(v) => OperandInput::RawView(*v),
             Side::Prep(p) => OperandInput::Prepared(p),
         };
         let b_in = match &job.b {
-            Side::Raw(s) => OperandInput::Raw(s),
+            Side::Raw(v) => OperandInput::RawView(*v),
             Side::Prep(p) => OperandInput::Prepared(p),
         };
         if let Err(e) = self.emu.try_execute_into_ws(
@@ -612,13 +588,28 @@ impl BatchedOzaki2 {
         let mut body = || -> Result<(), EmulationError> {
             let pb = match &b {
                 Some(p) => p.clone(),
-                None => Arc::new(self.emu.try_prepare_b_slice_f32(b_raw, k, n)?),
+                None => Arc::new(self.emu.try_prepare_b_view(&b_raw)?),
             };
             let a64: Vec<f64>;
             let a_in = match &a {
                 Some(p) => OperandInput::Prepared(p),
                 None => {
-                    a64 = a_raw.iter().map(|&x| x as f64).collect();
+                    // Widen exactly into a dense column-major buffer (the
+                    // one remaining copy of the f32 batched path; the f64
+                    // path is copy-free end to end).
+                    a64 = match a_raw.as_col_major_slice() {
+                        Some(s) => s.iter().map(|&x| x as f64).collect(),
+                        None => {
+                            let (m, k) = a_raw.shape();
+                            let mut out = Vec::with_capacity(m * k);
+                            for j in 0..k {
+                                for i in 0..m {
+                                    out.push(a_raw.get(i, j) as f64);
+                                }
+                            }
+                            out
+                        }
+                    };
                     OperandInput::Raw(&a64)
                 }
             };

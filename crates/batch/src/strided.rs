@@ -4,9 +4,12 @@
 //! matrices of identical shape, matrix `i` starting at `i * stride`.
 //! `stride = 0` broadcasts a single matrix to every item — the idiomatic
 //! way to express a shared operand (and what lets the runtime prepare it
-//! exactly once).
+//! exactly once). Each matrix may additionally carry a leading dimension
+//! `ld > rows` ([`StridedBatch::with_ld`]): items are then windows of a
+//! larger parent allocation and are handed to the pipeline as borrowed
+//! [`MatView`]s — never copied into owned matrices.
 
-use gemm_dense::{MatF32, MatF64};
+use gemm_dense::{MatF32, MatF64, MatView};
 
 /// A strided batch of column-major matrices over a borrowed element slice.
 #[derive(Clone, Copy, Debug)]
@@ -14,6 +17,8 @@ pub struct StridedBatch<'a, T> {
     data: &'a [T],
     rows: usize,
     cols: usize,
+    /// Per-matrix leading dimension (`rows` for dense items).
+    ld: usize,
     stride: usize,
     count: usize,
 }
@@ -32,13 +37,38 @@ impl<'a, T> StridedBatch<'a, T> {
     /// If a nonzero stride is below the matrix footprint or `data` cannot
     /// hold `count` matrices.
     pub fn new(data: &'a [T], rows: usize, cols: usize, stride: usize, count: usize) -> Self {
+        Self::with_ld(data, rows, cols, rows, stride, count)
+    }
+
+    /// [`StridedBatch::new`] with an explicit per-matrix leading
+    /// dimension: element `(i, j)` of item `t` lives at
+    /// `data[t * stride + i + j * ld]`. Items with `ld > rows` (windows
+    /// of a parent buffer) run through the pipeline as zero-copy strided
+    /// views.
+    ///
+    /// # Panics
+    /// If `ld < rows`, a nonzero stride is below the item footprint, or
+    /// `data` cannot hold `count` items.
+    pub fn with_ld(
+        data: &'a [T],
+        rows: usize,
+        cols: usize,
+        ld: usize,
+        stride: usize,
+        count: usize,
+    ) -> Self {
+        assert!(ld >= rows, "leading dimension {ld} below rows {rows}");
+        let footprint = if rows == 0 || cols == 0 {
+            0
+        } else {
+            (cols - 1) * ld + rows
+        };
         assert!(
-            stride == 0 || stride >= rows * cols,
-            "stride {stride} below matrix footprint {}",
-            rows * cols
+            stride == 0 || stride >= footprint,
+            "stride {stride} below matrix footprint {footprint}"
         );
         if count > 0 {
-            let need = (count - 1) * stride + rows * cols;
+            let need = (count - 1) * stride + footprint;
             assert!(
                 data.len() >= need,
                 "batch data too short: {} < {need}",
@@ -49,6 +79,7 @@ impl<'a, T> StridedBatch<'a, T> {
             data,
             rows,
             cols,
+            ld,
             stride,
             count,
         }
@@ -70,6 +101,12 @@ impl<'a, T> StridedBatch<'a, T> {
         self.cols
     }
 
+    /// Per-matrix leading dimension (`rows` unless built with
+    /// [`StridedBatch::with_ld`]).
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
     /// Element stride between consecutive matrices (`0` = broadcast).
     pub fn stride(&self) -> usize {
         self.stride
@@ -85,10 +122,38 @@ impl<'a, T> StridedBatch<'a, T> {
         self.stride == 0
     }
 
+    /// Whether items are dense column-major blocks (`ld == rows`).
+    pub fn is_contiguous(&self) -> bool {
+        self.ld == self.rows || self.cols <= 1
+    }
+
     /// Column-major element slice of item `i`.
+    ///
+    /// # Panics
+    /// If `i` is out of range or the items carry a leading dimension
+    /// (`ld > rows`) — use [`StridedBatch::view`] for those.
     pub fn item(&self, i: usize) -> &'a [T] {
         assert!(i < self.count, "item {i} out of {}", self.count);
+        assert!(
+            self.is_contiguous(),
+            "item() on an ld-strided batch; use view()"
+        );
         &self.data[i * self.stride..i * self.stride + self.rows * self.cols]
+    }
+}
+
+impl<'a, T: Copy> StridedBatch<'a, T> {
+    /// Borrowed strided view of item `i` — the canonical, copy-free item
+    /// accessor (works for dense and `ld`-strided batches alike).
+    pub fn view(&self, i: usize) -> MatView<'a, T> {
+        assert!(i < self.count, "item {i} out of {}", self.count);
+        MatView::new(
+            &self.data[i * self.stride..],
+            self.rows,
+            self.cols,
+            self.ld.max(1),
+            gemm_dense::Layout::ColMajor,
+        )
     }
 }
 
@@ -136,6 +201,38 @@ mod tests {
         let b = StridedBatchF64::new(&data, 2, 3, 10, 4);
         assert_eq!(b.item(1).len(), 6);
         assert_eq!(b.item(3).as_ptr(), data[30..].as_ptr());
+    }
+
+    #[test]
+    fn ld_strided_items_are_views() {
+        // 3 items, each a 2x3 window with ld 4 inside its own block.
+        let (ld, stride) = (4usize, 4 * 3);
+        let data: Vec<f64> = (0..stride * 3).map(|i| i as f64).collect();
+        let b = StridedBatchF64::with_ld(&data, 2, 3, ld, stride, 3);
+        assert!(!b.is_contiguous());
+        assert_eq!(b.ld(), 4);
+        let v = b.view(1);
+        assert_eq!(v.shape(), (2, 3));
+        assert_eq!(v.get(1, 2), (stride + 1 + 2 * ld) as f64);
+        assert!(v.as_col_major_slice().is_none());
+        // Dense batches expose contiguous views.
+        let dense = StridedBatchF64::packed(&data, 2, 3, 2);
+        assert!(dense.view(1).as_col_major_slice().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "use view()")]
+    fn item_rejects_ld_strided() {
+        let data = vec![0f64; 64];
+        let b = StridedBatchF64::with_ld(&data, 2, 3, 4, 16, 2);
+        let _ = b.item(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below rows")]
+    fn rejects_undersized_ld() {
+        let data = vec![0f64; 64];
+        let _ = StridedBatchF64::with_ld(&data, 4, 3, 3, 16, 2);
     }
 
     #[test]

@@ -56,6 +56,48 @@ proptest! {
         }
     }
 
+    /// `ld`-strided batches (items are windows of a parent allocation,
+    /// `ld > rows`) run zero-copy through the view path and match the
+    /// per-item emulator bitwise. The inter-column gaps are poisoned with
+    /// NaN: the pipeline must never read a non-logical element.
+    #[test]
+    fn ld_strided_batch_matches_sequential(
+        count in 1usize..=9,
+        m in 1usize..=14,
+        n in 1usize..=12,
+        k in 1usize..=20,
+        nmod in 4usize..=15,
+        ldpad in 1usize..5,
+        accurate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let ld = m + ldpad;
+        let footprint = (k - 1) * ld + m;
+        let stride = footprint + 3;
+        let a_mats: Vec<MatF64> =
+            (0..count).map(|i| phi_matrix_f64(m, k, 0.6, seed + i as u64, 0)).collect();
+        let mut a_data = vec![f64::NAN; (count - 1) * stride + footprint];
+        for (t, mat) in a_mats.iter().enumerate() {
+            for j in 0..k {
+                for i in 0..m {
+                    a_data[t * stride + i + j * ld] = mat[(i, j)];
+                }
+            }
+        }
+        let b = phi_matrix_f64(k, n, 0.6, seed + 500, 1);
+        let mode = if accurate { Mode::Accurate } else { Mode::Fast };
+        let runtime = BatchedOzaki2::new(nmod, mode);
+        let got = runtime.dgemm_batched(
+            &StridedBatchF64::with_ld(&a_data, m, k, ld, stride, count),
+            &StridedBatchF64::broadcast(&b, count),
+        );
+        let emu = Ozaki2::new(nmod, mode);
+        for i in 0..count {
+            let want = emu.dgemm(&a_mats[i], &b);
+            prop_assert_eq!(&got[i], &want, "item {} (ld {} mode {:?})", i, ld, mode);
+        }
+    }
+
     /// Shared-B (weight-stationary) and shared-A broadcasts reuse one
     /// preparation and still match bitwise.
     #[test]

@@ -68,9 +68,9 @@ fn bench_phases(c: &mut Criterion) {
     group.bench_function("trunc_convert_fused (lines 2-5)", |bench| {
         bench.iter(|| {
             trunc_convert_pack_panels(
-                TruncSource::RowsColMajor {
-                    data: a.as_slice(),
-                    rows: N,
+                TruncSource::Gathered {
+                    data: ozaki2::ElemSlice::F64(a.as_slice()),
+                    ld: N,
                     exps: &exps_a,
                 },
                 N,

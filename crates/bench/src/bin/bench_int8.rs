@@ -34,7 +34,7 @@ use gemm_engine::{
 use ozaki2::accumulate::{fold_kernel_name, fold_planes, FoldPrecision};
 use ozaki2::convert::{convert_kernel_name, convert_pack_panels, rmod_to_i8, steps_for};
 use ozaki2::scale::{fast_scale_rows, scale_by_pow2, scale_trunc_a_rowmajor, trunc_kernel_name};
-use ozaki2::{constants, Mode, Ozaki2, Workspace};
+use ozaki2::{constants, GemmArgs, GemmOp, Mode, Ozaki2, Workspace};
 use std::io::Write;
 use std::time::Instant;
 
@@ -248,6 +248,30 @@ fn main() {
     let total = report.phases.total().as_secs_f64().max(1e-12);
     let phase_rows = report.phases.as_rows();
 
+    // BLAS-surface transposed operand: C = A · Bᵀ at pn³ via the view
+    // facade (zero-copy transpose flip) vs the historical materialize
+    // path (owned transpose copy fed to the plain pipeline). Bitwise
+    // equality is asserted before the timing counts for anything.
+    let bt = phi_matrix_f64(pn, pn, 0.5, 43, 1); // stored as Bᵀ (n x k)
+    let mut c_mat = MatF64::zeros(pn, pn);
+    let mut c_view = MatF64::zeros(pn, pn);
+    let t_blas_mat = time_best(reps, || {
+        let b_eff = bt.transpose();
+        emu.try_dgemm_into_ws(&pa, &b_eff, &mut c_mat, &mut pws)
+            .expect("materialize path");
+    });
+    let t_blas_view = time_best(reps, || {
+        emu.gemm_into(
+            GemmArgs::new(&pa, &bt)
+                .trans_b(GemmOp::T)
+                .workspace(&mut pws),
+            c_view.view_mut(),
+        )
+        .expect("view path");
+    });
+    assert_eq!(c_view, c_mat, "view path must stay bit-identical");
+    let blas_view_speedup = t_blas_mat / t_blas_view;
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"shape\": [{n}, {n}, {n}],\n"));
@@ -284,6 +308,11 @@ fn main() {
     // with W workers the small-item case additionally scales ~W-fold.
     json.push_str(&format!(
         "  \"batched\": {{\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"shared64\": {{\n      \"shape\": [64, 64, 64],\n      \"items\": 256,\n      \"shared64_items_per_s\": {shared64_items_per_s:.3},\n      \"shared64_speedup_vs_naive\": {shared64_speedup:.3}\n    }},\n    \"large256\": {{\n      \"shape\": [256, 256, 256],\n      \"items\": 16,\n      \"large256_items_per_s\": {large256_items_per_s:.3},\n      \"large256_speedup_vs_naive\": {large256_speedup:.3}\n    }}\n  }},\n"
+    ));
+    json.push_str(&format!(
+        "  \"blas_view\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": 15,\n    \"transposed_b_materialize_ms\": {:.3},\n    \"transposed_b_view_ms\": {:.3},\n    \"blas_view_speedup_vs_materialize\": {blas_view_speedup:.3}\n  }},\n",
+        t_blas_mat * 1e3,
+        t_blas_view * 1e3
     ));
     json.push_str(&format!(
         "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"end_to_end_ms\": {end_to_end_ms:.3},\n    \"phase_seconds\": {{\n",
@@ -348,6 +377,12 @@ fn main() {
         "  shared-B 64^3 x256 : {shared64_items_per_s:8.1} items/s  ({shared64_speedup:.2}x)\n  large 256^3 x16    : {large256_items_per_s:8.1} items/s  ({large256_speedup:.2}x)"
     );
     println!("pipeline @ {pn}^3, N=15: {end_to_end_ms:.1} ms end-to-end (steady state)");
+    println!("blas transposed-B @ {pn}^3, N=15 (view facade vs materialize)");
+    println!(
+        "  materialize : {:8.1} ms\n  view        : {:8.1} ms\n  speedup     : {blas_view_speedup:8.2}x",
+        t_blas_mat * 1e3,
+        t_blas_view * 1e3
+    );
     println!("wrote {out_path}");
 
     // ---- CI perf-regression gate -----------------------------------------
@@ -408,6 +443,15 @@ fn main() {
                 name: "large256_speedup_vs_naive",
                 current: large256_speedup,
                 baseline: pull("large256_speedup_vs_naive"),
+                higher_is_better: true,
+            },
+            // The view facade must keep beating (or matching) the
+            // transpose-materialize path it replaced; a regression here
+            // means an operand copy crept back into the BLAS surface.
+            GateMetric {
+                name: "blas_view_speedup_vs_materialize",
+                current: blas_view_speedup,
+                baseline: pull("blas_view_speedup_vs_materialize"),
                 higher_is_better: true,
             },
         ];

@@ -1,15 +1,15 @@
 //! BLAS-compatible surface: `C ← α·op(A)·op(B) + β·C` with transpose
 //! options, mirroring the `cublasGemmEx` signature GEMMul8 slots into.
 //!
-//! Untransposed operands are borrowed as-is (no copy); a transposed
-//! operand is materialised once (cache-blocked copy) and fed to the
-//! standard pipeline — the emulation itself is layout-agnostic, so this
-//! keeps the kernel surface small at the cost of one extra pass over the
-//! transposed operand, which is already far below the conversion traffic.
+//! A thin delegate of the unified view facade ([`crate::facade`]): the
+//! transpose options become **zero-copy** view flips, so no operand is
+//! ever cloned or materialised — transposed or not — and the `α`/`β`
+//! epilogue runs inside the facade's fold tail.
 
+use crate::element::Element;
+use crate::facade::GemmArgs;
 use crate::pipeline::Ozaki2;
 use gemm_dense::{MatF32, MatF64, Matrix};
-use std::borrow::Cow;
 
 /// Operand transpose option (BLAS `trans` parameter).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,18 +20,48 @@ pub enum GemmOp {
     T,
 }
 
-fn apply_op_f64(a: &MatF64, op: GemmOp) -> Cow<'_, MatF64> {
-    match op {
-        GemmOp::N => Cow::Borrowed(a),
-        GemmOp::T => Cow::Owned(a.transpose()),
+impl GemmOp {
+    /// `(rows, cols)` of `op(X)` for an `r x c` operand.
+    fn shape(self, r: usize, c: usize) -> (usize, usize) {
+        match self {
+            GemmOp::N => (r, c),
+            GemmOp::T => (c, r),
+        }
     }
 }
 
-fn apply_op_f32(a: &MatF32, op: GemmOp) -> Cow<'_, MatF32> {
-    match op {
-        GemmOp::N => Cow::Borrowed(a),
-        GemmOp::T => Cow::Owned(a.transpose()),
+/// Shared element-generic BLAS body (both precisions delegate here).
+#[allow(clippy::too_many_arguments)]
+fn gemm_blas_generic<T: Element>(
+    emu: &Ozaki2,
+    trans_a: GemmOp,
+    trans_b: GemmOp,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    beta: T,
+    c: &mut Matrix<T>,
+) {
+    let (ma, _) = trans_a.shape(a.rows(), a.cols());
+    let (_, nb) = trans_b.shape(b.rows(), b.cols());
+    assert_eq!((ma, nb), c.shape(), "output shape mismatch");
+    if alpha == T::ZERO {
+        // BLAS semantics: skip the product entirely (the operands may
+        // even be degenerate).
+        for x in c.as_mut_slice() {
+            *x = beta * *x;
+        }
+        return;
     }
+    emu.gemm_into(
+        GemmArgs::new(a, b)
+            .trans_a(trans_a)
+            .trans_b(trans_b)
+            .alpha(alpha)
+            .beta(beta),
+        c.view_mut(),
+    )
+    .unwrap_or_else(|e| panic!("gemm_blas: {e}"));
 }
 
 impl Ozaki2 {
@@ -39,7 +69,8 @@ impl Ozaki2 {
     /// `C ← alpha · op(A) · op(B) + beta · C`.
     ///
     /// # Panics
-    /// If shapes are inconsistent after applying the transpose options.
+    /// If shapes are inconsistent after applying the transpose options,
+    /// or on non-finite input.
     #[allow(clippy::too_many_arguments)]
     pub fn dgemm_blas(
         &self,
@@ -51,23 +82,7 @@ impl Ozaki2 {
         beta: f64,
         c: &mut MatF64,
     ) {
-        let a_eff = apply_op_f64(a, trans_a);
-        let b_eff = apply_op_f64(b, trans_b);
-        assert_eq!(
-            (a_eff.rows(), b_eff.cols()),
-            c.shape(),
-            "output shape mismatch"
-        );
-        if alpha == 0.0 {
-            for x in c.as_mut_slice() {
-                *x *= beta;
-            }
-            return;
-        }
-        let prod = self.dgemm(&a_eff, &b_eff);
-        for (out, &p) in c.as_mut_slice().iter_mut().zip(prod.as_slice()) {
-            *out = alpha * p + beta * *out;
-        }
+        gemm_blas_generic(self, trans_a, trans_b, alpha, a, b, beta, c);
     }
 
     /// Full BLAS semantics for SGEMM:
@@ -83,23 +98,7 @@ impl Ozaki2 {
         beta: f32,
         c: &mut MatF32,
     ) {
-        let a_eff = apply_op_f32(a, trans_a);
-        let b_eff = apply_op_f32(b, trans_b);
-        assert_eq!(
-            (a_eff.rows(), b_eff.cols()),
-            c.shape(),
-            "output shape mismatch"
-        );
-        if alpha == 0.0 {
-            for x in c.as_mut_slice() {
-                *x *= beta;
-            }
-            return;
-        }
-        let prod = self.sgemm(&a_eff, &b_eff);
-        for (out, &p) in c.as_mut_slice().iter_mut().zip(prod.as_slice()) {
-            *out = alpha * p + beta * *out;
-        }
+        gemm_blas_generic(self, trans_a, trans_b, alpha, a, b, beta, c);
     }
 }
 
@@ -153,19 +152,25 @@ mod tests {
     }
 
     #[test]
-    fn untransposed_operands_are_borrowed() {
-        let a = phi_matrix_f64(4, 5, 0.5, 1, 0);
-        let b = phi_matrix_f64(5, 3, 0.5, 1, 1);
-        match apply_op_f64(&a, GemmOp::N) {
-            std::borrow::Cow::Borrowed(r) => {
-                assert!(std::ptr::eq(r, &a), "N must borrow the original")
-            }
-            std::borrow::Cow::Owned(_) => panic!("GemmOp::N must not copy the operand"),
+    fn blas_equals_facade_on_all_transpose_options() {
+        // The BLAS surface is a thin delegate of the facade: every
+        // (trans_a, trans_b) combination must equal the plain pipeline on
+        // the effective operands, bitwise — with no materialization on
+        // any path (the facade flips views instead of copying).
+        let a = phi_matrix_f64(7, 9, 0.5, 4, 0);
+        let b = phi_matrix_f64(9, 5, 0.5, 4, 1);
+        let emu = Ozaki2::new(13, Mode::Fast);
+        let want = emu.dgemm(&a, &b);
+        for (ta, tb, al, bl) in [
+            (GemmOp::N, GemmOp::N, &a, &b),
+            (GemmOp::T, GemmOp::N, &a.transpose(), &b),
+            (GemmOp::N, GemmOp::T, &a, &b.transpose()),
+            (GemmOp::T, GemmOp::T, &a.transpose(), &b.transpose()),
+        ] {
+            let mut c = MatF64::zeros(7, 5);
+            emu.dgemm_blas(ta, tb, 1.0, al, bl, 0.0, &mut c);
+            assert_eq!(c, want, "{ta:?} {tb:?}");
         }
-        assert!(matches!(
-            apply_op_f64(&b, GemmOp::T),
-            std::borrow::Cow::Owned(_)
-        ));
     }
 
     #[test]

@@ -317,36 +317,90 @@ pub fn rmod_row(
 // Fused trunc+convert -> packed-panel emission
 // ---------------------------------------------------------------------------
 
+/// Strided element data for the fused sweep: native f64, or f32 widened
+/// **exactly** while gathered into the staging tile (so an f32 operand is
+/// never materialised at f64 width — the element-generic facade's
+/// zero-copy guarantee extends to SGEMM).
+#[derive(Clone, Copy)]
+pub enum ElemSlice<'a> {
+    /// f64 elements.
+    F64(&'a [f64]),
+    /// f32 elements (widened per lane on gather; widening is exact, so
+    /// the residues are bit-identical to a pre-widened f64 pass).
+    F32(&'a [f32]),
+}
+
+impl ElemSlice<'_> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ElemSlice::F64(d) => d.len(),
+            ElemSlice::F32(d) => d.len(),
+        }
+    }
+
+    /// Whether the slice holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gather `tmp.len()` elements starting at `start` with element
+    /// stride `stride`, widening f32 lanes exactly.
+    #[inline]
+    fn gather_strided(&self, tmp: &mut [f64], start: usize, stride: usize) {
+        match self {
+            ElemSlice::F64(d) => {
+                for (t, idx) in tmp.iter_mut().zip((start..).step_by(stride.max(1))) {
+                    *t = d[idx];
+                }
+            }
+            ElemSlice::F32(d) => {
+                for (t, idx) in tmp.iter_mut().zip((start..).step_by(stride.max(1))) {
+                    *t = d[idx] as f64;
+                }
+            }
+        }
+    }
+}
+
 /// Where the fused trunc+convert sweep reads its `k`-vectors from.
 ///
-/// The `RowsColMajor` / `ColsColMajor` variants fuse Algorithm 1 lines 2–3
-/// (the diagonal scale + truncation) into the convert sweep: each operand
-/// tile is read from DRAM exactly once for scale + reduce + pack, and the
-/// intermediate integer matrices `A'`, `B'` never exist in memory.
+/// The `Gathered` / `Contiguous` variants fuse Algorithm 1 lines 2–3 (the
+/// diagonal scale + truncation) into the convert sweep: each operand tile
+/// is read from DRAM exactly once for scale + reduce + pack, and the
+/// intermediate integer matrices `A'`, `B'` never exist in memory. Both
+/// take a leading dimension, so any strided [`gemm_dense::MatView`] — any
+/// layout, any transpose, any submatrix — feeds the sweep with **zero
+/// copies**: rows-of-`A` from a column-major view and columns-of-`B` from
+/// a row-major view are `Gathered`; the two opposite pairings are
+/// `Contiguous`.
 #[derive(Clone, Copy)]
 pub enum TruncSource<'a> {
     /// Already scaled+truncated integer-valued vectors, vector `v` at
     /// `v * k` (the layout [`crate::scale::scale_trunc_a_rowmajor`] /
     /// [`crate::scale::scale_trunc_b_colmajor`] emit).
     Pretruncated(&'a [f64]),
-    /// Rows of a column-major `rows × k` matrix (operand `A`): vector `v`
-    /// is row `v`, scaled by `2^{exps[v]}` and truncated on the fly — the
-    /// fused transpose gather.
-    RowsColMajor {
-        /// Column-major matrix data (`rows * k` elements).
-        data: &'a [f64],
-        /// Number of rows (the leading dimension).
-        rows: usize,
-        /// Per-row scale exponents (`rows` entries).
+    /// Strided gather: vector `v` element `h` at `data[h * ld + v]`
+    /// (rows of a column-major operand, or columns of a row-major one),
+    /// scaled by `2^{exps[v]}` and truncated on the fly — the fused
+    /// transpose gather.
+    Gathered {
+        /// Strided element data (`(k-1) * ld + vecs` elements at least).
+        data: ElemSlice<'a>,
+        /// Leading dimension: the element stride between consecutive `h`.
+        ld: usize,
+        /// Per-vector scale exponents (`vecs` entries).
         exps: &'a [i32],
     },
-    /// Columns of a column-major `k × cols` matrix (operand `B`): vector
-    /// `v` is column `v` (contiguous), scaled by `2^{exps[v]}` and
-    /// truncated on the fly.
-    ColsColMajor {
-        /// Column-major matrix data (`k * cols` elements).
-        data: &'a [f64],
-        /// Per-column scale exponents (`cols` entries).
+    /// Contiguous vectors: vector `v` element `h` at `data[v * ld + h]`
+    /// (columns of a column-major operand, or rows of a row-major one),
+    /// scaled by `2^{exps[v]}` and truncated on the fly.
+    Contiguous {
+        /// Strided element data (`(vecs-1) * ld + k` elements at least).
+        data: ElemSlice<'a>,
+        /// Leading dimension: the element stride between vectors.
+        ld: usize,
+        /// Per-vector scale exponents (`vecs` entries).
         exps: &'a [i32],
     },
 }
@@ -440,12 +494,14 @@ pub fn convert_pack_panels(
 /// The fused trunc+convert phase (Algorithm 1 lines 2–5 + engine packing).
 ///
 /// Generalizes [`convert_pack_panels`] to read directly from the *unscaled*
-/// operand matrices ([`TruncSource::RowsColMajor`] /
-/// [`TruncSource::ColsColMajor`]): each cache-resident operand tile is
-/// gathered (transposing for `A`), scaled by its power-of-two exponent,
+/// operand matrices ([`TruncSource::Gathered`] /
+/// [`TruncSource::Contiguous`], leading-dimension strided, f64 or exactly
+/// widened f32): each cache-resident operand tile is gathered (transposing
+/// where the layout demands it), scaled by its power-of-two exponent,
 /// truncated, reduced against all `N` moduli and written as packed i16
 /// panels in one DRAM pass — the intermediate integer matrices of the
-/// unfused pipeline never exist.
+/// unfused pipeline never exist, and neither does any layout-normalised
+/// copy of a strided operand view.
 ///
 /// The scale+trunc inner kernels ([`crate::scale::strunc_row`]) and the
 /// `rmod` row kernels are independently runtime-dispatched and each
@@ -479,13 +535,18 @@ pub fn trunc_convert_pack_panels(
         TruncSource::Pretruncated(data) => {
             assert!(data.len() >= vecs * k, "source buffer too short");
         }
-        TruncSource::RowsColMajor { data, rows, exps } => {
-            assert!(rows >= vecs, "row count below vector count");
-            assert!(data.len() >= rows * k, "source buffer too short");
+        TruncSource::Gathered { data, ld, exps } => {
+            assert!(ld >= vecs, "leading dimension below vector count");
+            if vecs > 0 && k > 0 {
+                assert!(data.len() >= (k - 1) * ld + vecs, "source buffer too short");
+            }
             assert!(exps.len() >= vecs, "exponent vector too short");
         }
-        TruncSource::ColsColMajor { data, exps } => {
-            assert!(data.len() >= vecs * k, "source buffer too short");
+        TruncSource::Contiguous { data, ld, exps } => {
+            assert!(ld >= k, "leading dimension below depth");
+            if vecs > 0 && k > 0 {
+                assert!(data.len() >= (vecs - 1) * ld + k, "source buffer too short");
+            }
             assert!(exps.len() >= vecs, "exponent vector too short");
         }
     }
@@ -564,30 +625,35 @@ fn convert_job(
             let len = CONVERT_DEPTH_BLOCK.min(k - off);
             let xs: &[f64] = match src {
                 TruncSource::Pretruncated(data) => &data[v * k + off..v * k + off + len],
-                TruncSource::RowsColMajor { data, rows, exps } => {
+                TruncSource::Gathered { data, ld, exps } => {
                     let t0 = timing.map(|_| Instant::now());
                     let (s1, s2) = pow2_split(exps[v]);
                     // Fused transpose gather: strided source, contiguous
-                    // tile. Consecutive vectors of this job re-hit the same
-                    // source cache lines while they are still resident.
-                    for (t, h) in tmp[..len].iter_mut().zip(off..) {
-                        *t = data[h * rows + v];
-                    }
+                    // tile (f32 lanes widen exactly here). Consecutive
+                    // vectors of this job re-hit the same source cache
+                    // lines while they are still resident.
+                    data.gather_strided(&mut tmp[..len], off * ld + v, ld);
                     strunc_row_inplace(&mut tmp[..len], s1, s2);
                     if let Some(t0) = t0 {
                         trunc_ns += t0.elapsed().as_nanos() as u64;
                     }
                     &tmp[..len]
                 }
-                TruncSource::ColsColMajor { data, exps } => {
+                TruncSource::Contiguous { data, ld, exps } => {
                     let t0 = timing.map(|_| Instant::now());
                     let (s1, s2) = pow2_split(exps[v]);
-                    strunc_row(
-                        &data[v * k + off..v * k + off + len],
-                        &mut tmp[..len],
-                        s1,
-                        s2,
-                    );
+                    match data {
+                        ElemSlice::F64(d) => strunc_row(
+                            &d[v * ld + off..v * ld + off + len],
+                            &mut tmp[..len],
+                            s1,
+                            s2,
+                        ),
+                        ElemSlice::F32(_) => {
+                            data.gather_strided(&mut tmp[..len], v * ld + off, 1);
+                            strunc_row_inplace(&mut tmp[..len], s1, s2);
+                        }
+                    }
                     if let Some(t0) = t0 {
                         trunc_ns += t0.elapsed().as_nanos() as u64;
                     }
@@ -952,9 +1018,9 @@ mod tests {
                 let mut got = vec![-1i16; nmod * vecs_pad * kp];
                 let timing = ConvertTiming::new();
                 trunc_convert_pack_panels(
-                    TruncSource::RowsColMajor {
-                        data: a.as_slice(),
-                        rows: vecs,
+                    TruncSource::Gathered {
+                        data: ElemSlice::F64(a.as_slice()),
+                        ld: vecs,
                         exps: &exps_a,
                     },
                     vecs,
@@ -993,8 +1059,9 @@ mod tests {
             for parallel in [false, true] {
                 let mut got = vec![-1i16; nmod * vecs_pad_b * kp];
                 trunc_convert_pack_panels(
-                    TruncSource::ColsColMajor {
-                        data: b.as_slice(),
+                    TruncSource::Contiguous {
+                        data: ElemSlice::F64(b.as_slice()),
+                        ld: k,
                         exps: &exps_b,
                     },
                     vecs,

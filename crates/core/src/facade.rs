@@ -1,0 +1,854 @@
+//! The unified view-based GEMM facade: one element-generic entry point
+//! over borrowed strided operands, plus accuracy-driven construction.
+//!
+//! This module is the public face of the redesigned API:
+//!
+//! * [`Ozaki2::gemm`] / [`Ozaki2::gemm_into`] — **one** canonical entry
+//!   per output policy, generic over the sealed [`Element`] precisions
+//!   (`f64`, `f32`). Operands are [`MatView`]s: any layout, leading
+//!   dimension, or transpose feeds the fused trunc+convert sweep with
+//!   **zero copies** — the historical `dgemm`/`sgemm`/`*_blas` entries
+//!   are thin wrappers over this body and stay bit-identical.
+//! * [`GemmArgs`] — the argument bundle (`trans`/`alpha`/`beta`, optional
+//!   reusable [`Workspace`], optional [`EmulationReport`] sink), built
+//!   fluently.
+//! * [`Ozaki2::builder`] / [`Accuracy`] — construct an emulator from an
+//!   accuracy *target* instead of a raw moduli count, resolving `N`
+//!   through the a-priori model in [`crate::nselect`] (with a typed
+//!   [`EmulationError::AccuracyUnreachable`] when no supported `N`
+//!   reaches the target).
+
+use crate::blas::GemmOp;
+use crate::consts::{constants, Constants};
+use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
+use crate::element::Element;
+use crate::moduli::N_MAX;
+use crate::nselect;
+use crate::pipeline::{
+    execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace,
+};
+use crate::scale::{accurate_scale_view, fast_scale_a_view, fast_scale_b_view};
+use gemm_dense::{Layout, MatView, MatViewMut, Matrix};
+use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// GemmArgs / GemmOut
+// ---------------------------------------------------------------------------
+
+/// Argument bundle for the unified GEMM facade:
+/// `C ← alpha · op(A) · op(B) [+ beta · C]`.
+///
+/// Built fluently from two operand views; everything else defaults to the
+/// plain product (`op = N`, `alpha = 1`, `beta = 0`, fresh workspace, no
+/// report sink).
+///
+/// # Examples
+/// ```
+/// use ozaki2::{GemmArgs, Mode, Ozaki2};
+/// use gemm_dense::workload::phi_matrix_f64;
+///
+/// let a = phi_matrix_f64(16, 24, 0.5, 1, 0);
+/// let b = phi_matrix_f64(24, 12, 0.5, 1, 1);
+/// let emu = Ozaki2::new(15, Mode::Fast);
+/// let out = emu.gemm(GemmArgs::new(&a, &b)).unwrap();
+/// // The named wrapper is a thin delegate of the same body:
+/// assert_eq!(out.c, emu.dgemm(&a, &b));
+/// ```
+pub struct GemmArgs<'a, T: Element> {
+    pub(crate) a: MatView<'a, T>,
+    pub(crate) b: MatView<'a, T>,
+    pub(crate) trans_a: GemmOp,
+    pub(crate) trans_b: GemmOp,
+    pub(crate) alpha: T,
+    pub(crate) beta: T,
+    pub(crate) workspace: Option<&'a mut Workspace>,
+    pub(crate) report: Option<&'a mut Option<EmulationReport>>,
+}
+
+impl<'a, T: Element> GemmArgs<'a, T> {
+    /// Arguments for the plain product `A · B` (accepts `&Matrix<T>` or
+    /// any [`MatView`] — including strided / transposed ones).
+    pub fn new(a: impl Into<MatView<'a, T>>, b: impl Into<MatView<'a, T>>) -> Self {
+        Self {
+            a: a.into(),
+            b: b.into(),
+            trans_a: GemmOp::N,
+            trans_b: GemmOp::N,
+            alpha: T::ONE,
+            beta: T::ZERO,
+            workspace: None,
+            report: None,
+        }
+    }
+
+    /// Transpose option for `A` (zero-copy: flips the view, moves no
+    /// element).
+    pub fn trans_a(mut self, op: GemmOp) -> Self {
+        self.trans_a = op;
+        self
+    }
+
+    /// Transpose option for `B` (zero-copy).
+    pub fn trans_b(mut self, op: GemmOp) -> Self {
+        self.trans_b = op;
+        self
+    }
+
+    /// Scalar multiplier on the product (BLAS `alpha`; default `1`).
+    pub fn alpha(mut self, alpha: T) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Scalar multiplier on the existing output (BLAS `beta`; default `0`.
+    /// Only meaningful for [`Ozaki2::gemm_into`] — the allocating
+    /// [`Ozaki2::gemm`] starts from a zero output).
+    pub fn beta(mut self, beta: T) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Reuse a caller-owned [`Workspace`]: steady-state repeated calls
+    /// allocate nothing but the output (nothing at all with
+    /// [`Ozaki2::gemm_into`]).
+    pub fn workspace(mut self, ws: &'a mut Workspace) -> Self {
+        self.workspace = Some(ws);
+        self
+    }
+
+    /// Capture the per-phase [`EmulationReport`] into `sink` (also
+    /// returned by [`Ozaki2::gemm_into`]; the sink serves callers that
+    /// route the output elsewhere).
+    pub fn report(mut self, sink: &'a mut Option<EmulationReport>) -> Self {
+        self.report = Some(sink);
+        self
+    }
+
+    /// Effective operand views after the transpose options (zero-copy).
+    fn effective(&self) -> (MatView<'a, T>, MatView<'a, T>) {
+        let a = match self.trans_a {
+            GemmOp::N => self.a,
+            GemmOp::T => self.a.t(),
+        };
+        let b = match self.trans_b {
+            GemmOp::N => self.b,
+            GemmOp::T => self.b.t(),
+        };
+        (a, b)
+    }
+}
+
+/// Result of the allocating facade entry: the product and its per-phase
+/// report.
+#[derive(Clone, Debug)]
+pub struct GemmOut<T: Element> {
+    /// The computed product `alpha · op(A) · op(B)`.
+    pub c: Matrix<T>,
+    /// Per-phase wall-clock breakdown and INT8 GEMM count.
+    pub report: EmulationReport,
+}
+
+// ---------------------------------------------------------------------------
+// The facade entries
+// ---------------------------------------------------------------------------
+
+impl Ozaki2 {
+    /// The unified, element-generic, view-based GEMM:
+    /// `C = alpha · op(A) · op(B)` for `T ∈ {f64, f32}`, allocating the
+    /// output. Strided, transposed, and row-major operand views all run
+    /// with zero operand materialization; results are bit-identical to
+    /// the equivalent owned-matrix path.
+    ///
+    /// See [`GemmArgs`] for the argument bundle and [`Ozaki2::gemm_into`]
+    /// for the allocation-free form.
+    pub fn gemm<T: Element>(&self, args: GemmArgs<'_, T>) -> Result<GemmOut<T>, EmulationError> {
+        let (a, b) = args.effective();
+        let mut c = Matrix::<T>::zeros(a.rows(), b.cols());
+        let report = self.gemm_into(args, c.view_mut())?;
+        Ok(GemmOut { c, report })
+    }
+
+    /// [`Ozaki2::gemm`] into a caller-owned output view (column-major,
+    /// any leading dimension): `C ← alpha · op(A) · op(B) + beta · C`.
+    /// With a reused [`GemmArgs::workspace`] this is the fully
+    /// allocation-free steady state.
+    pub fn gemm_into<T: Element>(
+        &self,
+        args: GemmArgs<'_, T>,
+        out: MatViewMut<'_, T>,
+    ) -> Result<EmulationReport, EmulationError> {
+        let (a, b) = args.effective();
+        let GemmArgs {
+            alpha,
+            beta,
+            workspace,
+            report,
+            ..
+        } = args;
+        let mut local;
+        let ws: &mut Workspace = match workspace {
+            Some(w) => w,
+            None => {
+                local = Workspace::new();
+                &mut local
+            }
+        };
+        let rep = emulate_view_into(
+            a,
+            b,
+            self.n_moduli(),
+            self.mode(),
+            ws,
+            true,
+            alpha,
+            beta,
+            out,
+            true,
+        )?;
+        if let Some(sink) = report {
+            *sink = Some(rep.clone());
+        }
+        Ok(rep)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared view-based Algorithm-1 body
+// ---------------------------------------------------------------------------
+
+/// Map an effective operand view to its fused-sweep source: rows of `A`
+/// (`vectors_are_rows`) or columns of `B`, each either contiguous or a
+/// strided gather depending on the view's layout — never a copy.
+pub(crate) fn vectors_source<'s, T: Element>(
+    v: &MatView<'s, T>,
+    vectors_are_rows: bool,
+    exps: &'s [i32],
+) -> TruncSource<'s> {
+    let data = T::elem_slice(v.data());
+    let contiguous = matches!(
+        (vectors_are_rows, v.layout()),
+        (true, Layout::RowMajor) | (false, Layout::ColMajor)
+    );
+    if contiguous {
+        TruncSource::Contiguous {
+            data,
+            ld: v.ld(),
+            exps,
+        }
+    } else {
+        TruncSource::Gathered {
+            data,
+            ld: v.ld(),
+            exps,
+        }
+    }
+}
+
+/// Finiteness check over a view (contiguous fast path either layout).
+pub(crate) fn validate_view<T: Element>(v: &MatView<'_, T>) -> Result<(), EmulationError> {
+    let contiguous = v
+        .as_col_major_slice()
+        .or_else(|| v.t().as_col_major_slice());
+    if let Some(s) = contiguous {
+        if s.iter().all(|x| x.is_finite_elem()) {
+            return Ok(());
+        }
+        return Err(EmulationError::NonFiniteInput);
+    }
+    for j in 0..v.cols() {
+        for i in 0..v.rows() {
+            if !v.get(i, j).is_finite_elem() {
+                return Err(EmulationError::NonFiniteInput);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The canonical Algorithm-1 body over borrowed strided views — **every**
+/// public GEMM entry (named wrappers, BLAS surface, plans, the batched
+/// runtime's raw sides) funnels here or into the same
+/// [`execute_panels`] back half, which is what keeps the whole surface
+/// bit-identical.
+///
+/// `checked` gates the input validation (moduli range and finiteness);
+/// wrappers that validated already pass `false`. Shape consistency is
+/// always enforced. The fold writes straight into `out` on the plain
+/// contiguous f64 path; otherwise it lands in the workspace staging
+/// buffer and the `alpha`/`beta` epilogue (or the exact f32 narrowing)
+/// runs per column.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emulate_view_into<T: Element>(
+    a: MatView<'_, T>,
+    b: MatView<'_, T>,
+    n_moduli: usize,
+    mode: Mode,
+    ws: &mut Workspace,
+    parallel: bool,
+    alpha: T,
+    beta: T,
+    mut out: MatViewMut<'_, T>,
+    checked: bool,
+) -> Result<EmulationReport, EmulationError> {
+    if checked && n_moduli > T::N_MAX {
+        return Err(EmulationError::UnsupportedN {
+            n: n_moduli,
+            max: T::N_MAX,
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if b.rows() != k || out.shape() != (m, n) {
+        return Err(EmulationError::ShapeMismatch);
+    }
+    if checked {
+        validate_view(&a)?;
+        validate_view(&b)?;
+    }
+    let consts: &Constants = constants(n_moduli);
+    let nmod = consts.n;
+    let plain = alpha == T::ONE && beta == T::ZERO;
+    let mut phases = PhaseTimes::default();
+    let mut gemm_calls = 0usize;
+
+    if m == 0 || n == 0 || k == 0 {
+        for j in 0..n {
+            for c in out.col_mut(j) {
+                *c = if plain {
+                    T::ZERO
+                } else {
+                    alpha * T::ZERO + beta * *c
+                };
+            }
+        }
+        return Ok(EmulationReport {
+            shape: (m, n, k),
+            n_moduli: nmod,
+            mode,
+            phases,
+            int8_gemm_calls: 0,
+        });
+    }
+
+    // ---- Line 1: scale vectors ------------------------------------------
+    let t0 = Instant::now();
+    let (exps_a, exps_b) = match mode {
+        Mode::Fast => (
+            fast_scale_a_view(&a, consts.p_fast),
+            fast_scale_b_view(&b, consts.p_fast),
+        ),
+        Mode::Accurate => {
+            gemm_calls += 1; // the Ā·B̄ estimation GEMM
+            accurate_scale_view(&a, &b, consts.p_accu)
+        }
+    };
+    phases.scale = t0.elapsed();
+
+    // ---- Lines 2–5: fused trunc+convert straight from the views ---------
+    let t0 = Instant::now();
+    ws.reserve(m, n, k, nmod);
+    let direct_fold = plain && out.is_contiguous_col_major() && T::IS_F64;
+    if !direct_fold {
+        ws.reserve_stage(m * n);
+    }
+    let (a16, b16, u, c32, racc, cstage) = ws.all_buffers();
+    let kp = padded_depth(k);
+    let m_pad = padded_a_rows(m);
+    let n_pad = padded_b_cols(n);
+    let timing = ConvertTiming::new();
+    let a16 = &mut a16[..nmod * m_pad * kp];
+    trunc_convert_pack_panels(
+        vectors_source(&a, true, &exps_a),
+        m,
+        m_pad,
+        k,
+        kp,
+        consts,
+        T::IS_F64,
+        parallel,
+        a16,
+        Some(&timing),
+    );
+    let b16 = &mut b16[..nmod * n_pad * kp];
+    trunc_convert_pack_panels(
+        vectors_source(&b, false, &exps_b),
+        n,
+        n_pad,
+        k,
+        kp,
+        consts,
+        T::IS_F64,
+        parallel,
+        b16,
+        Some(&timing),
+    );
+    let sweep = t0.elapsed();
+    phases.trunc = sweep.mul_f64(timing.trunc_fraction());
+    phases.convert = sweep.saturating_sub(phases.trunc);
+
+    // ---- Lines 6–12 over the packed panels -------------------------------
+    let mut folded_direct = false;
+    if direct_fold {
+        if let Some(slice) = out.as_col_major_slice_mut().and_then(T::as_f64_slice_mut) {
+            gemm_calls += execute_panels(
+                m,
+                n,
+                k,
+                consts,
+                T::IS_F64,
+                a16,
+                b16,
+                &exps_a,
+                &exps_b,
+                u,
+                c32,
+                racc,
+                parallel,
+                &mut slice[..m * n],
+                &mut phases,
+            );
+            folded_direct = true;
+        }
+    }
+    if !folded_direct {
+        let stage = &mut cstage[..m * n];
+        gemm_calls += execute_panels(
+            m,
+            n,
+            k,
+            consts,
+            T::IS_F64,
+            a16,
+            b16,
+            &exps_a,
+            &exps_b,
+            u,
+            c32,
+            racc,
+            parallel,
+            stage,
+            &mut phases,
+        );
+        // Narrow / scale / scatter into the output view. Counted as fold:
+        // it is the tail of lines 8–12 for these output shapes.
+        let t0 = Instant::now();
+        for j in 0..n {
+            let col = out.col_mut(j);
+            let stage_col = &stage[j * m..(j + 1) * m];
+            if plain {
+                for (c, &p) in col.iter_mut().zip(stage_col) {
+                    *c = T::from_f64(p);
+                }
+            } else {
+                for (c, &p) in col.iter_mut().zip(stage_col) {
+                    *c = alpha * T::from_f64(p) + beta * *c;
+                }
+            }
+        }
+        phases.fold += t0.elapsed();
+    }
+
+    Ok(EmulationReport {
+        shape: (m, n, k),
+        n_moduli: nmod,
+        mode,
+        phases,
+        int8_gemm_calls: gemm_calls,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Accuracy-driven construction
+// ---------------------------------------------------------------------------
+
+/// What the emulator should achieve, resolved to a moduli count `N` at
+/// build time (see [`Ozaki2Builder`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Accuracy {
+    /// An explicit moduli count (the historical `Ozaki2::new` knob).
+    FixedN(usize),
+    /// A normwise relative error target, resolved against the inner
+    /// dimension `k` through the a-priori model
+    /// ([`crate::nselect::choose_n_checked`]).
+    TargetError(f64),
+    /// DGEMM-level accuracy (`2^-52`) — resolves to `N = 15` at the
+    /// paper's §5.1 `k = 1024` operating point.
+    Fp64Equivalent,
+    /// SGEMM-level accuracy (`2^-23`), capped to the SGEMM pipeline's
+    /// supported moduli range.
+    Fp32Equivalent,
+}
+
+/// Builder for [`Ozaki2`]: accuracy target + [`Mode`] (+ the inner
+/// dimension `k` when the target is `k`-dependent).
+///
+/// # Examples
+/// ```
+/// use ozaki2::{Accuracy, Mode, Ozaki2};
+///
+/// // The paper's §5.1 sweet spot: DGEMM-level at k = 1024 → N = 15.
+/// let emu = Ozaki2::builder()
+///     .accuracy(Accuracy::TargetError(2f64.powi(-52)))
+///     .mode(Mode::Fast)
+///     .k(1024)
+///     .build()
+///     .unwrap();
+/// assert_eq!(emu.n_moduli(), 15);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ozaki2Builder {
+    accuracy: Accuracy,
+    mode: Mode,
+    k: Option<usize>,
+}
+
+impl Default for Ozaki2Builder {
+    fn default() -> Self {
+        Self {
+            accuracy: Accuracy::Fp64Equivalent,
+            mode: Mode::Fast,
+            k: None,
+        }
+    }
+}
+
+impl Ozaki2 {
+    /// Accuracy-driven construction: pick the moduli count from a target
+    /// instead of hardcoding it. Defaults to
+    /// [`Accuracy::Fp64Equivalent`] in [`Mode::Fast`].
+    pub fn builder() -> Ozaki2Builder {
+        Ozaki2Builder::default()
+    }
+}
+
+impl Ozaki2Builder {
+    /// Set the accuracy request.
+    pub fn accuracy(mut self, accuracy: Accuracy) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+
+    /// Set the scaling mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the inner dimension the `k`-dependent targets resolve against
+    /// (each operand loses ~`0.5·log2 k` bits to the dot-length budget).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Resolve the accuracy request to a moduli count and build.
+    ///
+    /// # Errors
+    /// * [`EmulationError::UnsupportedN`] for an out-of-range
+    ///   [`Accuracy::FixedN`];
+    /// * [`EmulationError::AccuracyNeedsK`] for a `k`-dependent target
+    ///   with no `k` set;
+    /// * [`EmulationError::AccuracyUnreachable`] when even the largest
+    ///   supported `N` misses the target.
+    pub fn build(self) -> Result<Ozaki2, EmulationError> {
+        let n = match self.accuracy {
+            Accuracy::FixedN(n) => {
+                if !(2..=N_MAX).contains(&n) {
+                    return Err(EmulationError::UnsupportedN { n, max: N_MAX });
+                }
+                n
+            }
+            Accuracy::TargetError(target) => self.resolve(target, false)?,
+            Accuracy::Fp64Equivalent => self.resolve(2f64.powi(-52), false)?,
+            Accuracy::Fp32Equivalent => self.resolve(2f64.powi(-23), true)?,
+        };
+        Ok(Ozaki2::new(n, self.mode))
+    }
+
+    /// [`Ozaki2Builder::build`] with the inner dimension supplied at call
+    /// time — the plan/call-time resolution for callers that learn `k`
+    /// late (e.g. right before a [`crate::plan::GemmPlan`] is laid out).
+    pub fn build_for_k(self, k: usize) -> Result<Ozaki2, EmulationError> {
+        self.k(k).build()
+    }
+
+    fn resolve(&self, target: f64, for_sgemm: bool) -> Result<usize, EmulationError> {
+        let k = self.k.ok_or(EmulationError::AccuracyNeedsK)?;
+        nselect::choose_n_checked(target, k, for_sgemm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemm_dense::norms::max_relative_error;
+    use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64};
+    use gemm_dense::{MatF64, MatView};
+
+    #[test]
+    fn facade_matches_dgemm_bitwise() {
+        let a = phi_matrix_f64(24, 40, 0.7, 3, 0);
+        let b = phi_matrix_f64(40, 18, 0.7, 3, 1);
+        for nmod in [4usize, 13, 15] {
+            for mode in [Mode::Fast, Mode::Accurate] {
+                let emu = Ozaki2::new(nmod, mode);
+                let out = emu.gemm(GemmArgs::new(&a, &b)).unwrap();
+                assert_eq!(out.c, emu.dgemm(&a, &b), "N={nmod} {mode:?}");
+                assert_eq!(out.report.shape, (24, 18, 40));
+            }
+        }
+    }
+
+    #[test]
+    fn facade_matches_sgemm_bitwise() {
+        let a = phi_matrix_f32(12, 20, 0.5, 5, 0);
+        let b = phi_matrix_f32(20, 10, 0.5, 5, 1);
+        for mode in [Mode::Fast, Mode::Accurate] {
+            let emu = Ozaki2::new(8, mode);
+            let out = emu.gemm(GemmArgs::new(&a, &b)).unwrap();
+            assert_eq!(out.c, emu.sgemm(&a, &b), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn transposed_views_are_zero_copy_and_bit_identical() {
+        // Feed Aᵀ and Bᵀ through the trans options: no materialization
+        // (the views alias the original buffers) and bit-identical output.
+        let a = phi_matrix_f64(9, 17, 0.5, 2, 0);
+        let b = phi_matrix_f64(17, 7, 0.5, 2, 1);
+        let at = a.transpose();
+        let bt = b.transpose();
+        let emu = Ozaki2::new(12, Mode::Fast);
+        let want = emu.dgemm(&a, &b);
+        let got = emu
+            .gemm(
+                GemmArgs::new(&at, &bt)
+                    .trans_a(GemmOp::T)
+                    .trans_b(GemmOp::T),
+            )
+            .unwrap();
+        assert_eq!(got.c, want);
+        // And directly via pre-transposed views, no GemmOp involved.
+        let got2 = emu
+            .gemm(GemmArgs::<f64>::new(at.view().t(), bt.view().t()))
+            .unwrap();
+        assert_eq!(got2.c, want);
+    }
+
+    #[test]
+    fn strided_submatrix_views_match_owned_copy() {
+        // A 10x12 window of a 32x32 parent at offset (3, 5), times an
+        // 12x8 window at (7, 2): strided ld = 32 views vs owned copies.
+        let pa = phi_matrix_f64(32, 32, 0.6, 11, 0);
+        let pb = phi_matrix_f64(32, 32, 0.6, 11, 1);
+        let va = MatView::new(
+            &pa.as_slice()[3 + 5 * 32..],
+            10,
+            12,
+            32,
+            gemm_dense::Layout::ColMajor,
+        );
+        let vb = MatView::new(
+            &pb.as_slice()[7 + 2 * 32..],
+            12,
+            8,
+            32,
+            gemm_dense::Layout::ColMajor,
+        );
+        let emu = Ozaki2::new(15, Mode::Fast);
+        let got = emu.gemm(GemmArgs::new(va, vb)).unwrap();
+        assert_eq!(got.c, emu.dgemm(&va.to_matrix(), &vb.to_matrix()));
+    }
+
+    #[test]
+    fn gemm_into_alpha_beta_epilogue() {
+        let a = phi_matrix_f64(6, 6, 0.5, 2, 0);
+        let b = phi_matrix_f64(6, 6, 0.5, 2, 1);
+        let emu = Ozaki2::new(12, Mode::Fast);
+        let prod = emu.dgemm(&a, &b);
+        let mut c = MatF64::from_fn(6, 6, |i, j| (i == j) as u8 as f64);
+        let c0 = c.clone();
+        emu.gemm_into(GemmArgs::new(&a, &b).alpha(2.0).beta(3.0), c.view_mut())
+            .unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(c[(i, j)], 2.0 * prod[(i, j)] + 3.0 * c0[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_into_strided_output() {
+        // C with ld > rows: the fold stages and scatters; gap rows stay.
+        let (m, n, k) = (5usize, 4, 9);
+        let a = phi_matrix_f64(m, k, 0.5, 3, 0);
+        let b = phi_matrix_f64(k, n, 0.5, 3, 1);
+        let emu = Ozaki2::new(10, Mode::Fast);
+        let want = emu.dgemm(&a, &b);
+        let ld = m + 3;
+        let mut buf = vec![-7.0f64; ld * n];
+        emu.gemm_into(
+            GemmArgs::new(&a, &b),
+            gemm_dense::MatViewMut::new(&mut buf, m, n, ld),
+        )
+        .unwrap();
+        for j in 0..n {
+            for i in 0..m {
+                assert_eq!(buf[i + j * ld], want[(i, j)]);
+            }
+            for i in m..ld {
+                assert_eq!(buf[i + j * ld], -7.0, "gap rows must stay untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_and_report_plumbing() {
+        let a = phi_matrix_f64(16, 16, 0.5, 4, 0);
+        let b = phi_matrix_f64(16, 16, 0.5, 4, 1);
+        let emu = Ozaki2::new(9, Mode::Fast);
+        let mut ws = Workspace::new();
+        let mut sink = None;
+        let out = emu
+            .gemm(GemmArgs::new(&a, &b).workspace(&mut ws).report(&mut sink))
+            .unwrap();
+        assert!(ws.bytes() > 0);
+        let rep = sink.expect("report sink filled");
+        assert_eq!(rep.int8_gemm_calls, out.report.int8_gemm_calls);
+        let steady = ws.bytes();
+        let out2 = emu.gemm(GemmArgs::new(&a, &b).workspace(&mut ws)).unwrap();
+        assert_eq!(out2.c, out.c);
+        assert_eq!(ws.bytes(), steady, "steady state must not allocate");
+    }
+
+    #[test]
+    fn facade_rejects_bad_inputs() {
+        let a = phi_matrix_f64(4, 5, 0.5, 1, 0);
+        let b = phi_matrix_f64(4, 4, 0.5, 1, 1);
+        let emu = Ozaki2::new(8, Mode::Fast);
+        assert_eq!(
+            emu.gemm(GemmArgs::new(&a, &b)).unwrap_err(),
+            EmulationError::ShapeMismatch
+        );
+        let af = phi_matrix_f32(4, 4, 0.5, 1, 0);
+        let bf = phi_matrix_f32(4, 4, 0.5, 1, 1);
+        assert_eq!(
+            Ozaki2::new(20, Mode::Fast)
+                .gemm(GemmArgs::new(&af, &bf))
+                .unwrap_err(),
+            EmulationError::UnsupportedN { n: 20, max: 18 }
+        );
+        let mut nan = phi_matrix_f64(4, 4, 0.5, 1, 0);
+        nan[(1, 1)] = f64::NAN;
+        let b4 = phi_matrix_f64(4, 4, 0.5, 1, 1);
+        assert_eq!(
+            emu.gemm(GemmArgs::new(&nan, &b4)).unwrap_err(),
+            EmulationError::NonFiniteInput
+        );
+        // NaN hidden in a strided view (non-contiguous validation path).
+        let vnan = MatView::new(nan.as_slice(), 3, 3, 4, gemm_dense::Layout::ColMajor);
+        let vb = MatView::new(b4.as_slice(), 3, 3, 4, gemm_dense::Layout::ColMajor);
+        assert_eq!(
+            emu.gemm(GemmArgs::new(vnan, vb)).unwrap_err(),
+            EmulationError::NonFiniteInput
+        );
+    }
+
+    #[test]
+    fn empty_shapes_fill_output() {
+        let emu = Ozaki2::new(6, Mode::Fast);
+        let a = MatF64::zeros(3, 0);
+        let b = MatF64::zeros(0, 2);
+        let mut c = MatF64::from_fn(3, 2, |_, _| 5.0);
+        // k = 0, beta = 0.5: C ← 0 + 0.5 C.
+        emu.gemm_into(GemmArgs::new(&a, &b).beta(0.5), c.view_mut())
+            .unwrap();
+        assert!(c.iter().all(|&x| x == 2.5));
+        // Plain: zero fill.
+        let out = emu.gemm(GemmArgs::new(&a, &b)).unwrap();
+        assert!(out.c.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn facade_accuracy_sanity() {
+        let a = phi_matrix_f64(20, 32, 0.5, 9, 0);
+        let b = phi_matrix_f64(32, 20, 0.5, 9, 1);
+        let out = Ozaki2::new(15, Mode::Fast)
+            .gemm(GemmArgs::new(&a, &b))
+            .unwrap();
+        let exact = gemm_dense::gemm::gemm_f64_naive(&a, &b);
+        assert!(max_relative_error(&out.c, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn builder_resolves_paper_sweet_spot() {
+        // §5.1: DGEMM-level accuracy at k = 1024 needs N = 15.
+        let emu = Ozaki2::builder()
+            .accuracy(Accuracy::TargetError(2f64.powi(-52)))
+            .k(1024)
+            .build()
+            .unwrap();
+        assert_eq!(emu.n_moduli(), 15);
+        assert_eq!(emu.mode(), Mode::Fast);
+        // The named equivalents agree with the explicit target.
+        let e64 = Ozaki2::builder()
+            .accuracy(Accuracy::Fp64Equivalent)
+            .build_for_k(1024)
+            .unwrap();
+        assert_eq!(e64.n_moduli(), 15);
+        let e32 = Ozaki2::builder()
+            .accuracy(Accuracy::Fp32Equivalent)
+            .build_for_k(1024)
+            .unwrap();
+        assert!((7..=9).contains(&e32.n_moduli()), "{}", e32.n_moduli());
+    }
+
+    #[test]
+    fn builder_fixed_n_and_mode() {
+        let emu = Ozaki2::builder()
+            .accuracy(Accuracy::FixedN(11))
+            .mode(Mode::Accurate)
+            .build()
+            .unwrap();
+        assert_eq!(emu.n_moduli(), 11);
+        assert_eq!(emu.mode(), Mode::Accurate);
+        assert!(matches!(
+            Ozaki2::builder()
+                .accuracy(Accuracy::FixedN(99))
+                .build()
+                .unwrap_err(),
+            EmulationError::UnsupportedN { n: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn builder_typed_errors() {
+        // k-dependent target without k.
+        assert_eq!(
+            Ozaki2::builder()
+                .accuracy(Accuracy::TargetError(1e-10))
+                .build()
+                .unwrap_err(),
+            EmulationError::AccuracyNeedsK
+        );
+        // Unreachable target: typed error with the best achievable point.
+        match Ozaki2::builder()
+            .accuracy(Accuracy::TargetError(1e-40))
+            .k(1024)
+            .build()
+            .unwrap_err()
+        {
+            EmulationError::AccuracyUnreachable {
+                target,
+                best_n,
+                predicted,
+            } => {
+                assert_eq!(target, 1e-40);
+                assert_eq!(best_n, N_MAX);
+                assert!(predicted > 1e-40);
+            }
+            e => panic!("expected AccuracyUnreachable, got {e:?}"),
+        }
+    }
+}

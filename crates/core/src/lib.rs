@@ -34,6 +34,8 @@ pub mod accumulate;
 pub mod blas;
 pub mod consts;
 pub mod convert;
+pub mod element;
+pub mod facade;
 pub mod mixed;
 pub mod modred;
 pub mod moduli;
@@ -48,17 +50,22 @@ pub use blas::{dgemm_emulated, GemmOp};
 pub use consts::{constants, Constants};
 pub use convert::{
     convert_kernel_name, convert_pack_panels, residue_planes, trunc_convert_pack_panels,
-    ConvertTiming, TruncSource,
+    ConvertTiming, ElemSlice, TruncSource,
 };
+pub use element::Element;
+pub use facade::{Accuracy, GemmArgs, GemmOut, Ozaki2Builder};
 pub use mixed::{dgemm_dd, gemm_f32xf64, gemm_f64xf32};
 pub use moduli::{moduli, MODULI, N_MAX, N_MAX_SGEMM};
-pub use nselect::{auto_emulator, choose_n, n_for_dgemm_level, n_for_sgemm_level, predicted_error};
+pub use nselect::{
+    auto_emulator, choose_n, choose_n_checked, n_for_dgemm_level, n_for_sgemm_level,
+    predicted_error,
+};
 pub use pipeline::{
     EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, K_BLOCK_MAX,
 };
 pub use plan::{arithmetic_intensity, GemmPlan};
 pub use prepared::{OperandInput, OperandSide, PreparedOperand};
 pub use scale::{
-    fast_scale_cols_slice, fast_scale_rows_slice, pow2_split, strunc_row, strunc_row_scalar,
-    trunc_kernel_name,
+    fast_scale_a_view, fast_scale_b_view, fast_scale_cols_slice, fast_scale_rows_slice, pow2_split,
+    strunc_row, strunc_row_scalar, trunc_kernel_name,
 };

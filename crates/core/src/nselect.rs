@@ -10,7 +10,7 @@
 
 use crate::consts::constants;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
-use crate::pipeline::Mode;
+use crate::pipeline::{EmulationError, Mode};
 
 /// Empirical offset calibrated against the Fig. 3 measurements (see the
 /// `prediction_tracks_measurement` test): the constant-factor gap between
@@ -35,6 +35,20 @@ pub fn choose_n(target: f64, k: usize, for_sgemm: bool) -> Option<usize> {
     assert!(target > 0.0, "target must be positive");
     let max = if for_sgemm { N_MAX_SGEMM } else { N_MAX };
     (2..=max).find(|&n| predicted_error(n, k) <= target)
+}
+
+/// [`choose_n`] with a **typed** failure: when even the largest supported
+/// `N` misses the target, returns
+/// [`EmulationError::AccuracyUnreachable`] carrying the best achievable
+/// point (`best_n` and its predicted error) instead of a silent `None` —
+/// what [`crate::facade::Ozaki2Builder`] surfaces.
+pub fn choose_n_checked(target: f64, k: usize, for_sgemm: bool) -> Result<usize, EmulationError> {
+    let best_n = if for_sgemm { N_MAX_SGEMM } else { N_MAX };
+    choose_n(target, k, for_sgemm).ok_or(EmulationError::AccuracyUnreachable {
+        target,
+        best_n,
+        predicted: predicted_error(best_n, k),
+    })
 }
 
 /// Convenience: `N` for DGEMM-level accuracy (2^-52) at inner dimension `k`.
@@ -102,6 +116,27 @@ mod tests {
                 "prediction should rarely be optimistic: N={nmod} {predicted:e} < {measured:e}"
             );
         }
+    }
+
+    #[test]
+    fn choose_n_checked_reports_best_achievable() {
+        match choose_n_checked(1e-40, 1024, true).unwrap_err() {
+            EmulationError::AccuracyUnreachable {
+                target,
+                best_n,
+                predicted,
+            } => {
+                assert_eq!(target, 1e-40);
+                assert_eq!(best_n, N_MAX_SGEMM);
+                assert_eq!(predicted, predicted_error(N_MAX_SGEMM, 1024));
+            }
+            e => panic!("expected AccuracyUnreachable, got {e:?}"),
+        }
+        // Reachable targets agree with the Option form.
+        assert_eq!(
+            choose_n_checked(1e-8, 512, false).unwrap(),
+            choose_n(1e-8, 512, false).unwrap()
+        );
     }
 
     #[test]

@@ -6,11 +6,9 @@
 //! per-phase wall-clock breakdown used to regenerate Figs. 6–7.
 
 use crate::accumulate::{fold_planes, FoldPrecision};
-use crate::consts::{constants, Constants};
-use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
+use crate::consts::Constants;
 use crate::modred::finalize_block_residues;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
-use crate::scale::{accurate_scale, fast_scale_cols, fast_scale_rows};
 use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
 use gemm_engine::{
     int8_gemm_prepacked_fused, padded_a_rows, padded_b_cols, padded_depth, AccumulateEpilogue,
@@ -44,7 +42,7 @@ impl Mode {
 }
 
 /// Errors surfaced by the checked entry points.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EmulationError {
     /// An input entry was NaN or infinite.
     NonFiniteInput,
@@ -57,6 +55,22 @@ pub enum EmulationError {
     },
     /// Inner dimensions disagree.
     ShapeMismatch,
+    /// No supported moduli count reaches the requested accuracy target
+    /// (surfaced by [`crate::facade::Ozaki2Builder`] and
+    /// [`crate::nselect::choose_n_checked`]).
+    AccuracyUnreachable {
+        /// The requested normwise relative error.
+        target: f64,
+        /// The largest supported moduli count for the pipeline asked.
+        best_n: usize,
+        /// The predicted error at `best_n` — how close the request came.
+        predicted: f64,
+    },
+    /// A `k`-dependent accuracy target was used without an inner
+    /// dimension to resolve it against (call
+    /// [`crate::facade::Ozaki2Builder::k`] or
+    /// [`crate::facade::Ozaki2Builder::build_for_k`]).
+    AccuracyNeedsK,
     /// Operand preparation requested for a mode that cannot prepare
     /// operands independently ([`Mode::Accurate`] scales `A` and `B`
     /// jointly, so a cached one-sided preparation cannot exist).
@@ -81,6 +95,20 @@ impl std::fmt::Display for EmulationError {
                 write!(f, "N = {n} outside supported range 2..={max}")
             }
             EmulationError::ShapeMismatch => write!(f, "inner matrix dimensions disagree"),
+            EmulationError::AccuracyUnreachable {
+                target,
+                best_n,
+                predicted,
+            } => write!(
+                f,
+                "accuracy target {target:e} unreachable: the largest supported \
+                 N = {best_n} predicts {predicted:e}"
+            ),
+            EmulationError::AccuracyNeedsK => write!(
+                f,
+                "a k-dependent accuracy target needs the inner dimension: \
+                 set Ozaki2Builder::k or use build_for_k"
+            ),
             EmulationError::PreparationUnsupported { mode } => write!(
                 f,
                 "operand preparation is only defined for Mode::Fast \
@@ -174,6 +202,10 @@ pub struct Workspace {
     u: Vec<u8>,
     c32: Vec<i32>,
     racc: Vec<i32>,
+    /// f64 fold staging for outputs the fold cannot write directly: f32
+    /// results (narrowed afterwards) and strided or `alpha`/`beta`
+    /// epilogue outputs of the view facade.
+    cstage: Vec<f64>,
 }
 
 impl Workspace {
@@ -189,11 +221,20 @@ impl Workspace {
             + self.u.capacity()
             + self.c32.capacity() * 4
             + self.racc.capacity() * 4
+            + self.cstage.capacity() * 8
+    }
+
+    /// Grow-only resize of the fold staging buffer (f32 / epilogue
+    /// outputs only; the plain f64 path folds straight into the output).
+    pub(crate) fn reserve_stage(&mut self, len: usize) {
+        if self.cstage.len() < len {
+            self.cstage.resize(len, 0.0);
+        }
     }
 
     /// Grow-only resize of every pipeline buffer for an `m x k · k x n`
     /// product with `nmod` residue-panel sets.
-    fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
+    pub(crate) fn reserve(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
         self.reserve_a(m, k, nmod);
         self.reserve_b(n, k, nmod);
         self.reserve_exec(m, n, k, nmod);
@@ -231,19 +272,27 @@ impl Workspace {
         }
     }
 
-    /// Every buffer at once (`a16`, `b16`, `u`, `c32`, `racc`), for the
-    /// mixed raw/prepared execution path. Call the `reserve_*` methods for
-    /// the sides in use first.
+    /// Every buffer at once (`a16`, `b16`, `u`, `c32`, `racc`, `cstage`),
+    /// for the mixed raw/prepared execution path and the view facade.
+    /// Call the `reserve_*` methods for the sides in use first.
     #[allow(clippy::type_complexity)]
     pub(crate) fn all_buffers(
         &mut self,
-    ) -> (&mut [i16], &mut [i16], &mut [u8], &mut [i32], &mut [i32]) {
+    ) -> (
+        &mut [i16],
+        &mut [i16],
+        &mut [u8],
+        &mut [i32],
+        &mut [i32],
+        &mut [f64],
+    ) {
         (
             &mut self.a16,
             &mut self.b16,
             &mut self.u,
             &mut self.c32,
             &mut self.racc,
+            &mut self.cstage,
         )
     }
 }
@@ -344,7 +393,7 @@ impl Ozaki2 {
         if a.cols() != b.rows() {
             return Err(EmulationError::ShapeMismatch);
         }
-        Ok(emulate(a, b, self.n_moduli, self.mode, true, ws))
+        Ok(emulate(a, b, self.n_moduli, self.mode, ws))
     }
 
     /// Emulated DGEMM writing into a caller-owned output matrix, reusing a
@@ -380,7 +429,6 @@ impl Ozaki2 {
             b,
             self.n_moduli,
             self.mode,
-            true,
             ws,
             true,
             c.as_mut_slice(),
@@ -446,12 +494,24 @@ impl Ozaki2 {
         if a.cols() != b.rows() {
             return Err(EmulationError::ShapeMismatch);
         }
-        // Widening is exact; the power-of-two scales and truncation commute
-        // with it, so the computed A', B' match a native f32 pipeline.
-        let a64 = a.map(|x| x as f64);
-        let b64 = b.map(|x| x as f64);
-        let (c64, report) = emulate(&a64, &b64, self.n_moduli, self.mode, false, ws);
-        Ok((c64.map(|x| x as f32), report))
+        // The generic view body widens f32 lanes exactly inside the fused
+        // sweep's staging tiles (the power-of-two scales and truncation
+        // commute with exact widening), so no widened operand copy exists
+        // and the result matches the historical widen-first path bitwise.
+        let mut out = Matrix::<f32>::zeros(a.rows(), b.cols());
+        let report = crate::facade::emulate_view_into(
+            a.view(),
+            b.view(),
+            self.n_moduli,
+            self.mode,
+            ws,
+            true,
+            1.0f32,
+            0.0f32,
+            out.view_mut(),
+            false,
+        )?;
+        Ok((out, report))
     }
 }
 
@@ -489,19 +549,19 @@ fn validate_f32(a: &MatF32) -> Result<(), EmulationError> {
     }
 }
 
-/// The shared Algorithm-1 body. `b64` selects the DGEMM weight split and
-/// conversion thresholds; the SGEMM wrapper widens/narrows around it. All
-/// scratch comes from `ws` (grow-only, reused across calls).
+/// The shared f64 Algorithm-1 body: a thin delegate of the canonical
+/// view-based body ([`crate::facade::emulate_view_into`]) over contiguous
+/// column-major views. All scratch comes from `ws` (grow-only, reused
+/// across calls). Inputs must be pre-validated (finite, shapes agree).
 pub(crate) fn emulate(
     a: &MatF64,
     b: &MatF64,
     n_moduli: usize,
     mode: Mode,
-    b64: bool,
     ws: &mut Workspace,
 ) -> (MatF64, EmulationReport) {
     let mut out = Matrix::<f64>::zeros(a.rows(), b.cols());
-    let report = emulate_into(a, b, n_moduli, mode, b64, ws, true, out.as_mut_slice());
+    let report = emulate_into(a, b, n_moduli, mode, ws, true, out.as_mut_slice());
     (out, report)
 }
 
@@ -511,132 +571,32 @@ pub(crate) fn emulate(
 /// gates every internal rayon region (convert sweep, engine stripes): the
 /// inter-GEMM scheduler sets it to `false` so concurrent items do not
 /// nest parallel regions. The result is bit-identical either way.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn emulate_into(
     a: &MatF64,
     b: &MatF64,
     n_moduli: usize,
     mode: Mode,
-    b64: bool,
     ws: &mut Workspace,
     parallel: bool,
     out: &mut [f64],
 ) -> EmulationReport {
     let (m, k) = a.shape();
     let n = b.cols();
-    let consts: &Constants = constants(n_moduli);
-    let nmod = consts.n;
     assert_eq!(out.len(), m * n, "output buffer mismatch");
-    let mut phases = PhaseTimes::default();
-    let mut gemm_calls = 0usize;
-
-    if m == 0 || n == 0 || k == 0 {
-        out.fill(0.0);
-        return EmulationReport {
-            shape: (m, n, k),
-            n_moduli: nmod,
-            mode,
-            phases,
-            int8_gemm_calls: 0,
-        };
-    }
-
-    // ---- Line 1: scale vectors ------------------------------------------
-    let t0 = Instant::now();
-    let (exps_a, exps_b) = match mode {
-        Mode::Fast => (
-            fast_scale_rows(a, consts.p_fast),
-            fast_scale_cols(b, consts.p_fast),
-        ),
-        Mode::Accurate => {
-            gemm_calls += 1; // the Ā·B̄ estimation GEMM
-            accurate_scale(a, b, consts.p_accu)
-        }
-    };
-    phases.scale = t0.elapsed();
-
-    // ---- Lines 2–5: fused trunc+convert -> packed residue panels ---------
-    // One cache-blocked sweep per operand scales, truncates (A: also
-    // transposes), reduces against all N moduli and writes the INT8
-    // engine's packed i16 panels directly — the integer matrices A'/B'
-    // never exist in memory and the GEMMs below never repack. The trunc
-    // share of the combined sweep is attributed by per-job CPU time.
-    let t0 = Instant::now();
-    ws.reserve(m, n, k, nmod);
-    let Workspace {
-        a16,
-        b16,
-        u,
-        c32,
-        racc,
-    } = ws;
-    let kp = padded_depth(k);
-    let m_pad = padded_a_rows(m);
-    let n_pad = padded_b_cols(n);
-    let timing = ConvertTiming::new();
-    let a16 = &mut a16[..nmod * m_pad * kp];
-    trunc_convert_pack_panels(
-        TruncSource::RowsColMajor {
-            data: a.as_slice(),
-            rows: m,
-            exps: &exps_a,
-        },
-        m,
-        m_pad,
-        k,
-        kp,
-        consts,
-        b64,
-        parallel,
-        a16,
-        Some(&timing),
-    );
-    let b16 = &mut b16[..nmod * n_pad * kp];
-    trunc_convert_pack_panels(
-        TruncSource::ColsColMajor {
-            data: b.as_slice(),
-            exps: &exps_b,
-        },
-        n,
-        n_pad,
-        k,
-        kp,
-        consts,
-        b64,
-        parallel,
-        b16,
-        Some(&timing),
-    );
-    let sweep = t0.elapsed();
-    phases.trunc = sweep.mul_f64(timing.trunc_fraction());
-    phases.convert = sweep.saturating_sub(phases.trunc);
-
-    // ---- Lines 6–12 over the packed panels -------------------------------
-    gemm_calls += execute_panels(
-        m,
-        n,
-        k,
-        consts,
-        b64,
-        a16,
-        b16,
-        &exps_a,
-        &exps_b,
-        u,
-        c32,
-        racc,
-        parallel,
-        out,
-        &mut phases,
-    );
-
-    EmulationReport {
-        shape: (m, n, k),
-        n_moduli: nmod,
+    debug_assert_eq!(k, b.rows());
+    crate::facade::emulate_view_into(
+        a.view(),
+        b.view(),
+        n_moduli,
         mode,
-        phases,
-        int8_gemm_calls: gemm_calls,
-    }
+        ws,
+        parallel,
+        1.0f64,
+        0.0f64,
+        gemm_dense::MatViewMut::col_major(out, m, n),
+        false,
+    )
+    .expect("inputs validated by the caller")
 }
 
 /// Algorithm 1 lines 6–12 over already-packed residue panels: the `N` INT8

@@ -12,8 +12,8 @@
 //! Results are bit-identical to [`crate::Ozaki2::dgemm`]: the plan runs the
 //! very same Algorithm-1 body, only with retained scratch.
 
-use crate::pipeline::{emulate_into, Ozaki2, Workspace};
-use gemm_dense::{MatF64, Matrix};
+use crate::pipeline::{emulate_into, EmulationError, EmulationReport, Ozaki2, Workspace};
+use gemm_dense::{MatF64, MatView, MatViewMut, Matrix};
 
 /// Estimated arithmetic intensity of the emulated product's engine phase:
 /// INT8 multiply-add operations per byte of memory traffic (packed i16
@@ -102,11 +102,39 @@ impl GemmPlan {
             b,
             self.emu.n_moduli(),
             self.emu.mode(),
-            true,
             &mut self.ws,
             true,
             c.as_mut_slice(),
         );
+    }
+
+    /// Run one product over borrowed strided views (any layout / leading
+    /// dimension / transpose), writing into a column-major output view —
+    /// the zero-copy, zero-alloc steady state for windowed consumers
+    /// (LU panels, blocked solvers slicing one parent allocation).
+    /// Bit-identical to [`GemmPlan::execute`] on equal elements.
+    pub fn execute_views_into(
+        &mut self,
+        a: MatView<'_, f64>,
+        b: MatView<'_, f64>,
+        c: MatViewMut<'_, f64>,
+    ) -> Result<EmulationReport, EmulationError> {
+        let (m, n, k) = self.shape;
+        if a.shape() != (m, k) || b.shape() != (k, n) || c.shape() != (m, n) {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        crate::facade::emulate_view_into(
+            a,
+            b,
+            self.emu.n_moduli(),
+            self.emu.mode(),
+            &mut self.ws,
+            true,
+            1.0,
+            0.0,
+            c,
+            true,
+        )
     }
 }
 

@@ -25,13 +25,14 @@
 //! and accurate-mode batches fall back to the monolithic per-item path.
 
 use crate::consts::{constants, Constants};
-use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
-use crate::moduli::N_MAX_SGEMM;
+use crate::convert::{trunc_convert_pack_panels, ConvertTiming};
+use crate::element::Element;
+use crate::facade::{validate_view, vectors_source};
 use crate::pipeline::{
     execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace,
 };
-use crate::scale::{fast_scale_cols_slice, fast_scale_rows_slice};
-use gemm_dense::{MatF32, MatF64, Matrix};
+use crate::scale::{fast_scale_a_view, fast_scale_b_view};
+use gemm_dense::{MatF32, MatF64, MatView, Matrix};
 use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
 use std::time::Instant;
 
@@ -149,41 +150,45 @@ impl PreparedOperand {
 }
 
 /// One side of a mixed execution ([`Ozaki2::try_execute_into_ws`]): either
-/// a raw column-major operand whose front end (lines 1–5) is computed into
-/// the caller's [`Workspace`] panel buffers — the zero-allocation streaming
+/// a raw operand whose front end (lines 1–5) is computed into the
+/// caller's [`Workspace`] panel buffers — the zero-allocation streaming
 /// path — or an already-prepared operand whose cached panels are borrowed.
 #[derive(Clone, Copy)]
 pub enum OperandInput<'a> {
-    /// Raw column-major data: `m x k` on side A, `k x n` on side B.
-    /// Converted into the workspace's reusable panel buffers, so repeated
-    /// calls allocate nothing.
+    /// Raw contiguous column-major data: `m x k` on side A, `k x n` on
+    /// side B. Converted into the workspace's reusable panel buffers, so
+    /// repeated calls allocate nothing.
     Raw(&'a [f64]),
+    /// A raw borrowed strided view (any layout / leading dimension /
+    /// transpose) — converted like [`OperandInput::Raw`], still with zero
+    /// copies: the fused sweep gathers straight from the strided source.
+    RawView(MatView<'a, f64>),
     /// A cached preparation (panels borrowed, front end skipped).
     Prepared(&'a PreparedOperand),
 }
 
-/// Shared body of every prepare entry point.
-fn prepare_slice(
+/// Shared body of every prepare entry point: Algorithm 1 lines 1–5 over
+/// one borrowed strided operand view (f64 or exactly widened f32), with
+/// zero operand materialization.
+fn prepare_view<T: Element>(
     emu: &Ozaki2,
-    data: &[f64],
-    vecs: usize,
-    k: usize,
+    view: &MatView<'_, T>,
     side: OperandSide,
-    b64: bool,
 ) -> Result<PreparedOperand, EmulationError> {
     if emu.mode() != Mode::Fast {
         return Err(EmulationError::PreparationUnsupported { mode: emu.mode() });
     }
-    if !b64 && emu.n_moduli() > N_MAX_SGEMM {
+    if emu.n_moduli() > T::N_MAX {
         return Err(EmulationError::UnsupportedN {
             n: emu.n_moduli(),
-            max: N_MAX_SGEMM,
+            max: T::N_MAX,
         });
     }
-    assert!(data.len() >= vecs * k, "operand slice too short");
-    if !data[..vecs * k].iter().all(|x| x.is_finite()) {
-        return Err(EmulationError::NonFiniteInput);
-    }
+    validate_view(view)?;
+    let (vecs, k) = match side {
+        OperandSide::A => (view.rows(), view.cols()),
+        OperandSide::B => (view.cols(), view.rows()),
+    };
     let consts: &Constants = constants(emu.n_moduli());
     let nmod = consts.n;
     let mut phases = PhaseTimes::default();
@@ -192,8 +197,8 @@ fn prepare_slice(
     // exactly the fast-mode exponents the monolithic pipeline computes.
     let t0 = Instant::now();
     let exps = match side {
-        OperandSide::A => fast_scale_rows_slice(data, vecs, k, consts.p_fast),
-        OperandSide::B => fast_scale_cols_slice(data, k, vecs, consts.p_fast),
+        OperandSide::A => fast_scale_a_view(view, consts.p_fast),
+        OperandSide::B => fast_scale_b_view(view, consts.p_fast),
     };
     phases.scale = t0.elapsed();
 
@@ -208,22 +213,14 @@ fn prepare_slice(
     };
     let mut panels = vec![0i16; nmod * vecs_pad * kp];
     let timing = ConvertTiming::new();
-    let src = match side {
-        OperandSide::A => TruncSource::RowsColMajor {
-            data,
-            rows: vecs,
-            exps: &exps,
-        },
-        OperandSide::B => TruncSource::ColsColMajor { data, exps: &exps },
-    };
     trunc_convert_pack_panels(
-        src,
+        vectors_source(view, side == OperandSide::A, &exps),
         vecs,
         vecs_pad,
         k,
         kp,
         consts,
-        b64,
+        T::IS_F64,
         true,
         &mut panels,
         Some(&timing),
@@ -238,17 +235,11 @@ fn prepare_slice(
         k,
         n_moduli: nmod,
         mode: emu.mode(),
-        b64,
+        b64: T::IS_F64,
         exps,
         panels,
         prepare_phases: phases,
     })
-}
-
-/// Widen an f32 slice to the f64 pipeline domain (exact; the power-of-two
-/// scales and truncation commute with it, as in [`Ozaki2::sgemm`]).
-fn widen(data: &[f32]) -> Vec<f64> {
-    data.iter().map(|&x| x as f64).collect()
 }
 
 impl Ozaki2 {
@@ -265,20 +256,27 @@ impl Ozaki2 {
 
     /// Checked form of [`Ozaki2::prepare_a`].
     pub fn try_prepare_a(&self, a: &MatF64) -> Result<PreparedOperand, EmulationError> {
-        let (m, k) = a.shape();
-        self.try_prepare_a_slice(a.as_slice(), m, k)
+        self.try_prepare_a_view(&a.view())
     }
 
-    /// [`Ozaki2::try_prepare_a`] over a raw column-major `m x k` slice —
-    /// the borrowed-view entry strided batches use (no copy into a
-    /// [`MatF64`] needed).
+    /// [`Ozaki2::try_prepare_a`] over a borrowed strided view (any
+    /// layout, leading dimension, transpose; f64 or f32): the canonical
+    /// zero-copy prepare entry.
+    pub fn try_prepare_a_view<T: Element>(
+        &self,
+        a: &MatView<'_, T>,
+    ) -> Result<PreparedOperand, EmulationError> {
+        prepare_view(self, a, OperandSide::A)
+    }
+
+    /// [`Ozaki2::try_prepare_a`] over a raw column-major `m x k` slice.
     pub fn try_prepare_a_slice(
         &self,
         data: &[f64],
         m: usize,
         k: usize,
     ) -> Result<PreparedOperand, EmulationError> {
-        prepare_slice(self, data, m, k, OperandSide::A, true)
+        self.try_prepare_a_view(&MatView::col_major(&data[..m * k], m, k))
     }
 
     /// Prepare the right operand of a DGEMM for reuse (lines 1–5 over `B`
@@ -293,8 +291,16 @@ impl Ozaki2 {
 
     /// Checked form of [`Ozaki2::prepare_b`].
     pub fn try_prepare_b(&self, b: &MatF64) -> Result<PreparedOperand, EmulationError> {
-        let (k, n) = b.shape();
-        self.try_prepare_b_slice(b.as_slice(), k, n)
+        self.try_prepare_b_view(&b.view())
+    }
+
+    /// [`Ozaki2::try_prepare_b`] over a borrowed strided view — the
+    /// B-side counterpart of [`Ozaki2::try_prepare_a_view`].
+    pub fn try_prepare_b_view<T: Element>(
+        &self,
+        b: &MatView<'_, T>,
+    ) -> Result<PreparedOperand, EmulationError> {
+        prepare_view(self, b, OperandSide::B)
     }
 
     /// [`Ozaki2::try_prepare_b`] over a raw column-major `k x n` slice.
@@ -304,14 +310,14 @@ impl Ozaki2 {
         k: usize,
         n: usize,
     ) -> Result<PreparedOperand, EmulationError> {
-        prepare_slice(self, data, n, k, OperandSide::B, true)
+        self.try_prepare_b_view(&MatView::col_major(&data[..k * n], k, n))
     }
 
-    /// Prepare the left operand of an SGEMM (widened exactly to the f64
-    /// pipeline domain, `b = 32` conversion thresholds).
+    /// Prepare the left operand of an SGEMM (widened exactly inside the
+    /// fused sweep, `b = 32` conversion thresholds — no widened copy is
+    /// ever made).
     pub fn try_prepare_a_f32(&self, a: &MatF32) -> Result<PreparedOperand, EmulationError> {
-        let (m, k) = a.shape();
-        self.try_prepare_a_slice_f32(a.as_slice(), m, k)
+        self.try_prepare_a_view(&a.view())
     }
 
     /// [`Ozaki2::try_prepare_a_f32`] over a raw column-major slice.
@@ -322,13 +328,12 @@ impl Ozaki2 {
         k: usize,
     ) -> Result<PreparedOperand, EmulationError> {
         assert!(data.len() >= m * k, "operand slice too short");
-        prepare_slice(self, &widen(&data[..m * k]), m, k, OperandSide::A, false)
+        self.try_prepare_a_view(&MatView::col_major(&data[..m * k], m, k))
     }
 
     /// Prepare the right operand of an SGEMM.
     pub fn try_prepare_b_f32(&self, b: &MatF32) -> Result<PreparedOperand, EmulationError> {
-        let (k, n) = b.shape();
-        self.try_prepare_b_slice_f32(b.as_slice(), k, n)
+        self.try_prepare_b_view(&b.view())
     }
 
     /// [`Ozaki2::try_prepare_b_f32`] over a raw column-major slice.
@@ -339,7 +344,7 @@ impl Ozaki2 {
         n: usize,
     ) -> Result<PreparedOperand, EmulationError> {
         assert!(data.len() >= k * n, "operand slice too short");
-        prepare_slice(self, &widen(&data[..k * n]), n, k, OperandSide::B, false)
+        self.try_prepare_b_view(&MatView::col_major(&data[..k * n], k, n))
     }
 
     /// Run Algorithm 1 lines 6–12 over two prepared operands, allocating
@@ -429,6 +434,21 @@ impl Ozaki2 {
         if self.mode() != Mode::Fast {
             return Err(EmulationError::PreparationUnsupported { mode: self.mode() });
         }
+        // Normalise raw slices to views: one conversion path below.
+        let a = match a {
+            OperandInput::Raw(data) => {
+                assert!(data.len() >= m * k, "A slice too short");
+                OperandInput::RawView(MatView::col_major(&data[..m * k], m, k))
+            }
+            other => other,
+        };
+        let b = match b {
+            OperandInput::Raw(data) => {
+                assert!(data.len() >= k * n, "B slice too short");
+                OperandInput::RawView(MatView::col_major(&data[..k * n], k, n))
+            }
+            other => other,
+        };
         // Precision: prepared sides dictate; raw-only executions are DGEMM.
         let b64 = match (&a, &b) {
             (OperandInput::Prepared(p), _) => p.b64,
@@ -464,23 +484,25 @@ impl Ozaki2 {
             }
             Ok(())
         };
-        match a {
+        match &a {
             OperandInput::Prepared(p) => check_prepared(p, OperandSide::A, (m, k))?,
-            OperandInput::Raw(data) => {
-                assert!(data.len() >= m * k, "A slice too short");
-                if !data[..m * k].iter().all(|x| x.is_finite()) {
-                    return Err(EmulationError::NonFiniteInput);
+            OperandInput::RawView(v) => {
+                if v.shape() != (m, k) {
+                    return Err(EmulationError::ShapeMismatch);
                 }
+                validate_view(v)?;
             }
+            OperandInput::Raw(_) => unreachable!("normalised above"),
         }
-        match b {
+        match &b {
             OperandInput::Prepared(p) => check_prepared(p, OperandSide::B, (k, n))?,
-            OperandInput::Raw(data) => {
-                assert!(data.len() >= k * n, "B slice too short");
-                if !data[..k * n].iter().all(|x| x.is_finite()) {
-                    return Err(EmulationError::NonFiniteInput);
+            OperandInput::RawView(v) => {
+                if v.shape() != (k, n) {
+                    return Err(EmulationError::ShapeMismatch);
                 }
+                validate_view(v)?;
             }
+            OperandInput::Raw(_) => unreachable!("normalised above"),
         }
         assert_eq!(out.len(), m * n, "output buffer mismatch");
 
@@ -498,38 +520,35 @@ impl Ozaki2 {
             });
         }
 
-        if matches!(a, OperandInput::Raw(_)) {
+        if matches!(a, OperandInput::RawView(_)) {
             ws.reserve_a(m, k, nmod);
         }
-        if matches!(b, OperandInput::Raw(_)) {
+        if matches!(b, OperandInput::RawView(_)) {
             ws.reserve_b(n, k, nmod);
         }
         ws.reserve_exec(m, n, k, nmod);
-        let (a16ws, b16ws, u, c32, racc) = ws.all_buffers();
+        let (a16ws, b16ws, u, c32, racc, _) = ws.all_buffers();
         let kp = padded_depth(k);
         let m_pad = padded_a_rows(m);
         let n_pad = padded_b_cols(n);
 
         // Front end for the raw sides only — exactly the monolithic
         // pipeline's line-1 scales and fused lines-2–5 sweep, into the
-        // workspace's reusable panel buffers.
+        // workspace's reusable panel buffers (gathered straight from the
+        // strided view: no layout-normalised copy).
         let exps_a_own: Vec<i32>;
         let exps_b_own: Vec<i32>;
-        let (a_panels, exps_a): (&[i16], &[i32]) = match a {
+        let (a_panels, exps_a): (&[i16], &[i32]) = match &a {
             OperandInput::Prepared(p) => (&p.panels, &p.exps),
-            OperandInput::Raw(data) => {
+            OperandInput::RawView(v) => {
                 let timing = ConvertTiming::new();
                 let t0 = Instant::now();
-                exps_a_own = fast_scale_rows_slice(data, m, k, consts.p_fast);
+                exps_a_own = fast_scale_a_view(v, consts.p_fast);
                 phases.scale += t0.elapsed();
                 let t0 = Instant::now();
                 let a16 = &mut a16ws[..nmod * m_pad * kp];
                 trunc_convert_pack_panels(
-                    TruncSource::RowsColMajor {
-                        data,
-                        rows: m,
-                        exps: &exps_a_own,
-                    },
+                    vectors_source(v, true, &exps_a_own),
                     m,
                     m_pad,
                     k,
@@ -546,21 +565,19 @@ impl Ozaki2 {
                 phases.convert += sweep.saturating_sub(trunc);
                 (a16, &exps_a_own)
             }
+            OperandInput::Raw(_) => unreachable!("normalised above"),
         };
-        let (b_panels, exps_b): (&[i16], &[i32]) = match b {
+        let (b_panels, exps_b): (&[i16], &[i32]) = match &b {
             OperandInput::Prepared(p) => (&p.panels, &p.exps),
-            OperandInput::Raw(data) => {
+            OperandInput::RawView(v) => {
                 let timing = ConvertTiming::new();
                 let t0 = Instant::now();
-                exps_b_own = fast_scale_cols_slice(data, k, n, consts.p_fast);
+                exps_b_own = fast_scale_b_view(v, consts.p_fast);
                 phases.scale += t0.elapsed();
                 let t0 = Instant::now();
                 let b16 = &mut b16ws[..nmod * n_pad * kp];
                 trunc_convert_pack_panels(
-                    TruncSource::ColsColMajor {
-                        data,
-                        exps: &exps_b_own,
-                    },
+                    vectors_source(v, false, &exps_b_own),
                     n,
                     n_pad,
                     k,
@@ -577,6 +594,7 @@ impl Ozaki2 {
                 phases.convert += sweep.saturating_sub(trunc);
                 (b16, &exps_b_own)
             }
+            OperandInput::Raw(_) => unreachable!("normalised above"),
         };
 
         let gemm_calls = execute_panels(

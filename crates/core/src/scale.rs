@@ -14,7 +14,8 @@
 //! inverse scaling in Step 4 is exact.
 
 use crate::consts::Constants;
-use gemm_dense::{MatF64, Matrix};
+use crate::element::Element;
+use gemm_dense::{MatF64, MatView, Matrix};
 use gemm_engine::int8_gemm;
 use gemm_exact::roundup;
 
@@ -137,11 +138,87 @@ pub fn fast_scale_cols_slice(data: &[f64], k: usize, n: usize, budget: f64) -> V
         .collect()
 }
 
+/// [`fast_scale_rows`] over a borrowed strided operand view (any layout,
+/// leading dimension, or transpose; f64 or exactly widened f32): per-row
+/// scale exponents for the view's **logical** elements, with zero
+/// materialization. Bit-identical to [`fast_scale_rows_slice`] on a
+/// column-major copy — every row's maxima and norm accumulation run in
+/// the same ascending-`h` order, and f32 widening is exact.
+pub fn fast_scale_a_view<T: Element>(a: &MatView<'_, T>, budget: f64) -> Vec<i32> {
+    let (m, k) = a.shape();
+    let mut row_max = vec![0.0f64; m];
+    for h in 0..k {
+        for (i, rm) in row_max.iter_mut().enumerate() {
+            let ax = a.get(i, h).to_f64().abs();
+            if ax > *rm {
+                *rm = ax;
+            }
+        }
+    }
+    let m_exp: Vec<i32> = row_max
+        .iter()
+        .map(|&r| if r == 0.0 { 0 } else { ilog2_abs(r) })
+        .collect();
+    let inv_scale: Vec<f64> = m_exp.iter().map(|&e| scale_by_pow2(1.0, -e)).collect();
+    let mut norm_sq = vec![0.0f64; m];
+    for h in 0..k {
+        for (i, (ns, &s)) in norm_sq.iter_mut().zip(&inv_scale).enumerate() {
+            let t = a.get(i, h).to_f64() * s;
+            *ns += t * t;
+        }
+    }
+    norm_sq
+        .iter()
+        .zip(&m_exp)
+        .zip(&row_max)
+        .map(|((&ns, &me), &rm)| {
+            if rm == 0.0 {
+                return 0;
+            }
+            let upper = roundup::inflate(ns, k);
+            let t = (0.51 * upper.log2()).max(1.0);
+            (budget - t).floor() as i32 - me
+        })
+        .collect()
+}
+
+/// [`fast_scale_cols`] over a borrowed strided operand view — the
+/// column-side counterpart of [`fast_scale_a_view`], bit-identical to
+/// [`fast_scale_cols_slice`] on a column-major copy.
+pub fn fast_scale_b_view<T: Element>(b: &MatView<'_, T>, budget: f64) -> Vec<i32> {
+    let (k, n) = b.shape();
+    (0..n)
+        .map(|j| {
+            let cm = (0..k).fold(0.0f64, |acc, h| acc.max(b.get(h, j).to_f64().abs()));
+            if cm == 0.0 {
+                return 0;
+            }
+            let me = ilog2_abs(cm);
+            let s = scale_by_pow2(1.0, -me);
+            let upper = roundup::sum_sq_upper((0..k).map(|h| b.get(h, j).to_f64() * s));
+            let t = (0.51 * upper.log2()).max(1.0);
+            (budget - t).floor() as i32 - me
+        })
+        .collect()
+}
+
 /// Accurate-mode scale exponents for both operands (§4.2).
 ///
 /// Returns `(e_a, e_b)` and performs one INT8 GEMM of the 6-bit magnitude
 /// estimates internally.
 pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32>) {
+    accurate_scale_view(&a.view(), &b.view(), budget)
+}
+
+/// [`accurate_scale`] over borrowed strided operand views (f64 or exactly
+/// widened f32). The 6-bit magnitude estimates `Ā`, `B̄` are built straight
+/// from the strided elements — the operands themselves are never copied —
+/// and the resulting exponents are bit-identical to the owned form.
+pub fn accurate_scale_view<T: Element>(
+    a: &MatView<'_, T>,
+    b: &MatView<'_, T>,
+    budget: f64,
+) -> (Vec<i32>, Vec<i32>) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(k, kb);
@@ -149,8 +226,8 @@ pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32
     // μ'_i = 2^{5 - ⌊log2 max_h |a_ih|⌋}: scales the row max into [32, 64).
     let mut row_max = vec![0.0f64; m];
     for h in 0..k {
-        for (rm, &x) in row_max.iter_mut().zip(a.col(h)) {
-            let ax = x.abs();
+        for (i, rm) in row_max.iter_mut().enumerate() {
+            let ax = a.get(i, h).to_f64().abs();
             if ax > *rm {
                 *rm = ax;
             }
@@ -161,7 +238,7 @@ pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32
         .map(|&r| if r == 0.0 { 0 } else { 5 - ilog2_abs(r) })
         .collect();
     let col_max: Vec<f64> = (0..n)
-        .map(|j| b.col(j).iter().fold(0.0f64, |acc, &x| acc.max(x.abs())))
+        .map(|j| (0..k).fold(0.0f64, |acc, h| acc.max(b.get(h, j).to_f64().abs())))
         .collect();
     let nu_prime: Vec<i32> = col_max
         .iter()
@@ -170,12 +247,12 @@ pub fn accurate_scale(a: &MatF64, b: &MatF64, budget: f64) -> (Vec<i32>, Vec<i32
 
     // Ā = ⌈μ' |A|⌉, B̄ = ⌈|B| ν'⌉ — 6-bit magnitudes (≤ 64), INT8-safe.
     let a_bar = Matrix::from_fn(m, k, |i, j| {
-        let v = (scale_by_pow2(a[(i, j)].abs(), mu_prime[i])).ceil();
+        let v = (scale_by_pow2(a.get(i, j).to_f64().abs(), mu_prime[i])).ceil();
         debug_assert!(v <= 64.0);
         v as i8
     });
     let b_bar = Matrix::from_fn(k, n, |i, j| {
-        let v = (scale_by_pow2(b[(i, j)].abs(), nu_prime[j])).ceil();
+        let v = (scale_by_pow2(b.get(i, j).to_f64().abs(), nu_prime[j])).ceil();
         debug_assert!(v <= 64.0);
         v as i8
     });

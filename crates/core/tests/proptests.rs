@@ -6,7 +6,7 @@ use ozaki2::accumulate::{fold_planes, fold_span, fold_span_scalar, FoldPrecision
 use ozaki2::consts::constants;
 use ozaki2::convert::{
     convert_pack_panels, residue_planes, rmod_reference, rmod_row, rmod_row_scalar, rmod_to_i8,
-    steps_for, trunc_convert_pack_panels, ConvertTiming, TruncSource,
+    steps_for, trunc_convert_pack_panels, ConvertTiming, ElemSlice, TruncSource,
 };
 use ozaki2::modred::mod_i32_to_u8;
 use ozaki2::scale::{
@@ -275,7 +275,7 @@ proptest! {
             let mut got = vec![-1i16; nmod * vecs_pad * kp];
             let timing = ConvertTiming::new();
             trunc_convert_pack_panels(
-                TruncSource::RowsColMajor { data: a.as_slice(), rows: vecs, exps: &exps_a },
+                TruncSource::Gathered { data: ElemSlice::F64(a.as_slice()), ld: vecs, exps: &exps_a },
                 vecs, vecs_pad, k, kp, c, b64, parallel, &mut got, Some(&timing),
             );
             prop_assert_eq!(
@@ -294,7 +294,7 @@ proptest! {
         for parallel in [false, true] {
             let mut got = vec![-1i16; nmod * vecs_pad_b * kp];
             trunc_convert_pack_panels(
-                TruncSource::ColsColMajor { data: b.as_slice(), exps: &exps_b },
+                TruncSource::Contiguous { data: ElemSlice::F64(b.as_slice()), ld: k, exps: &exps_b },
                 vecs, vecs_pad_b, k, kp, c, b64, parallel, &mut got, None,
             );
             prop_assert_eq!(
@@ -482,5 +482,198 @@ proptest! {
                 prop_assert!(rel < 1e-2, "({},{}) rel={}", i, j, rel);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// View facade: bit-identity across strides / layouts / transposes, and the
+// named wrappers as thin delegates (also exercised by the forced-scalar CI
+// job, which runs this whole suite with OZAKI_FORCE_SCALAR=1).
+// ---------------------------------------------------------------------------
+
+use gemm_dense::view::Layout;
+use gemm_dense::MatView;
+use ozaki2::{GemmArgs, GemmOp};
+
+/// Scatter `mat` into a fresh NaN-poisoned column-major buffer with
+/// leading dimension `rows + pad`; only the logical elements are written,
+/// so any read of a gap element surfaces as a NaN-contaminated (or
+/// validation-rejected) result.
+fn poisoned_strided(mat: &Matrix<f64>, pad: usize) -> (Vec<f64>, usize) {
+    let (rows, cols) = (mat.rows(), mat.cols());
+    let ld = rows + pad;
+    let len = if cols == 0 { 0 } else { (cols - 1) * ld + rows };
+    let mut buf = vec![f64::NAN; len];
+    for j in 0..cols {
+        for i in 0..rows {
+            buf[i + j * ld] = mat[(i, j)];
+        }
+    }
+    (buf, ld)
+}
+
+fn poisoned_strided_f32(mat: &Matrix<f32>, pad: usize) -> (Vec<f32>, usize) {
+    let (rows, cols) = (mat.rows(), mat.cols());
+    let ld = rows + pad;
+    let len = if cols == 0 { 0 } else { (cols - 1) * ld + rows };
+    let mut buf = vec![f32::NAN; len];
+    for j in 0..cols {
+        for i in 0..rows {
+            buf[i + j * ld] = mat[(i, j)];
+        }
+    }
+    (buf, ld)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f64: the view facade over arbitrary strides, layouts and transpose
+    /// options is bit-identical to the owned-matrix path, in both scaling
+    /// modes, with NaN poison proving no gap element is ever touched.
+    #[test]
+    fn view_gemm_matches_owned_f64(
+        m in 1usize..=12,
+        n in 1usize..=10,
+        k in 1usize..=16,
+        nmod in 2usize..=20,
+        lda_pad in 0usize..4,
+        ldb_pad in 0usize..4,
+        trans_a in any::<bool>(),
+        trans_b in any::<bool>(),
+        accurate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mode = if accurate { Mode::Accurate } else { Mode::Fast };
+        let a = gemm_dense::workload::phi_matrix_f64(m, k, 0.7, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f64(k, n, 0.7, seed + 1, 1);
+        let emu = Ozaki2::new(nmod, mode);
+        let want = emu.dgemm(&a, &b);
+
+        // Store op(A) (the transposed matrix when trans_a) strided, then
+        // ask the facade to undo the transpose — a pure view flip.
+        let stored_a = if trans_a { a.transpose() } else { a.clone() };
+        let stored_b = if trans_b { b.transpose() } else { b.clone() };
+        let (abuf, lda) = poisoned_strided(&stored_a, lda_pad);
+        let (bbuf, ldb) = poisoned_strided(&stored_b, ldb_pad);
+        let va = MatView::new(&abuf, stored_a.rows(), stored_a.cols(), lda, Layout::ColMajor);
+        let vb = MatView::new(&bbuf, stored_b.rows(), stored_b.cols(), ldb, Layout::ColMajor);
+        let got = emu.gemm(
+            GemmArgs::new(va, vb)
+                .trans_a(if trans_a { GemmOp::T } else { GemmOp::N })
+                .trans_b(if trans_b { GemmOp::T } else { GemmOp::N }),
+        ).unwrap();
+        prop_assert_eq!(
+            &got.c, &want,
+            "N={} mode={:?} lda={} ldb={} ta={} tb={}", nmod, mode, lda, ldb, trans_a, trans_b
+        );
+    }
+
+    /// f32: same bit-identity over strides/layouts/transposes — the fused
+    /// sweep widens lanes exactly, so the strided f32 view path must equal
+    /// the owned sgemm path bitwise.
+    #[test]
+    fn view_gemm_matches_owned_f32(
+        m in 1usize..=12,
+        n in 1usize..=10,
+        k in 1usize..=16,
+        nmod in 2usize..=18,
+        lda_pad in 0usize..4,
+        ldb_pad in 0usize..4,
+        trans_a in any::<bool>(),
+        trans_b in any::<bool>(),
+        accurate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mode = if accurate { Mode::Accurate } else { Mode::Fast };
+        let a = gemm_dense::workload::phi_matrix_f32(m, k, 0.5, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f32(k, n, 0.5, seed + 1, 1);
+        let emu = Ozaki2::new(nmod, mode);
+        let want = emu.sgemm(&a, &b);
+
+        let stored_a = if trans_a { a.transpose() } else { a.clone() };
+        let stored_b = if trans_b { b.transpose() } else { b.clone() };
+        let (abuf, lda) = poisoned_strided_f32(&stored_a, lda_pad);
+        let (bbuf, ldb) = poisoned_strided_f32(&stored_b, ldb_pad);
+        let va = MatView::new(&abuf, stored_a.rows(), stored_a.cols(), lda, Layout::ColMajor);
+        let vb = MatView::new(&bbuf, stored_b.rows(), stored_b.cols(), ldb, Layout::ColMajor);
+        let got = emu.gemm(
+            GemmArgs::new(va, vb)
+                .trans_a(if trans_a { GemmOp::T } else { GemmOp::N })
+                .trans_b(if trans_b { GemmOp::T } else { GemmOp::N }),
+        ).unwrap();
+        prop_assert_eq!(
+            &got.c, &want,
+            "N={} mode={:?} lda={} ldb={} ta={} tb={}", nmod, mode, lda, ldb, trans_a, trans_b
+        );
+    }
+
+    /// Row-major views (the zero-copy transpose representation) feed the
+    /// contiguous/gathered sweep paths swapped — results stay bitwise
+    /// equal to the owned path.
+    #[test]
+    fn row_major_views_match_owned(
+        m in 1usize..=10,
+        n in 1usize..=10,
+        k in 1usize..=14,
+        nmod in 2usize..=16,
+        seed in 0u64..1000,
+    ) {
+        let a = gemm_dense::workload::phi_matrix_f64(m, k, 0.6, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f64(k, n, 0.6, seed + 1, 1);
+        let emu = Ozaki2::new(nmod, Mode::Fast);
+        let want = emu.dgemm(&a, &b);
+        // Row-major storage of A and B themselves.
+        let arm = a.to_row_major();
+        let brm = b.to_row_major();
+        let va = MatView::new(&arm, m, k, k, Layout::RowMajor);
+        let vb = MatView::new(&brm, k, n, n, Layout::RowMajor);
+        let got = emu.gemm(GemmArgs::new(va, vb)).unwrap();
+        prop_assert_eq!(&got.c, &want, "N={}", nmod);
+    }
+
+    /// Every historical named entry is a thin wrapper of the facade:
+    /// equal results, bit for bit.
+    #[test]
+    fn named_wrappers_equal_facade(
+        m in 1usize..=10,
+        n in 1usize..=10,
+        k in 1usize..=14,
+        nmod in 2usize..=15,
+        accurate in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mode = if accurate { Mode::Accurate } else { Mode::Fast };
+        let a = gemm_dense::workload::phi_matrix_f64(m, k, 0.7, seed, 0);
+        let b = gemm_dense::workload::phi_matrix_f64(k, n, 0.7, seed + 1, 1);
+        let emu = Ozaki2::new(nmod, mode);
+        let facade = emu.gemm(GemmArgs::new(&a, &b)).unwrap().c;
+
+        prop_assert_eq!(&emu.dgemm(&a, &b), &facade);
+        prop_assert_eq!(&emu.try_dgemm(&a, &b).unwrap(), &facade);
+        prop_assert_eq!(&emu.dgemm_with_report(&a, &b).0, &facade);
+        let mut ws = ozaki2::Workspace::new();
+        prop_assert_eq!(&emu.dgemm_ws(&a, &b, &mut ws), &facade);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        emu.dgemm_into_ws(&a, &b, &mut c, &mut ws);
+        prop_assert_eq!(&c, &facade);
+        let mut c_blas = Matrix::<f64>::zeros(m, n);
+        emu.dgemm_blas(GemmOp::N, GemmOp::N, 1.0, &a, &b, 0.0, &mut c_blas);
+        prop_assert_eq!(&c_blas, &facade);
+        let mut plan = ozaki2::GemmPlan::new(emu, m, n, k);
+        prop_assert_eq!(&plan.execute(&a, &b), &facade);
+        let mut c_plan = Matrix::<f64>::zeros(m, n);
+        plan.execute_views_into(a.view(), b.view(), c_plan.view_mut()).unwrap();
+        prop_assert_eq!(&c_plan, &facade);
+
+        // f32 family.
+        let af = gemm_dense::workload::phi_matrix_f32(m, k, 0.5, seed, 0);
+        let bf = gemm_dense::workload::phi_matrix_f32(k, n, 0.5, seed + 1, 1);
+        let emu8 = Ozaki2::new(nmod.min(18), mode);
+        let facade32 = emu8.gemm(GemmArgs::new(&af, &bf)).unwrap().c;
+        prop_assert_eq!(&emu8.sgemm(&af, &bf), &facade32);
+        let mut cf = Matrix::<f32>::zeros(m, n);
+        emu8.sgemm_blas(GemmOp::N, GemmOp::N, 1.0f32, &af, &bf, 0.0f32, &mut cf);
+        prop_assert_eq!(&cf, &facade32);
     }
 }

@@ -14,8 +14,10 @@ pub mod gemm;
 pub mod matrix;
 pub mod norms;
 pub mod rng;
+pub mod view;
 pub mod workload;
 
 pub use algo::{MatMulF32, MatMulF64, NativeDgemm, NativeSgemm};
 pub use matrix::{MatF32, MatF64, MatI32, MatI8, MatU8, Matrix};
 pub use rng::Philox4x32;
+pub use view::{Layout, MatView, MatViewMut};

@@ -1,0 +1,453 @@
+//! Borrowed strided matrix views: the canonical operand type of the
+//! emulation stack.
+//!
+//! A [`MatView`] is `(data, rows, cols, layout, leading dimension)` — the
+//! BLAS operand convention. It borrows the caller's buffer, so feeding one
+//! to the pipeline copies nothing: the fused trunc+convert sweep gathers
+//! straight from the strided source. Transposition is **free**
+//! ([`MatView::t`] swaps the logical shape and flips the layout tag over
+//! the same buffer), which is what lets the BLAS surface serve
+//! `op(A)·op(B)` with zero operand materialization.
+//!
+//! [`MatViewMut`] is the column-major output counterpart (BLAS `C` with
+//! `ldc`).
+
+use crate::matrix::Matrix;
+
+/// Element order of a [`MatView`]'s backing buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Element `(i, j)` at `data[i + j * ld]` (BLAS default; columns are
+    /// contiguous when `ld == rows`).
+    ColMajor,
+    /// Element `(i, j)` at `data[i * ld + j]` (rows are contiguous when
+    /// `ld == cols`). A row-major view is exactly the zero-copy transpose
+    /// of a column-major one.
+    RowMajor,
+}
+
+impl Layout {
+    /// The other layout (what [`MatView::t`] flips to).
+    pub fn flipped(self) -> Layout {
+        match self {
+            Layout::ColMajor => Layout::RowMajor,
+            Layout::RowMajor => Layout::ColMajor,
+        }
+    }
+}
+
+/// Minimum buffer length for a `rows x cols` view with the given layout
+/// and leading dimension.
+fn need(rows: usize, cols: usize, ld: usize, layout: Layout) -> usize {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    match layout {
+        Layout::ColMajor => (cols - 1) * ld + rows,
+        Layout::RowMajor => (rows - 1) * ld + cols,
+    }
+}
+
+/// A borrowed, strided, immutable matrix view (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct MatView<'a, T> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    layout: Layout,
+}
+
+impl<'a, T: Copy> MatView<'a, T> {
+    /// General constructor: `rows x cols` over `data` with layout and
+    /// leading dimension `ld` (the element stride between consecutive
+    /// columns for [`Layout::ColMajor`], rows for [`Layout::RowMajor`]).
+    ///
+    /// # Panics
+    /// If `ld` is below the minor dimension or `data` is too short.
+    pub fn new(data: &'a [T], rows: usize, cols: usize, ld: usize, layout: Layout) -> Self {
+        let minor = match layout {
+            Layout::ColMajor => rows,
+            Layout::RowMajor => cols,
+        };
+        assert!(
+            ld >= minor.max(1),
+            "leading dimension {ld} below minor dimension {minor}"
+        );
+        let need = need(rows, cols, ld, layout);
+        assert!(
+            data.len() >= need,
+            "view buffer too short: {} < {need}",
+            data.len()
+        );
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+            layout,
+        }
+    }
+
+    /// Contiguous column-major view (`ld == rows`), the dense default.
+    pub fn col_major(data: &'a [T], rows: usize, cols: usize) -> Self {
+        Self::new(data, rows, cols, rows.max(1), Layout::ColMajor)
+    }
+
+    /// Contiguous row-major view (`ld == cols`).
+    pub fn row_major(data: &'a [T], rows: usize, cols: usize) -> Self {
+        Self::new(data, rows, cols, cols.max(1), Layout::RowMajor)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Leading dimension.
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Element order of the backing buffer.
+    #[inline]
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The borrowed backing buffer (strided; see [`MatView::layout`]).
+    #[inline]
+    pub fn data(&self) -> &'a [T] {
+        self.data
+    }
+
+    /// Element `(i, j)`.
+    ///
+    /// # Panics
+    /// Out-of-bounds indices panic via the slice index.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        match self.layout {
+            Layout::ColMajor => self.data[i + j * self.ld],
+            Layout::RowMajor => self.data[i * self.ld + j],
+        }
+    }
+
+    /// Minimum backing-buffer length this view's shape, layout and
+    /// leading dimension span (the constructor's length requirement).
+    pub fn min_len(&self) -> usize {
+        need(self.rows, self.cols, self.ld, self.layout)
+    }
+
+    /// The **zero-copy transpose**: same buffer, swapped logical shape,
+    /// flipped layout. `self.t().get(i, j) == self.get(j, i)` with no
+    /// element moved.
+    pub fn t(&self) -> MatView<'a, T> {
+        MatView {
+            data: self.data,
+            rows: self.cols,
+            cols: self.rows,
+            ld: self.ld,
+            layout: self.layout.flipped(),
+        }
+    }
+
+    /// Whether the view is a dense column-major buffer (`Layout::ColMajor`
+    /// with no inter-column gap), i.e. directly usable as a `rows * cols`
+    /// column-major slice.
+    pub fn is_contiguous_col_major(&self) -> bool {
+        self.layout == Layout::ColMajor && (self.ld == self.rows || self.cols <= 1)
+    }
+
+    /// The dense column-major element slice, when the view is one
+    /// (`None` for strided, gapped, or row-major views).
+    pub fn as_col_major_slice(&self) -> Option<&'a [T]> {
+        if self.rows == 0 || self.cols == 0 {
+            return Some(&self.data[..0]);
+        }
+        if self.is_contiguous_col_major() {
+            Some(&self.data[..(self.cols - 1) * self.ld + self.rows])
+        } else {
+            None
+        }
+    }
+
+    /// Owned column-major copy (gathers the strided elements). This is a
+    /// materialization — tests and diagnostics only; the pipeline itself
+    /// never needs it.
+    pub fn to_matrix(&self) -> Matrix<T>
+    where
+        T: Default,
+    {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+impl<'a, T: Copy> From<&'a Matrix<T>> for MatView<'a, T> {
+    fn from(m: &'a Matrix<T>) -> Self {
+        MatView::col_major(m.as_slice(), m.rows(), m.cols())
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Borrow this matrix as a contiguous column-major [`MatView`].
+    pub fn view(&self) -> MatView<'_, T> {
+        MatView::from(self)
+    }
+
+    /// Borrow this matrix as a contiguous column-major [`MatViewMut`].
+    pub fn view_mut(&mut self) -> MatViewMut<'_, T> {
+        let (rows, cols) = self.shape();
+        MatViewMut::col_major(self.as_mut_slice(), rows, cols)
+    }
+}
+
+/// A borrowed, mutable, column-major output view (BLAS `C` with `ldc`).
+///
+/// Outputs are always column-major (the workspace convention); strided
+/// outputs (`ld > rows`) are written column by column.
+#[derive(Debug)]
+pub struct MatViewMut<'a, T> {
+    data: &'a mut [T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a, T: Copy> MatViewMut<'a, T> {
+    /// `rows x cols` column-major over `data` with leading dimension `ld`.
+    ///
+    /// # Panics
+    /// If `ld < rows` or `data` is too short.
+    pub fn new(data: &'a mut [T], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(
+            ld >= rows.max(1),
+            "leading dimension {ld} below rows {rows}"
+        );
+        let need = need(rows, cols, ld, Layout::ColMajor);
+        assert!(
+            data.len() >= need,
+            "view buffer too short: {} < {need}",
+            data.len()
+        );
+        Self {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    /// Contiguous column-major mutable view (`ld == rows`).
+    pub fn col_major(data: &'a mut [T], rows: usize, cols: usize) -> Self {
+        Self::new(data, rows, cols, rows.max(1))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Leading dimension.
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// Immutable element access (for read-modify-write epilogues).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Mutable contiguous column `j` (`rows` elements).
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.cols);
+        if self.rows == 0 {
+            return &mut self.data[..0];
+        }
+        &mut self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Whether the view is a dense `rows * cols` column-major buffer.
+    pub fn is_contiguous_col_major(&self) -> bool {
+        self.ld == self.rows || self.cols <= 1
+    }
+
+    /// The dense column-major element slice, when the view is one.
+    pub fn as_col_major_slice_mut(&mut self) -> Option<&mut [T]> {
+        if self.rows == 0 || self.cols == 0 {
+            return Some(&mut self.data[..0]);
+        }
+        if self.is_contiguous_col_major() {
+            let len = (self.cols - 1) * self.ld + self.rows;
+            Some(&mut self.data[..len])
+        } else {
+            None
+        }
+    }
+
+    /// Reborrow as an immutable [`MatView`].
+    pub fn as_view(&self) -> MatView<'_, T> {
+        MatView {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            layout: Layout::ColMajor,
+        }
+    }
+}
+
+impl<'a, T: Copy> From<&'a mut Matrix<T>> for MatViewMut<'a, T> {
+    fn from(m: &'a mut Matrix<T>) -> Self {
+        m.view_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_major_view_indexes_like_matrix() {
+        let m = Matrix::from_fn(3, 4, |i, j| (10 * i + j) as i32);
+        let v = m.view();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(v.get(i, j), m[(i, j)]);
+            }
+        }
+        assert_eq!(v.as_col_major_slice(), Some(m.as_slice()));
+        assert!(v.is_contiguous_col_major());
+    }
+
+    #[test]
+    fn transpose_is_zero_copy() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 31 + j) as i64);
+        let t = m.view().t();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.layout(), Layout::RowMajor);
+        assert!(std::ptr::eq(t.data(), m.as_slice()));
+        for i in 0..5 {
+            for j in 0..3 {
+                assert_eq!(t.get(i, j), m[(j, i)]);
+            }
+        }
+        // Double transpose round-trips.
+        assert_eq!(t.t().to_matrix(), m);
+    }
+
+    #[test]
+    fn strided_submatrix_view() {
+        // A 2x3 window inside a 5x7 column-major parent, at offset (1, 2).
+        let parent = Matrix::from_fn(5, 7, |i, j| (i + 10 * j) as i32);
+        let off = 1 + 2 * 5;
+        let v = MatView::new(&parent.as_slice()[off..], 2, 3, 5, Layout::ColMajor);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(v.get(i, j), parent[(1 + i, 2 + j)]);
+            }
+        }
+        assert!(!v.is_contiguous_col_major());
+        assert!(v.as_col_major_slice().is_none());
+    }
+
+    #[test]
+    fn row_major_view() {
+        let data: Vec<i32> = (0..12).collect();
+        let v = MatView::row_major(&data, 3, 4);
+        assert_eq!(v.get(0, 0), 0);
+        assert_eq!(v.get(1, 0), 4);
+        assert_eq!(v.get(2, 3), 11);
+        assert!(v.as_col_major_slice().is_none());
+        // Its transpose is a contiguous col-major 4x3 view.
+        let t = v.t();
+        assert!(t.is_contiguous_col_major());
+        assert_eq!(t.get(0, 1), 4);
+    }
+
+    #[test]
+    fn empty_views() {
+        let data: [f64; 0] = [];
+        let v = MatView::col_major(&data, 0, 3);
+        assert_eq!(v.shape(), (0, 3));
+        assert_eq!(v.as_col_major_slice(), Some(&data[..]));
+        let v2 = MatView::col_major(&data, 2, 0);
+        assert_eq!(v2.to_matrix().shape(), (2, 0));
+    }
+
+    #[test]
+    fn view_mut_columns_and_strides() {
+        let mut buf = vec![0i32; 4 * 6];
+        {
+            let mut v = MatViewMut::new(&mut buf, 3, 4, 4); // ld 4 > rows 3
+            assert!(!v.is_contiguous_col_major());
+            for j in 0..4 {
+                for (i, e) in v.col_mut(j).iter_mut().enumerate() {
+                    *e = (10 * i + j) as i32;
+                }
+            }
+            assert_eq!(v.get(2, 3), 23);
+            assert_eq!(v.as_view().get(1, 2), 12);
+        }
+        // The ld-gap rows stay untouched.
+        assert_eq!(buf[3], 0);
+    }
+
+    #[test]
+    fn matrix_view_mut_round_trip() {
+        let mut m = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        {
+            let mut v = m.view_mut();
+            assert!(v.is_contiguous_col_major());
+            v.col_mut(1)[0] = 9.0;
+            assert_eq!(v.as_col_major_slice_mut().unwrap().len(), 4);
+        }
+        assert_eq!(m[(0, 1)], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_buffer_rejected() {
+        let data = vec![0f64; 5];
+        let _ = MatView::col_major(&data, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below minor dimension")]
+    fn undersized_ld_rejected() {
+        let data = vec![0f64; 12];
+        let _ = MatView::new(&data, 4, 3, 3, Layout::ColMajor);
+    }
+}

@@ -17,6 +17,27 @@ fn main() {
     // High-accuracy oracle (double-double accumulation).
     let exact = dd_gemm(&a, &b);
 
+    // The canonical entry: build from an accuracy target (the builder
+    // resolves N through the a-priori model — DGEMM-level at this k) and
+    // run the unified view facade. Operand views make transposes free:
+    // C = A · (Bᵀ)ᵀ below reads the transposed buffer with zero copies.
+    let emu = Ozaki2::builder()
+        .accuracy(Accuracy::Fp64Equivalent)
+        .mode(Mode::Fast)
+        .build_for_k(k)
+        .expect("fp64-level accuracy is reachable");
+    let bt = b.transpose(); // pretend the caller stores B transposed
+    let out = emu
+        .gemm(GemmArgs::new(&a, &bt).trans_b(GemmOp::T))
+        .expect("finite inputs");
+    println!(
+        "builder resolved N = {} for k = {k}; transposed-view DGEMM error {:.3e} \
+         ({} INT8 GEMMs)\n",
+        emu.n_moduli(),
+        max_rel_error_vs_dd(&out.c, &exact),
+        out.report.int8_gemm_calls
+    );
+
     println!("-- DGEMM emulation: error vs number of moduli N --");
     println!("{:<16} {:>14}", "method", "max rel error");
     let native = NativeDgemm.matmul_f64(&a, &b);

@@ -51,8 +51,11 @@ pub mod prelude {
     pub use gemm_dense::norms::{max_relative_error, normwise_relative_error};
     pub use gemm_dense::workload::{phi_matrix_f32, phi_matrix_f64, PHI_HPL};
     pub use gemm_dense::{
-        MatF32, MatF64, MatMulF32, MatMulF64, Matrix, NativeDgemm, NativeSgemm, Philox4x32,
+        Layout, MatF32, MatF64, MatMulF32, MatMulF64, MatView, MatViewMut, Matrix, NativeDgemm,
+        NativeSgemm, Philox4x32,
     };
     pub use gemm_exact::{dd_gemm, max_rel_error_vs_dd, Dd};
-    pub use ozaki2::{GemmPlan, Mode, Ozaki2, PreparedOperand};
+    pub use ozaki2::{
+        Accuracy, GemmArgs, GemmOp, GemmOut, GemmPlan, Mode, Ozaki2, PreparedOperand, Workspace,
+    };
 }
