@@ -16,6 +16,12 @@ use std::sync::Mutex;
 
 /// Pool of reusable pipeline workspaces (see the module docs).
 ///
+/// The pool is panic-hardened: a guard dropped during unwinding scrubs
+/// its workspace before returning it (a panic mid-pipeline can leave
+/// half-written panels behind), and a mutex poisoned by a panicking
+/// holder is recovered rather than propagated — the free list is always
+/// structurally valid, so later checkouts keep working.
+///
 /// # Examples
 /// ```
 /// use gemm_batch::WorkspacePool;
@@ -39,10 +45,21 @@ impl WorkspacePool {
         Self::default()
     }
 
+    /// The free list, recovering from lock poisoning: the protected
+    /// `Vec<Workspace>` is never left mid-mutation by pool code (push /
+    /// pop / iterate are the only operations), so a poisoned lock only
+    /// means some *holder* of a checked-out workspace panicked — the
+    /// guard's drop has already scrubbed that workspace.
+    fn free_list(&self) -> std::sync::MutexGuard<'_, Vec<Workspace>> {
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Check out a workspace (reusing a returned one when available).
     /// The guard returns it to the pool on drop.
     pub fn checkout(&self) -> PooledWorkspace<'_> {
-        let ws = self.free.lock().expect("pool lock").pop();
+        let ws = self.free_list().pop();
         let ws = ws.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             Workspace::new()
@@ -61,18 +78,13 @@ impl WorkspacePool {
 
     /// Workspaces currently parked in the pool.
     pub fn available(&self) -> usize {
-        self.free.lock().expect("pool lock").len()
+        self.free_list().len()
     }
 
     /// Summed scratch footprint of the parked workspaces in bytes.
     /// Stable across steady-state iterations (grow-once, reuse forever).
     pub fn bytes(&self) -> usize {
-        self.free
-            .lock()
-            .expect("pool lock")
-            .iter()
-            .map(Workspace::bytes)
-            .sum()
+        self.free_list().iter().map(Workspace::bytes).sum()
     }
 }
 
@@ -98,8 +110,15 @@ impl DerefMut for PooledWorkspace<'_> {
 
 impl Drop for PooledWorkspace<'_> {
     fn drop(&mut self) {
-        if let Some(ws) = self.ws.take() {
-            self.pool.free.lock().expect("pool lock").push(ws);
+        if let Some(mut ws) = self.ws.take() {
+            // A panic mid-pipeline can leave half-written panels or
+            // residue planes behind; the buffers stay correctly sized,
+            // but scrub them so the next borrower starts from zeroed
+            // scratch rather than another item's torn state.
+            if std::thread::panicking() {
+                ws.scrub();
+            }
+            self.pool.free_list().push(ws);
         }
     }
 }

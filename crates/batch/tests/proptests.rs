@@ -425,7 +425,16 @@ fn batched_propagates_item_errors() {
             &StridedBatchF64::broadcast(&b, count),
         )
         .unwrap_err();
-    assert_eq!(err, ozaki2::EmulationError::NonFiniteInput);
+    assert!(
+        matches!(
+            err,
+            ozaki2::EmulationError::NonFiniteInput {
+                side: ozaki2::OperandSide::A,
+                ..
+            }
+        ),
+        "expected NonFiniteInput on side A, got {err:?}"
+    );
 
     // Count mismatch.
     let ok_a = vec![0.5f64; 2 * m * k];
@@ -438,4 +447,55 @@ fn batched_propagates_item_errors() {
             .unwrap_err(),
         ozaki2::EmulationError::ShapeMismatch
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Panic-hardening: a batch item that panics while holding a pooled
+    /// workspace must not wedge the pool. The unwinding guard scrubs and
+    /// returns the workspace, the poisoned free-list lock is recovered,
+    /// and later checkouts see valid workspaces with flat byte
+    /// accounting and bit-identical results.
+    #[test]
+    fn pool_survives_panicking_holders(
+        m in 1usize..=16,
+        n in 1usize..=16,
+        k in 1usize..=24,
+        nmod in 4usize..=12,
+        seed in 0u64..1000,
+    ) {
+        use gemm_batch::WorkspacePool;
+        let pool = WorkspacePool::new();
+        let emu = Ozaki2::new(nmod, Mode::Fast);
+        let a = phi_matrix_f64(m, k, 0.6, seed, 0);
+        let b = phi_matrix_f64(k, n, 0.6, seed + 1, 1);
+        let want = emu.dgemm(&a, &b);
+        // Grow one workspace through a clean run.
+        {
+            let mut ws = pool.checkout();
+            prop_assert_eq!(&emu.dgemm_ws(&a, &b, &mut ws), &want);
+        }
+        let grown = pool.bytes();
+        // Panic while holding the checked-out workspace: the guard's
+        // drop runs during unwinding (thread::panicking() is true) and
+        // its free-list MutexGuard release poisons the pool lock.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ws = pool.checkout();
+            let _ = emu.dgemm_ws(&a, &b, &mut ws);
+            panic!("simulated batch-item failure");
+        }));
+        prop_assert!(result.is_err());
+        // The workspace came back (scrubbed, still grown) and the pool
+        // keeps serving checkouts off the recovered lock.
+        prop_assert_eq!(pool.available(), 1);
+        prop_assert_eq!(pool.bytes(), grown, "byte accounting must stay flat");
+        for _ in 0..3 {
+            let mut ws = pool.checkout();
+            prop_assert_eq!(pool.created(), 1, "reuse, not re-create");
+            prop_assert_eq!(&emu.dgemm_ws(&a, &b, &mut ws), &want);
+            drop(ws);
+            prop_assert_eq!(pool.bytes(), grown);
+        }
+    }
 }

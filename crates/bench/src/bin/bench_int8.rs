@@ -34,7 +34,7 @@ use gemm_engine::{
 use ozaki2::accumulate::{fold_kernel_name, fold_planes, FoldPrecision};
 use ozaki2::convert::{convert_kernel_name, convert_pack_panels, rmod_to_i8, steps_for};
 use ozaki2::scale::{fast_scale_rows, scale_by_pow2, scale_trunc_a_rowmajor, trunc_kernel_name};
-use ozaki2::{constants, GemmArgs, GemmOp, Mode, Ozaki2, Workspace};
+use ozaki2::{constants, FaultPolicy, GemmArgs, GemmOp, Mode, Ozaki2, Workspace};
 use std::io::Write;
 use std::time::Instant;
 
@@ -248,6 +248,41 @@ fn main() {
     let total = report.phases.total().as_secs_f64().max(1e-12);
     let phase_rows = report.phases.as_rows();
 
+    // ABFT overhead: the same steady-state pipeline with per-plane
+    // checksum verification armed (FaultPolicy::Detect) vs explicitly
+    // unprotected, through the facade with per-call policies so the
+    // comparison is immune to any OZAKI_FAULT_POLICY in the environment.
+    // A clean Detect run must stay bit-identical to the Off run before
+    // the timing counts for anything.
+    let mut c_off = MatF64::zeros(pn, pn);
+    let mut c_det = MatF64::zeros(pn, pn);
+    // The two policies interleave rep-by-rep so clock/thermal drift hits
+    // both minima equally — the overhead is a ratio, and sequential
+    // blocks let drift masquerade as (or hide) checksum cost.
+    let (mut t_abft_off, mut t_abft_det) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..=reps {
+        let t0 = Instant::now();
+        emu.gemm_into(
+            GemmArgs::new(&pa, &pb)
+                .fault_policy(FaultPolicy::Off)
+                .workspace(&mut pws),
+            c_off.view_mut(),
+        )
+        .expect("unprotected run");
+        t_abft_off = t_abft_off.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        emu.gemm_into(
+            GemmArgs::new(&pa, &pb)
+                .fault_policy(FaultPolicy::Detect)
+                .workspace(&mut pws),
+            c_det.view_mut(),
+        )
+        .expect("detect run");
+        t_abft_det = t_abft_det.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(c_det, c_off, "clean ABFT run must stay bit-identical");
+    let abft_overhead_pct = (t_abft_det / t_abft_off - 1.0) * 100.0;
+
     // BLAS-surface transposed operand: C = A · Bᵀ at pn³ via the view
     // facade (zero-copy transpose flip) vs the historical materialize
     // path (owned transpose copy fed to the plain pipeline). Bitwise
@@ -315,6 +350,11 @@ fn main() {
         t_blas_view * 1e3
     ));
     json.push_str(&format!(
+        "  \"abft\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": 15,\n    \"policy\": \"detect\",\n    \"abft_off_ms\": {:.3},\n    \"abft_detect_ms\": {:.3},\n    \"abft_overhead_pct\": {abft_overhead_pct:.2}\n  }},\n",
+        t_abft_off * 1e3,
+        t_abft_det * 1e3
+    ));
+    json.push_str(&format!(
         "  \"pipeline\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": {},\n    \"mode\": \"{}\",\n    \"int8_gemm_calls\": {},\n    \"end_to_end_ms\": {end_to_end_ms:.3},\n    \"phase_seconds\": {{\n",
         report.n_moduli,
         report.mode.label(),
@@ -377,6 +417,12 @@ fn main() {
         "  shared-B 64^3 x256 : {shared64_items_per_s:8.1} items/s  ({shared64_speedup:.2}x)\n  large 256^3 x16    : {large256_items_per_s:8.1} items/s  ({large256_speedup:.2}x)"
     );
     println!("pipeline @ {pn}^3, N=15: {end_to_end_ms:.1} ms end-to-end (steady state)");
+    println!("abft checksum verify @ {pn}^3, N=15 (FaultPolicy::Detect vs Off)");
+    println!(
+        "  off         : {:8.1} ms\n  detect      : {:8.1} ms\n  overhead    : {abft_overhead_pct:8.2}%",
+        t_abft_off * 1e3,
+        t_abft_det * 1e3
+    );
     println!("blas transposed-B @ {pn}^3, N=15 (view facade vs materialize)");
     println!(
         "  materialize : {:8.1} ms\n  view        : {:8.1} ms\n  speedup     : {blas_view_speedup:8.2}x",
@@ -444,6 +490,15 @@ fn main() {
                 current: large256_speedup,
                 baseline: pull("large256_speedup_vs_naive"),
                 higher_is_better: true,
+            },
+            // Absolute protected-run time (lower is better): keeps the
+            // ABFT checksum overhead from quietly growing past the
+            // O(mn/NC)-per-plane budget it is designed around.
+            GateMetric {
+                name: "abft_detect_ms",
+                current: t_abft_det * 1e3,
+                baseline: pull("abft_detect_ms"),
+                higher_is_better: false,
             },
             // The view facade must keep beating (or matching) the
             // transpose-materialize path it replaced; a regression here

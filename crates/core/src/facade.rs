@@ -18,6 +18,7 @@
 //!   [`EmulationError::AccuracyUnreachable`] when no supported `N`
 //!   reaches the target).
 
+use crate::abft::{execute_panels_ft, FaultPolicy, FaultReport, FtScratch, PanelsRef};
 use crate::blas::GemmOp;
 use crate::consts::{constants, Constants};
 use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
@@ -25,8 +26,9 @@ use crate::element::Element;
 use crate::moduli::N_MAX;
 use crate::nselect;
 use crate::pipeline::{
-    execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace,
+    execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, WsBuffers,
 };
+use crate::prepared::OperandSide;
 use crate::scale::{accurate_scale_view, fast_scale_a_view, fast_scale_b_view};
 use gemm_dense::{Layout, MatView, MatViewMut, Matrix};
 use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
@@ -64,6 +66,8 @@ pub struct GemmArgs<'a, T: Element> {
     pub(crate) beta: T,
     pub(crate) workspace: Option<&'a mut Workspace>,
     pub(crate) report: Option<&'a mut Option<EmulationReport>>,
+    pub(crate) fault_policy: Option<FaultPolicy>,
+    pub(crate) assume_finite: bool,
 }
 
 impl<'a, T: Element> GemmArgs<'a, T> {
@@ -79,6 +83,8 @@ impl<'a, T: Element> GemmArgs<'a, T> {
             beta: T::ZERO,
             workspace: None,
             report: None,
+            fault_policy: None,
+            assume_finite: false,
         }
     }
 
@@ -125,6 +131,24 @@ impl<'a, T: Element> GemmArgs<'a, T> {
         self
     }
 
+    /// Override the emulator's ABFT [`FaultPolicy`] for this call only
+    /// (default: whatever [`Ozaki2::fault_policy`] says). The ABFT
+    /// outcome lands in [`EmulationReport::fault`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = Some(policy);
+        self
+    }
+
+    /// Skip the finiteness validation of both operands. Non-finite
+    /// entries silently produce garbage residues — only opt out when the
+    /// caller has already validated (e.g. a batch runtime that checked
+    /// the operands once and replays them many times). Shape checks
+    /// still run; see [`EmulationError::NonFiniteInput`].
+    pub fn assume_finite(mut self) -> Self {
+        self.assume_finite = true;
+        self
+    }
+
     /// Effective operand views after the transpose options (zero-copy).
     fn effective(&self) -> (MatView<'a, T>, MatView<'a, T>) {
         let a = match self.trans_a {
@@ -162,6 +186,20 @@ impl Ozaki2 {
     ///
     /// See [`GemmArgs`] for the argument bundle and [`Ozaki2::gemm_into`]
     /// for the allocation-free form.
+    ///
+    /// # Input validation
+    /// Operands are scanned for NaN/infinity up front and rejected with
+    /// [`EmulationError::NonFiniteInput`] naming the offending side and
+    /// storage index — the residue arithmetic has no representation for
+    /// non-finite values, so letting them through would silently produce
+    /// garbage. Callers that pre-validate can skip the scan with
+    /// [`GemmArgs::assume_finite`].
+    ///
+    /// # Fault tolerance
+    /// The executing emulator's [`FaultPolicy`] (or a per-call override
+    /// via [`GemmArgs::fault_policy`]) arms ABFT checksum verification of
+    /// every INT8 residue product; detections and recoveries are reported
+    /// in [`EmulationReport::fault`].
     pub fn gemm<T: Element>(&self, args: GemmArgs<'_, T>) -> Result<GemmOut<T>, EmulationError> {
         let (a, b) = args.effective();
         let mut c = Matrix::<T>::zeros(a.rows(), b.cols());
@@ -184,6 +222,8 @@ impl Ozaki2 {
             beta,
             workspace,
             report,
+            fault_policy,
+            assume_finite,
             ..
         } = args;
         let mut local;
@@ -205,6 +245,8 @@ impl Ozaki2 {
             beta,
             out,
             true,
+            !assume_finite,
+            fault_policy.unwrap_or(self.fault_policy()),
         )?;
         if let Some(sink) = report {
             *sink = Some(rep.clone());
@@ -246,20 +288,31 @@ pub(crate) fn vectors_source<'s, T: Element>(
 }
 
 /// Finiteness check over a view (contiguous fast path either layout).
-pub(crate) fn validate_view<T: Element>(v: &MatView<'_, T>) -> Result<(), EmulationError> {
+/// The error reports the operand `side` and the storage index of the
+/// first offending entry in the view's backing slice.
+pub(crate) fn validate_view<T: Element>(
+    v: &MatView<'_, T>,
+    side: OperandSide,
+) -> Result<(), EmulationError> {
     let contiguous = v
         .as_col_major_slice()
         .or_else(|| v.t().as_col_major_slice());
     if let Some(s) = contiguous {
-        if s.iter().all(|x| x.is_finite_elem()) {
-            return Ok(());
-        }
-        return Err(EmulationError::NonFiniteInput);
+        // Either way the slice is the backing storage in order, so the
+        // iteration position is the storage index.
+        return match s.iter().position(|x| !x.is_finite_elem()) {
+            None => Ok(()),
+            Some(index) => Err(EmulationError::NonFiniteInput { side, index }),
+        };
     }
     for j in 0..v.cols() {
         for i in 0..v.rows() {
             if !v.get(i, j).is_finite_elem() {
-                return Err(EmulationError::NonFiniteInput);
+                let index = match v.layout() {
+                    Layout::ColMajor => i + j * v.ld(),
+                    Layout::RowMajor => j + i * v.ld(),
+                };
+                return Err(EmulationError::NonFiniteInput { side, index });
             }
         }
     }
@@ -272,12 +325,14 @@ pub(crate) fn validate_view<T: Element>(v: &MatView<'_, T>) -> Result<(), Emulat
 /// [`execute_panels`] back half, which is what keeps the whole surface
 /// bit-identical.
 ///
-/// `checked` gates the input validation (moduli range and finiteness);
-/// wrappers that validated already pass `false`. Shape consistency is
-/// always enforced. The fold writes straight into `out` on the plain
-/// contiguous f64 path; otherwise it lands in the workspace staging
-/// buffer and the `alpha`/`beta` epilogue (or the exact f32 narrowing)
-/// runs per column.
+/// `checked` gates the moduli-range check and `validate` the finiteness
+/// validation; wrappers that validated already pass `false`. Shape
+/// consistency is always enforced. The fold writes straight into `out`
+/// on the plain contiguous f64 path; otherwise it lands in the workspace
+/// staging buffer and the `alpha`/`beta` epilogue (or the exact f32
+/// narrowing) runs per column. An active `policy` routes the back half
+/// through the ABFT executor ([`execute_panels_ft`]);
+/// [`FaultPolicy::Off`] runs the historical path byte-for-byte.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn emulate_view_into<T: Element>(
     a: MatView<'_, T>,
@@ -290,6 +345,8 @@ pub(crate) fn emulate_view_into<T: Element>(
     beta: T,
     mut out: MatViewMut<'_, T>,
     checked: bool,
+    validate: bool,
+    policy: FaultPolicy,
 ) -> Result<EmulationReport, EmulationError> {
     if checked && n_moduli > T::N_MAX {
         return Err(EmulationError::UnsupportedN {
@@ -302,9 +359,9 @@ pub(crate) fn emulate_view_into<T: Element>(
     if b.rows() != k || out.shape() != (m, n) {
         return Err(EmulationError::ShapeMismatch);
     }
-    if checked {
-        validate_view(&a)?;
-        validate_view(&b)?;
+    if validate {
+        validate_view(&a, OperandSide::A)?;
+        validate_view(&b, OperandSide::B)?;
     }
     let consts: &Constants = constants(n_moduli);
     let nmod = consts.n;
@@ -328,6 +385,7 @@ pub(crate) fn emulate_view_into<T: Element>(
             mode,
             phases,
             int8_gemm_calls: 0,
+            fault: policy.is_active().then(FaultReport::default),
         });
     }
 
@@ -352,7 +410,22 @@ pub(crate) fn emulate_view_into<T: Element>(
     if !direct_fold {
         ws.reserve_stage(m * n);
     }
-    let (a16, b16, u, c32, racc, cstage) = ws.all_buffers();
+    if policy.is_active() {
+        ws.reserve_abft(m, n, k, nmod);
+    }
+    let WsBuffers {
+        a16,
+        b16,
+        u,
+        c32,
+        racc,
+        cstage,
+        chk_a16,
+        chk_b16,
+        uchk,
+        chk_sum,
+        vsum,
+    } = ws.buffers();
     let kp = padded_depth(k);
     let m_pad = padded_a_rows(m);
     let n_pad = padded_b_cols(n);
@@ -388,31 +461,56 @@ pub(crate) fn emulate_view_into<T: Element>(
     phases.convert = sweep.saturating_sub(phases.trunc);
 
     // ---- Lines 6–12 over the packed panels -------------------------------
-    let mut folded_direct = false;
-    if direct_fold {
-        if let Some(slice) = out.as_col_major_slice_mut().and_then(T::as_f64_slice_mut) {
-            gemm_calls += execute_panels(
-                m,
-                n,
-                k,
-                consts,
-                T::IS_F64,
-                a16,
-                b16,
-                &exps_a,
-                &exps_b,
+    let dst_direct = if direct_fold {
+        out.as_col_major_slice_mut().and_then(T::as_f64_slice_mut)
+    } else {
+        None
+    };
+    let staged = dst_direct.is_none();
+    let dst: &mut [f64] = match dst_direct {
+        Some(slice) => &mut slice[..m * n],
+        None => &mut cstage[..m * n],
+    };
+    let mut fault: Option<FaultReport> = None;
+    if policy.is_active() {
+        let (calls, frep) = execute_panels_ft(
+            m,
+            n,
+            k,
+            consts,
+            T::IS_F64,
+            PanelsRef::Repackable {
+                panels: a16,
+                src: vectors_source(&a, true, &exps_a),
+                vecs: m,
+                vecs_pad: m_pad,
+            },
+            PanelsRef::Repackable {
+                panels: b16,
+                src: vectors_source(&b, false, &exps_b),
+                vecs: n,
+                vecs_pad: n_pad,
+            },
+            &exps_a,
+            &exps_b,
+            FtScratch {
                 u,
                 c32,
                 racc,
-                parallel,
-                &mut slice[..m * n],
-                &mut phases,
-            );
-            folded_direct = true;
-        }
-    }
-    if !folded_direct {
-        let stage = &mut cstage[..m * n];
+                chk_a16,
+                chk_b16,
+                uchk,
+                chk_sum,
+                vsum,
+            },
+            parallel,
+            policy,
+            dst,
+            &mut phases,
+        );
+        gemm_calls += calls;
+        fault = Some(frep);
+    } else {
         gemm_calls += execute_panels(
             m,
             n,
@@ -427,12 +525,15 @@ pub(crate) fn emulate_view_into<T: Element>(
             c32,
             racc,
             parallel,
-            stage,
+            dst,
             &mut phases,
         );
+    }
+    if staged {
         // Narrow / scale / scatter into the output view. Counted as fold:
         // it is the tail of lines 8–12 for these output shapes.
         let t0 = Instant::now();
+        let stage = &cstage[..m * n];
         for j in 0..n {
             let col = out.col_mut(j);
             let stage_col = &stage[j * m..(j + 1) * m];
@@ -455,6 +556,7 @@ pub(crate) fn emulate_view_into<T: Element>(
         mode,
         phases,
         int8_gemm_calls: gemm_calls,
+        fault,
     })
 }
 
@@ -501,6 +603,7 @@ pub struct Ozaki2Builder {
     accuracy: Accuracy,
     mode: Mode,
     k: Option<usize>,
+    fault: Option<FaultPolicy>,
 }
 
 impl Default for Ozaki2Builder {
@@ -509,6 +612,7 @@ impl Default for Ozaki2Builder {
             accuracy: Accuracy::Fp64Equivalent,
             mode: Mode::Fast,
             k: None,
+            fault: None,
         }
     }
 }
@@ -542,6 +646,14 @@ impl Ozaki2Builder {
         self
     }
 
+    /// Set the emulator-wide fault-tolerance policy (see
+    /// [`FaultPolicy`]). Unset, the built emulator inherits the
+    /// `OZAKI_FAULT_POLICY` environment default, like [`Ozaki2::new`].
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault = Some(policy);
+        self
+    }
+
     /// Resolve the accuracy request to a moduli count and build.
     ///
     /// # Errors
@@ -563,7 +675,11 @@ impl Ozaki2Builder {
             Accuracy::Fp64Equivalent => self.resolve(2f64.powi(-52), false)?,
             Accuracy::Fp32Equivalent => self.resolve(2f64.powi(-23), true)?,
         };
-        Ok(Ozaki2::new(n, self.mode))
+        let emu = Ozaki2::new(n, self.mode);
+        Ok(match self.fault {
+            Some(policy) => emu.with_fault_policy(policy),
+            None => emu,
+        })
     }
 
     /// [`Ozaki2Builder::build`] with the inner dimension supplied at call
@@ -744,14 +860,22 @@ mod tests {
         let b4 = phi_matrix_f64(4, 4, 0.5, 1, 1);
         assert_eq!(
             emu.gemm(GemmArgs::new(&nan, &b4)).unwrap_err(),
-            EmulationError::NonFiniteInput
+            EmulationError::NonFiniteInput {
+                side: OperandSide::A,
+                index: 5, // col-major storage offset of (1, 1) with m = 4
+            }
         );
-        // NaN hidden in a strided view (non-contiguous validation path).
+        // NaN hidden in a strided view (non-contiguous validation path):
+        // same storage offset, now reported relative to the view's backing
+        // slice through its leading dimension.
         let vnan = MatView::new(nan.as_slice(), 3, 3, 4, gemm_dense::Layout::ColMajor);
         let vb = MatView::new(b4.as_slice(), 3, 3, 4, gemm_dense::Layout::ColMajor);
         assert_eq!(
             emu.gemm(GemmArgs::new(vnan, vb)).unwrap_err(),
-            EmulationError::NonFiniteInput
+            EmulationError::NonFiniteInput {
+                side: OperandSide::A,
+                index: 5,
+            }
         );
     }
 

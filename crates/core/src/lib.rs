@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod accumulate;
 pub mod blas;
 pub mod consts;
@@ -45,6 +46,7 @@ pub mod plan;
 pub mod prepared;
 pub mod scale;
 
+pub use abft::{FaultEvent, FaultPolicy, FaultReport, RecoveryAction};
 pub use accumulate::{fold_kernel_name, fold_planes, fold_span, fold_span_scalar, FoldPrecision};
 pub use blas::{dgemm_emulated, GemmOp};
 pub use consts::{constants, Constants};

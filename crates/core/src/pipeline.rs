@@ -5,10 +5,12 @@
 //! exposes `dgemm` / `sgemm` plus `*_with_report` variants that return the
 //! per-phase wall-clock breakdown used to regenerate Figs. 6–7.
 
+use crate::abft::{FaultPolicy, FaultReport};
 use crate::accumulate::{fold_planes, FoldPrecision};
 use crate::consts::Constants;
 use crate::modred::finalize_block_residues;
 use crate::moduli::{N_MAX, N_MAX_SGEMM};
+use crate::prepared::OperandSide;
 use gemm_dense::{MatF32, MatF64, MatMulF32, MatMulF64, Matrix};
 use gemm_engine::{
     int8_gemm_prepacked_fused, padded_a_rows, padded_b_cols, padded_depth, AccumulateEpilogue,
@@ -45,7 +47,14 @@ impl Mode {
 #[derive(Clone, Debug, PartialEq)]
 pub enum EmulationError {
     /// An input entry was NaN or infinite.
-    NonFiniteInput,
+    NonFiniteInput {
+        /// Which operand held the offending entry.
+        side: OperandSide,
+        /// Storage index of the first non-finite entry in the operand's
+        /// backing slice (column-major: `i + j * ld`; row-major:
+        /// `j + i * ld`).
+        index: usize,
+    },
     /// Requested moduli count outside the supported range.
     UnsupportedN {
         /// The offending request.
@@ -90,7 +99,10 @@ pub enum EmulationError {
 impl std::fmt::Display for EmulationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EmulationError::NonFiniteInput => write!(f, "input contains NaN or infinity"),
+            EmulationError::NonFiniteInput { side, index } => write!(
+                f,
+                "operand {side:?} contains NaN or infinity (storage index {index})"
+            ),
             EmulationError::UnsupportedN { n, max } => {
                 write!(f, "N = {n} outside supported range 2..={max}")
             }
@@ -142,12 +154,22 @@ pub struct PhaseTimes {
     pub mod_reduce: Duration,
     /// Lines 8–12: weighted accumulation, CRT fold, inverse scaling.
     pub fold: Duration,
+    /// ABFT side channel (zero under [`crate::abft::FaultPolicy::Off`]):
+    /// checksum-panel construction, the per-plane checksum GEMMs, the
+    /// verification sweep, and any recovery re-execution.
+    pub verify: Duration,
 }
 
 impl PhaseTimes {
     /// Total across phases.
     pub fn total(&self) -> Duration {
-        self.scale + self.trunc + self.convert + self.int8_gemm + self.mod_reduce + self.fold
+        self.scale
+            + self.trunc
+            + self.convert
+            + self.int8_gemm
+            + self.mod_reduce
+            + self.fold
+            + self.verify
     }
 
     /// `(label, seconds)` pairs in Algorithm-1 order.
@@ -159,6 +181,7 @@ impl PhaseTimes {
             ("int8 GEMM (line 6)", self.int8_gemm.as_secs_f64()),
             ("mod (line 7)", self.mod_reduce.as_secs_f64()),
             ("fold (lines 8-12)", self.fold.as_secs_f64()),
+            ("verify (abft)", self.verify.as_secs_f64()),
         ]
     }
 }
@@ -174,8 +197,15 @@ pub struct EmulationReport {
     pub mode: Mode,
     /// Phase breakdown.
     pub phases: PhaseTimes,
-    /// INT8 GEMMs issued (N per k-block, +1 in accurate mode).
+    /// INT8 GEMMs issued (N per k-block, +1 in accurate mode). ABFT
+    /// checksum GEMMs and recovery re-runs are *not* counted here — they
+    /// land in [`FaultReport::checksum_gemms`] / [`FaultReport::retries`]
+    /// so this count stays deterministic under fault injection.
     pub int8_gemm_calls: usize,
+    /// ABFT outcome: `Some` whenever the run executed under an active
+    /// [`FaultPolicy`] (even if no fault was detected), `None` under
+    /// [`FaultPolicy::Off`].
+    pub fault: Option<FaultReport>,
 }
 
 /// Reusable scratch for the whole Algorithm-1 pipeline: the packed residue
@@ -206,6 +236,38 @@ pub struct Workspace {
     /// results (narrowed afterwards) and strided or `alpha`/`beta`
     /// epilogue outputs of the view facade.
     cstage: Vec<f64>,
+    /// ABFT checksum vectors for `A` (`N` planes of `kp` i16 each; empty
+    /// unless a fault policy is active).
+    chk_a16: Vec<i16>,
+    /// ABFT checksum vectors for `B` (`N` planes of `kp` i16 each).
+    chk_b16: Vec<i16>,
+    /// ABFT checksum references: per plane, `m` row-sum residues followed
+    /// by `n` column-sum residues.
+    uchk: Vec<u8>,
+    /// i32 accumulator for checksum-vector construction (`kp` entries,
+    /// re-reduced mod `p` between chunks so it never overflows).
+    chk_sum: Vec<i32>,
+    /// Row-sum scratch for the verification sweep (`m` u32).
+    vsum: Vec<u32>,
+}
+
+/// Mutable borrows of every [`Workspace`] buffer at once, for the
+/// execution paths that juggle several of them simultaneously (the view
+/// facade, the mixed raw/prepared path, and the ABFT executor). The
+/// `chk_*` / `uchk` / `vsum` fields are empty unless
+/// [`Workspace::reserve_abft`] ran.
+pub(crate) struct WsBuffers<'w> {
+    pub a16: &'w mut [i16],
+    pub b16: &'w mut [i16],
+    pub u: &'w mut [u8],
+    pub c32: &'w mut [i32],
+    pub racc: &'w mut [i32],
+    pub cstage: &'w mut [f64],
+    pub chk_a16: &'w mut [i16],
+    pub chk_b16: &'w mut [i16],
+    pub uchk: &'w mut [u8],
+    pub chk_sum: &'w mut [i32],
+    pub vsum: &'w mut [u32],
 }
 
 impl Workspace {
@@ -222,6 +284,31 @@ impl Workspace {
             + self.c32.capacity() * 4
             + self.racc.capacity() * 4
             + self.cstage.capacity() * 8
+            + self.chk_a16.capacity() * 2
+            + self.chk_b16.capacity() * 2
+            + self.uchk.capacity()
+            + self.chk_sum.capacity() * 4
+            + self.vsum.capacity() * 4
+    }
+
+    /// Zero every buffer in place (capacity kept). The batch runtime's
+    /// `WorkspacePool` checkout guards call this when a
+    /// workspace is returned by a panicking tenant, so partially written
+    /// scratch never leaks into the next checkout. (Correctness never
+    /// depends on zeroed scratch — every path fully overwrites what it
+    /// reads — so this is hygiene, not a functional reset.)
+    pub fn scrub(&mut self) {
+        self.a16.fill(0);
+        self.b16.fill(0);
+        self.u.fill(0);
+        self.c32.fill(0);
+        self.racc.fill(0);
+        self.cstage.fill(0.0);
+        self.chk_a16.fill(0);
+        self.chk_b16.fill(0);
+        self.uchk.fill(0);
+        self.chk_sum.fill(0);
+        self.vsum.fill(0);
     }
 
     /// Grow-only resize of the fold staging buffer (f32 / epilogue
@@ -272,28 +359,48 @@ impl Workspace {
         }
     }
 
-    /// Every buffer at once (`a16`, `b16`, `u`, `c32`, `racc`, `cstage`),
-    /// for the mixed raw/prepared execution path and the view facade.
-    /// Call the `reserve_*` methods for the sides in use first.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn all_buffers(
-        &mut self,
-    ) -> (
-        &mut [i16],
-        &mut [i16],
-        &mut [u8],
-        &mut [i32],
-        &mut [i32],
-        &mut [f64],
-    ) {
-        (
-            &mut self.a16,
-            &mut self.b16,
-            &mut self.u,
-            &mut self.c32,
-            &mut self.racc,
-            &mut self.cstage,
-        )
+    /// Grow-only resize of the ABFT side-channel buffers (checksum vectors,
+    /// checksum references, verification scratch). Only called when a
+    /// fault policy is active — [`crate::abft::FaultPolicy::Off`] packs no
+    /// checksum columns and allocates nothing here.
+    pub(crate) fn reserve_abft(&mut self, m: usize, n: usize, k: usize, nmod: usize) {
+        let kp = padded_depth(k);
+        let want = nmod * kp;
+        if self.chk_a16.len() < want {
+            self.chk_a16.resize(want, 0);
+        }
+        if self.chk_b16.len() < want {
+            self.chk_b16.resize(want, 0);
+        }
+        if self.uchk.len() < nmod * (m + n) {
+            self.uchk.resize(nmod * (m + n), 0);
+        }
+        if self.chk_sum.len() < kp {
+            self.chk_sum.resize(kp, 0);
+        }
+        if self.vsum.len() < m {
+            self.vsum.resize(m, 0);
+        }
+    }
+
+    /// Every buffer at once, for the execution paths that need several
+    /// simultaneously (view facade, mixed raw/prepared path, ABFT
+    /// executor). Call the `reserve_*` methods for the buffers in use
+    /// first.
+    pub(crate) fn buffers(&mut self) -> WsBuffers<'_> {
+        WsBuffers {
+            a16: &mut self.a16,
+            b16: &mut self.b16,
+            u: &mut self.u,
+            c32: &mut self.c32,
+            racc: &mut self.racc,
+            cstage: &mut self.cstage,
+            chk_a16: &mut self.chk_a16,
+            chk_b16: &mut self.chk_b16,
+            uchk: &mut self.uchk,
+            chk_sum: &mut self.chk_sum,
+            vsum: &mut self.vsum,
+        }
     }
 }
 
@@ -302,16 +409,24 @@ impl Workspace {
 pub struct Ozaki2 {
     n_moduli: usize,
     mode: Mode,
+    fault: FaultPolicy,
 }
 
 impl Ozaki2 {
-    /// Create an emulator with `n ∈ 2..=`[`N_MAX`] moduli.
+    /// Create an emulator with `n ∈ 2..=`[`N_MAX`] moduli. The fault
+    /// policy defaults to `OZAKI_FAULT_POLICY` from the environment
+    /// ([`FaultPolicy::Off`] when unset); see
+    /// [`Ozaki2::with_fault_policy`].
     pub fn new(n_moduli: usize, mode: Mode) -> Self {
         assert!(
             (2..=N_MAX).contains(&n_moduli),
             "N must be in 2..={N_MAX}, got {n_moduli}"
         );
-        Self { n_moduli, mode }
+        Self {
+            n_moduli,
+            mode,
+            fault: FaultPolicy::default_from_env(),
+        }
     }
 
     /// Number of moduli.
@@ -322,6 +437,26 @@ impl Ozaki2 {
     /// Scaling mode.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// The ABFT fault policy every GEMM entry of this emulator runs under
+    /// (overridable per call via `GemmArgs::fault_policy`).
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault
+    }
+
+    /// Replace the ABFT fault policy (builder style).
+    ///
+    /// # Examples
+    /// ```
+    /// use ozaki2::{FaultPolicy, Mode, Ozaki2};
+    /// let emu = Ozaki2::new(15, Mode::Fast)
+    ///     .with_fault_policy(FaultPolicy::RetryThenScalar { max_retries: 2 });
+    /// assert!(emu.fault_policy().is_active());
+    /// ```
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault = policy;
+        self
     }
 
     /// Emulated DGEMM: `C ≈ A·B` for f64 operands.
@@ -388,12 +523,12 @@ impl Ozaki2 {
         b: &MatF64,
         ws: &mut Workspace,
     ) -> Result<(MatF64, EmulationReport), EmulationError> {
-        validate_f64(a)?;
-        validate_f64(b)?;
+        validate_f64(a, OperandSide::A)?;
+        validate_f64(b, OperandSide::B)?;
         if a.cols() != b.rows() {
             return Err(EmulationError::ShapeMismatch);
         }
-        Ok(emulate(a, b, self.n_moduli, self.mode, ws))
+        Ok(emulate(a, b, self.n_moduli, self.mode, self.fault, ws))
     }
 
     /// Emulated DGEMM writing into a caller-owned output matrix, reusing a
@@ -419,8 +554,8 @@ impl Ozaki2 {
         c: &mut MatF64,
         ws: &mut Workspace,
     ) -> Result<EmulationReport, EmulationError> {
-        validate_f64(a)?;
-        validate_f64(b)?;
+        validate_f64(a, OperandSide::A)?;
+        validate_f64(b, OperandSide::B)?;
         if a.cols() != b.rows() || c.shape() != (a.rows(), b.cols()) {
             return Err(EmulationError::ShapeMismatch);
         }
@@ -429,6 +564,7 @@ impl Ozaki2 {
             b,
             self.n_moduli,
             self.mode,
+            self.fault,
             ws,
             true,
             c.as_mut_slice(),
@@ -489,8 +625,8 @@ impl Ozaki2 {
                 max: N_MAX_SGEMM,
             });
         }
-        validate_f32(a)?;
-        validate_f32(b)?;
+        validate_f32(a, OperandSide::A)?;
+        validate_f32(b, OperandSide::B)?;
         if a.cols() != b.rows() {
             return Err(EmulationError::ShapeMismatch);
         }
@@ -510,6 +646,8 @@ impl Ozaki2 {
             0.0f32,
             out.view_mut(),
             false,
+            false,
+            self.fault,
         )?;
         Ok((out, report))
     }
@@ -533,19 +671,17 @@ impl MatMulF32 for Ozaki2 {
     }
 }
 
-fn validate_f64(a: &MatF64) -> Result<(), EmulationError> {
-    if a.iter().all(|x| x.is_finite()) {
-        Ok(())
-    } else {
-        Err(EmulationError::NonFiniteInput)
+fn validate_f64(a: &MatF64, side: OperandSide) -> Result<(), EmulationError> {
+    match a.iter().position(|x| !x.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(EmulationError::NonFiniteInput { side, index }),
     }
 }
 
-fn validate_f32(a: &MatF32) -> Result<(), EmulationError> {
-    if a.iter().all(|x| x.is_finite()) {
-        Ok(())
-    } else {
-        Err(EmulationError::NonFiniteInput)
+fn validate_f32(a: &MatF32, side: OperandSide) -> Result<(), EmulationError> {
+    match a.iter().position(|x| !x.is_finite()) {
+        None => Ok(()),
+        Some(index) => Err(EmulationError::NonFiniteInput { side, index }),
     }
 }
 
@@ -558,10 +694,11 @@ pub(crate) fn emulate(
     b: &MatF64,
     n_moduli: usize,
     mode: Mode,
+    fault: FaultPolicy,
     ws: &mut Workspace,
 ) -> (MatF64, EmulationReport) {
     let mut out = Matrix::<f64>::zeros(a.rows(), b.cols());
-    let report = emulate_into(a, b, n_moduli, mode, ws, true, out.as_mut_slice());
+    let report = emulate_into(a, b, n_moduli, mode, fault, ws, true, out.as_mut_slice());
     (out, report)
 }
 
@@ -571,11 +708,13 @@ pub(crate) fn emulate(
 /// gates every internal rayon region (convert sweep, engine stripes): the
 /// inter-GEMM scheduler sets it to `false` so concurrent items do not
 /// nest parallel regions. The result is bit-identical either way.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn emulate_into(
     a: &MatF64,
     b: &MatF64,
     n_moduli: usize,
     mode: Mode,
+    fault: FaultPolicy,
     ws: &mut Workspace,
     parallel: bool,
     out: &mut [f64],
@@ -595,6 +734,8 @@ pub(crate) fn emulate_into(
         0.0f64,
         gemm_dense::MatViewMut::col_major(out, m, n),
         false,
+        false,
+        fault,
     )
     .expect("inputs validated by the caller")
 }
@@ -794,7 +935,10 @@ mod tests {
         let b = uniform_matrix_f64(4, 4, 1, 1);
         assert_eq!(
             Ozaki2::new(8, Mode::Fast).try_dgemm(&a, &b),
-            Err(EmulationError::NonFiniteInput)
+            Err(EmulationError::NonFiniteInput {
+                side: OperandSide::A,
+                index: 9, // col-major storage offset of (1, 2) with m = 4
+            })
         );
     }
 

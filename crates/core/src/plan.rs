@@ -102,6 +102,7 @@ impl GemmPlan {
             b,
             self.emu.n_moduli(),
             self.emu.mode(),
+            self.emu.fault_policy(),
             &mut self.ws,
             true,
             c.as_mut_slice(),
@@ -134,6 +135,8 @@ impl GemmPlan {
             0.0,
             c,
             true,
+            true,
+            self.emu.fault_policy(),
         )
     }
 }

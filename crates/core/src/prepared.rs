@@ -24,12 +24,13 @@
 //! entry points return [`EmulationError::PreparationUnsupported`] for it
 //! and accurate-mode batches fall back to the monolithic per-item path.
 
+use crate::abft::{execute_panels_ft, FtScratch, PanelsRef};
 use crate::consts::{constants, Constants};
 use crate::convert::{trunc_convert_pack_panels, ConvertTiming};
 use crate::element::Element;
 use crate::facade::{validate_view, vectors_source};
 use crate::pipeline::{
-    execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace,
+    execute_panels, EmulationError, EmulationReport, Mode, Ozaki2, PhaseTimes, Workspace, WsBuffers,
 };
 use crate::scale::{fast_scale_a_view, fast_scale_b_view};
 use gemm_dense::{MatF32, MatF64, MatView, Matrix};
@@ -184,7 +185,7 @@ fn prepare_view<T: Element>(
             max: T::N_MAX,
         });
     }
-    validate_view(view)?;
+    validate_view(view, side)?;
     let (vecs, k) = match side {
         OperandSide::A => (view.rows(), view.cols()),
         OperandSide::B => (view.cols(), view.rows()),
@@ -490,7 +491,7 @@ impl Ozaki2 {
                 if v.shape() != (m, k) {
                     return Err(EmulationError::ShapeMismatch);
                 }
-                validate_view(v)?;
+                validate_view(v, OperandSide::A)?;
             }
             OperandInput::Raw(_) => unreachable!("normalised above"),
         }
@@ -500,7 +501,7 @@ impl Ozaki2 {
                 if v.shape() != (k, n) {
                     return Err(EmulationError::ShapeMismatch);
                 }
-                validate_view(v)?;
+                validate_view(v, OperandSide::B)?;
             }
             OperandInput::Raw(_) => unreachable!("normalised above"),
         }
@@ -508,6 +509,7 @@ impl Ozaki2 {
 
         let consts: &Constants = constants(self.n_moduli());
         let nmod = consts.n;
+        let policy = self.fault_policy();
         let mut phases = PhaseTimes::default();
         if m == 0 || n == 0 || k == 0 {
             out.fill(0.0);
@@ -517,6 +519,7 @@ impl Ozaki2 {
                 mode: self.mode(),
                 phases,
                 int8_gemm_calls: 0,
+                fault: policy.is_active().then(crate::abft::FaultReport::default),
             });
         }
 
@@ -527,7 +530,22 @@ impl Ozaki2 {
             ws.reserve_b(n, k, nmod);
         }
         ws.reserve_exec(m, n, k, nmod);
-        let (a16ws, b16ws, u, c32, racc, _) = ws.all_buffers();
+        if policy.is_active() {
+            ws.reserve_abft(m, n, k, nmod);
+        }
+        let WsBuffers {
+            a16: a16ws,
+            b16: b16ws,
+            u,
+            c32,
+            racc,
+            chk_a16,
+            chk_b16,
+            uchk,
+            chk_sum,
+            vsum,
+            ..
+        } = ws.buffers();
         let kp = padded_depth(k);
         let m_pad = padded_a_rows(m);
         let n_pad = padded_b_cols(n);
@@ -538,8 +556,8 @@ impl Ozaki2 {
         // strided view: no layout-normalised copy).
         let exps_a_own: Vec<i32>;
         let exps_b_own: Vec<i32>;
-        let (a_panels, exps_a): (&[i16], &[i32]) = match &a {
-            OperandInput::Prepared(p) => (&p.panels, &p.exps),
+        let (a_ref, exps_a): (PanelsRef<'_>, &[i32]) = match &a {
+            OperandInput::Prepared(p) => (PanelsRef::Fixed(&p.panels), &p.exps),
             OperandInput::RawView(v) => {
                 let timing = ConvertTiming::new();
                 let t0 = Instant::now();
@@ -563,12 +581,20 @@ impl Ozaki2 {
                 let trunc = sweep.mul_f64(timing.trunc_fraction());
                 phases.trunc += trunc;
                 phases.convert += sweep.saturating_sub(trunc);
-                (a16, &exps_a_own)
+                (
+                    PanelsRef::Repackable {
+                        panels: a16,
+                        src: vectors_source(v, true, &exps_a_own),
+                        vecs: m,
+                        vecs_pad: m_pad,
+                    },
+                    &exps_a_own[..],
+                )
             }
             OperandInput::Raw(_) => unreachable!("normalised above"),
         };
-        let (b_panels, exps_b): (&[i16], &[i32]) = match &b {
-            OperandInput::Prepared(p) => (&p.panels, &p.exps),
+        let (b_ref, exps_b): (PanelsRef<'_>, &[i32]) = match &b {
+            OperandInput::Prepared(p) => (PanelsRef::Fixed(&p.panels), &p.exps),
             OperandInput::RawView(v) => {
                 let timing = ConvertTiming::new();
                 let t0 = Instant::now();
@@ -592,34 +618,73 @@ impl Ozaki2 {
                 let trunc = sweep.mul_f64(timing.trunc_fraction());
                 phases.trunc += trunc;
                 phases.convert += sweep.saturating_sub(trunc);
-                (b16, &exps_b_own)
+                (
+                    PanelsRef::Repackable {
+                        panels: b16,
+                        src: vectors_source(v, false, &exps_b_own),
+                        vecs: n,
+                        vecs_pad: n_pad,
+                    },
+                    &exps_b_own[..],
+                )
             }
             OperandInput::Raw(_) => unreachable!("normalised above"),
         };
 
-        let gemm_calls = execute_panels(
-            m,
-            n,
-            k,
-            consts,
-            b64,
-            a_panels,
-            b_panels,
-            exps_a,
-            exps_b,
-            u,
-            c32,
-            racc,
-            parallel,
-            out,
-            &mut phases,
-        );
+        let (gemm_calls, fault) = if policy.is_active() {
+            let (calls, frep) = execute_panels_ft(
+                m,
+                n,
+                k,
+                consts,
+                b64,
+                a_ref,
+                b_ref,
+                exps_a,
+                exps_b,
+                FtScratch {
+                    u,
+                    c32,
+                    racc,
+                    chk_a16,
+                    chk_b16,
+                    uchk,
+                    chk_sum,
+                    vsum,
+                },
+                parallel,
+                policy,
+                out,
+                &mut phases,
+            );
+            (calls, Some(frep))
+        } else {
+            let calls = execute_panels(
+                m,
+                n,
+                k,
+                consts,
+                b64,
+                a_ref.panels(),
+                b_ref.panels(),
+                exps_a,
+                exps_b,
+                u,
+                c32,
+                racc,
+                parallel,
+                out,
+                &mut phases,
+            );
+            (calls, None)
+        };
         Ok(EmulationReport {
             shape: (m, n, k),
             n_moduli: nmod,
             mode: self.mode(),
             phases,
             int8_gemm_calls: gemm_calls,
+            fault,
         })
     }
 }

@@ -318,6 +318,9 @@ mod modx86 {
 /// bit-identical to [`barrett_mod_row_u8_scalar`] on every path.
 pub fn barrett_mod_row_u8(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
     assert!(out.len() >= c.len(), "output row too short");
+    if crate::faultinject::in_scalar_scope() {
+        return barrett_mod_row_u8_scalar(c, out, p, pinv);
+    }
     match mod_kernel() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: variant selected by runtime feature detection; length
@@ -335,6 +338,9 @@ pub fn barrett_mod_row_u8(c: &[i32], out: &mut [u8], p: i32, pinv: u32) {
 /// Bit-identical to [`barrett_mod_row_acc_scalar`] on every path.
 pub fn barrett_mod_row_acc(c: &[i32], out: &mut [i32], p: i32, pinv: u32) {
     assert!(out.len() >= c.len(), "output row too short");
+    if crate::faultinject::in_scalar_scope() {
+        return barrett_mod_row_acc_scalar(c, out, p, pinv);
+    }
     match mod_kernel() {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: variant selected by runtime feature detection; length
@@ -838,7 +844,11 @@ fn stripe_compute<E: Epilogue>(
     out: &mut [E::Out],
     epi: &E,
 ) {
-    let kernel = tile_kernel();
+    let kernel = if crate::faultinject::in_scalar_scope() {
+        TileKernel::Scalar
+    } else {
+        tile_kernel()
+    };
     if kp_eff == 0 {
         // No depth to consume: the product is all zeros (only reachable
         // through entry points that do not early-out on k == 0).
@@ -882,6 +892,9 @@ fn stripe_compute<E: Epilogue>(
             pc += kc;
         }
     }
+    // Fault-injection seam: the completed INT32 stripe, before the fused
+    // epilogue consumes it (no-op unless the injector is armed).
+    crate::faultinject::corrupt_acc(c);
     if E::ACTIVE {
         epi.apply(c, out);
     }

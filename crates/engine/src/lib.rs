@@ -7,10 +7,14 @@
 //! * [`tensor`] — FP16/BF16/TF32 tensor-core engines with FP32 accumulation
 //!   that the SGEMM baselines run on;
 //! * [`stats`] — global invocation counters consumed by tests and the
-//!   device model.
+//!   device model;
+//! * [`faultinject`] — deterministic bit-flip injection at named pipeline
+//!   sites plus the thread-local scalar-dispatch scope, the substrate of
+//!   the `ozaki2` fault-tolerant execution layer.
 
 #![warn(missing_docs)]
 
+pub mod faultinject;
 pub mod int8;
 pub mod stats;
 pub mod tensor;

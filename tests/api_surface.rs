@@ -26,6 +26,8 @@ const OZAKI2_PUB_FNS: &[&str] = &[
     "builder",
     "n_moduli",
     "mode",
+    "fault_policy",
+    "with_fault_policy",
     // the canonical facade
     "gemm",
     "gemm_into",

@@ -1,7 +1,7 @@
 //! Cross-crate exactness and failure-injection tests.
 
 use gemmul8::prelude::*;
-use ozaki2::EmulationError;
+use ozaki2::{EmulationError, OperandSide};
 
 /// Integer-valued inputs small enough that every pipeline step is exact.
 /// For N <= 10 the fold's FMA chain also stays exact and the result is
@@ -84,11 +84,23 @@ fn rejects_nan_and_inf_everywhere() {
         let e = Ozaki2::new(8, Mode::Fast)
             .try_dgemm(&bad, &good)
             .unwrap_err();
-        assert_eq!(e, EmulationError::NonFiniteInput);
+        assert_eq!(
+            e,
+            EmulationError::NonFiniteInput {
+                side: OperandSide::A,
+                index: 35, // col-major storage offset of (3, 4) with m = 8
+            }
+        );
         let e = Ozaki2::new(8, Mode::Fast)
             .try_dgemm(&good, &bad)
             .unwrap_err();
-        assert_eq!(e, EmulationError::NonFiniteInput);
+        assert_eq!(
+            e,
+            EmulationError::NonFiniteInput {
+                side: OperandSide::B,
+                index: 35,
+            }
+        );
     }
 }
 
@@ -188,5 +200,5 @@ fn report_phases_cover_total() {
     assert_eq!(rep.n_moduli, 10);
     assert_eq!(rep.shape, (48, 48, 48));
     let rows = rep.phases.as_rows();
-    assert_eq!(rows.len(), 6);
+    assert_eq!(rows.len(), 7);
 }

@@ -136,7 +136,11 @@ fn modelled_gh200_matches_measured_phase_structure() {
     let b = gemm_dense::workload::phi_matrix_f64(160, 160, 0.5, 3, 1);
     let (_, rep) = ozaki2::Ozaki2::new(15, ozaki2::Mode::Fast).dgemm_with_report(&a, &b);
     let rows = rep.phases.as_rows();
-    assert_eq!(rows.len(), 6, "one row per Algorithm-1 phase group");
+    assert_eq!(
+        rows.len(),
+        7,
+        "one row per Algorithm-1 phase group, plus the ABFT verify row"
+    );
     let gemm_t = rows
         .iter()
         .find(|(l, _)| l.contains("int8 GEMM"))
