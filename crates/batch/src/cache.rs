@@ -17,7 +17,7 @@
 use gemm_dense::MatView;
 use ozaki2::{Mode, OperandSide, PreparedOperand};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Mix one 64-bit word into an FNV-1a style running hash.
@@ -212,31 +212,83 @@ impl OperandKey {
     }
 }
 
+/// Lock shard count. Keys map to shards by identity hash, so concurrent
+/// tenants of a batched call (distinct operands) lock distinct shards
+/// instead of serialising on one cache-wide mutex.
+const CACHE_SHARDS: usize = 8;
+
+/// One lock shard: entries stamped with a global recency clock, plus its
+/// slice of the probation queue.
+struct CacheShard {
+    /// `(key, preparation, last-used stamp)` — unordered; recency lives
+    /// in the stamp, not the position.
+    entries: Mutex<Vec<(OperandKey, Arc<PreparedOperand>, u64)>>,
+    /// Recently missed keys (no values) — see [`OperandCache::repeat_miss`].
+    probation: Mutex<VecDeque<OperandKey>>,
+}
+
 /// LRU cache mapping [`OperandKey`]s to shared [`PreparedOperand`]s.
 /// Entries are `Arc`s, so an eviction never invalidates an execution in
-/// flight. All methods take `&self`; the cache is internally locked.
+/// flight. All methods take `&self`; the cache is internally locked —
+/// **sharded** by key hash, so concurrent lookups of distinct operands do
+/// not contend. Recency is tracked with a global monotonic clock stamped
+/// on every hit or insert; eviction removes the globally oldest stamp
+/// across all shards, so LRU semantics are identical to a single-lock
+/// cache (only the lock granularity changed).
 pub struct OperandCache {
-    /// MRU-ordered (front = most recent).
-    entries: Mutex<Vec<(OperandKey, Arc<PreparedOperand>)>>,
-    /// Recently missed keys (no values): an operand not shared within its
-    /// call must miss twice before the runtime pays for preparing and
-    /// retaining it — see [`OperandCache::repeat_miss`].
-    probation: Mutex<VecDeque<OperandKey>>,
+    shards: [CacheShard; CACHE_SHARDS],
     capacity: usize,
+    /// Total retained entries across shards.
+    len: AtomicUsize,
+    /// Monotonic recency clock; higher stamp = more recently used.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl OperandKey {
+    /// Shard index: identity hash over the fields that distinguish
+    /// operands cheaply (pointer, length, fingerprint).
+    fn shard(&self) -> usize {
+        let mut h = mix(0xcbf2_9ce4_8422_2325, self.ptr as u64);
+        h = mix(h, self.len as u64);
+        h = mix(h, self.fingerprint);
+        (h % CACHE_SHARDS as u64) as usize
+    }
 }
 
 impl OperandCache {
     /// Cache retaining up to `capacity` preparations.
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: Mutex::new(Vec::new()),
-            probation: Mutex::new(VecDeque::new()),
+            shards: std::array::from_fn(|_| CacheShard {
+                entries: Mutex::new(Vec::new()),
+                probation: Mutex::new(VecDeque::new()),
+            }),
             capacity,
+            len: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Next recency stamp.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// A shard's entries, recovering from lock poisoning (cache code
+    /// never panics mid-mutation; poisoning can only come from a caller
+    /// panicking elsewhere while the process unwinds test threads).
+    fn entries(
+        &self,
+        s: usize,
+    ) -> std::sync::MutexGuard<'_, Vec<(OperandKey, Arc<PreparedOperand>, u64)>> {
+        self.shards[s]
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Maximum retained preparations.
@@ -244,9 +296,9 @@ impl OperandCache {
         self.capacity
     }
 
-    /// Current retained preparations.
+    /// Current retained preparations (all shards).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds nothing.
@@ -266,41 +318,80 @@ impl OperandCache {
 
     /// Summed heap footprint of the retained preparations in bytes.
     pub fn bytes(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .iter()
-            .map(|(_, p)| p.bytes())
+        (0..CACHE_SHARDS)
+            .map(|s| {
+                self.entries(s)
+                    .iter()
+                    .map(|(_, p, _)| p.bytes())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
     /// Look up a preparation, refreshing its recency on hit.
     pub fn get(&self, key: &OperandKey) -> Option<Arc<PreparedOperand>> {
-        let mut entries = self.entries.lock().expect("cache lock");
-        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
-            let entry = entries.remove(pos);
+        let stamp = self.tick();
+        let mut entries = self.entries(key.shard());
+        if let Some(entry) = entries.iter_mut().find(|(k, _, _)| k == key) {
+            entry.2 = stamp;
             let hit = entry.1.clone();
-            entries.insert(0, entry);
+            drop(entries);
             self.hits.fetch_add(1, Ordering::Relaxed);
             Some(hit)
         } else {
+            drop(entries);
             self.misses.fetch_add(1, Ordering::Relaxed);
             None
         }
     }
 
     /// Insert (or refresh) a preparation, evicting the least recently
-    /// used entries beyond capacity.
+    /// used entries beyond capacity (globally — across all shards).
     pub fn insert(&self, key: OperandKey, value: Arc<PreparedOperand>) {
         if self.capacity == 0 {
             return;
         }
-        let mut entries = self.entries.lock().expect("cache lock");
-        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
-            entries.remove(pos);
+        let stamp = self.tick();
+        {
+            let mut entries = self.entries(key.shard());
+            if let Some(entry) = entries.iter_mut().find(|(k, _, _)| *k == key) {
+                entry.1 = value;
+                entry.2 = stamp;
+                return;
+            }
+            entries.push((key, value, stamp));
         }
-        entries.insert(0, (key, value));
-        entries.truncate(self.capacity);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        while self.len.load(Ordering::Relaxed) > self.capacity {
+            if !self.evict_oldest() {
+                break;
+            }
+        }
+    }
+
+    /// Remove the entry with the globally smallest recency stamp. Locks
+    /// one shard at a time (min scan, then targeted removal), so it can
+    /// race another thread for the same victim; a vanished victim just
+    /// means someone else evicted it, which is progress too.
+    fn evict_oldest(&self) -> bool {
+        let mut victim: Option<(usize, u64)> = None;
+        for s in 0..CACHE_SHARDS {
+            for (_, _, stamp) in self.entries(s).iter() {
+                if victim.map(|(_, best)| *stamp < best).unwrap_or(true) {
+                    victim = Some((s, *stamp));
+                }
+            }
+        }
+        let Some((s, stamp)) = victim else {
+            return false; // nothing retained anywhere
+        };
+        let mut entries = self.entries(s);
+        if let Some(pos) = entries.iter().position(|(_, _, st)| *st == stamp) {
+            entries.remove(pos);
+            drop(entries);
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        true
     }
 
     /// Record a miss for a *lone* operand (not shared within its call)
@@ -314,12 +405,17 @@ impl OperandCache {
         if self.capacity == 0 {
             return false;
         }
-        let mut probation = self.probation.lock().expect("cache lock");
+        let mut probation = self.shards[key.shard()]
+            .probation
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(pos) = probation.iter().position(|k| k == key) {
             probation.remove(pos);
             true
         } else {
             probation.push_front(key.clone());
+            // Per-shard bound; keys are ~200 bytes, so even the summed
+            // worst case stays trivial next to one retained preparation.
             probation.truncate(2 * self.capacity);
             false
         }
@@ -328,8 +424,20 @@ impl OperandCache {
     /// Drop every retained preparation (use after mutating a cached
     /// operand in place).
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
-        self.probation.lock().expect("cache lock").clear();
+        for s in 0..CACHE_SHARDS {
+            let removed = {
+                let mut entries = self.entries(s);
+                let n = entries.len();
+                entries.clear();
+                n
+            };
+            self.len.fetch_sub(removed, Ordering::Relaxed);
+            self.shards[s]
+                .probation
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clear();
+        }
     }
 }
 

@@ -160,6 +160,14 @@ impl BatchedOzaki2 {
         self.emu
     }
 
+    /// Set the fault-tolerance policy of the underlying emulator (every
+    /// batch item executes under it, including items running concurrently
+    /// on pool workers). See `ozaki2::FaultPolicy`.
+    pub fn with_fault_policy(mut self, policy: ozaki2::FaultPolicy) -> Self {
+        self.emu = self.emu.with_fault_policy(policy);
+        self
+    }
+
     /// The workspace pool (inspect for steady-state no-realloc checks).
     pub fn pool(&self) -> &WorkspacePool {
         &self.pool

@@ -8,18 +8,33 @@
 //! hands them back out on the next checkout. In steady state a batched
 //! call performs **zero** workspace allocations: the pool holds one
 //! grown workspace per peak-concurrent item.
+//!
+//! The free list is **sharded by pool-worker index**: a checkout from
+//! worker `w` tries shard `w % SHARDS` first and returns the workspace
+//! there, so under inter-item parallelism each worker keeps re-borrowing
+//! "its" grown workspace without contending on a single lock (and with
+//! the side benefit that a workspace's pages stay warm on the core that
+//! grew them). External threads use the last shard. A worker whose home
+//! shard is empty falls back to scanning the others before allocating,
+//! so the pool never creates a workspace while any shard holds a parked
+//! one.
 
 use ozaki2::Workspace;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Free-list shard count. A power of two comfortably above the worker
+/// counts we test (`OZAKI_WORKERS <= 8` in CI); worker `w` homes to
+/// `w % SHARDS`, external threads to the last shard.
+const SHARDS: usize = 16;
+
 /// Pool of reusable pipeline workspaces (see the module docs).
 ///
 /// The pool is panic-hardened: a guard dropped during unwinding scrubs
 /// its workspace before returning it (a panic mid-pipeline can leave
 /// half-written panels behind), and a mutex poisoned by a panicking
-/// holder is recovered rather than propagated — the free list is always
+/// holder is recovered rather than propagated — each free list is always
 /// structurally valid, so later checkouts keep working.
 ///
 /// # Examples
@@ -33,10 +48,27 @@ use std::sync::Mutex;
 /// let _ws2 = pool.checkout(); // the same workspace, reused
 /// assert_eq!(pool.created(), 1);
 /// ```
-#[derive(Default)]
 pub struct WorkspacePool {
-    free: Mutex<Vec<Workspace>>,
+    shards: [Mutex<Vec<Workspace>>; SHARDS],
     created: AtomicUsize,
+}
+
+impl Default for WorkspacePool {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            created: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Home shard of the calling thread: pool workers map to `w % SHARDS`,
+/// external threads (including the batch submitter itself) share the
+/// last shard.
+fn home_shard() -> usize {
+    rayon::current_worker_index()
+        .map(|w| w % SHARDS)
+        .unwrap_or(SHARDS - 1)
 }
 
 impl WorkspacePool {
@@ -45,13 +77,13 @@ impl WorkspacePool {
         Self::default()
     }
 
-    /// The free list, recovering from lock poisoning: the protected
-    /// `Vec<Workspace>` is never left mid-mutation by pool code (push /
-    /// pop / iterate are the only operations), so a poisoned lock only
-    /// means some *holder* of a checked-out workspace panicked — the
+    /// One shard's free list, recovering from lock poisoning: the
+    /// protected `Vec<Workspace>` is never left mid-mutation by pool code
+    /// (push / pop / iterate are the only operations), so a poisoned lock
+    /// only means some *holder* of a checked-out workspace panicked — the
     /// guard's drop has already scrubbed that workspace.
-    fn free_list(&self) -> std::sync::MutexGuard<'_, Vec<Workspace>> {
-        self.free
+    fn shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Vec<Workspace>> {
+        self.shards[idx]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -59,7 +91,18 @@ impl WorkspacePool {
     /// Check out a workspace (reusing a returned one when available).
     /// The guard returns it to the pool on drop.
     pub fn checkout(&self) -> PooledWorkspace<'_> {
-        let ws = self.free_list().pop();
+        let home = home_shard();
+        let mut ws = self.shard(home).pop();
+        if ws.is_none() {
+            // Home shard dry: adopt from any other shard before paying
+            // for a fresh multi-megabyte workspace.
+            for off in 1..SHARDS {
+                ws = self.shard((home + off) % SHARDS).pop();
+                if ws.is_some() {
+                    break;
+                }
+            }
+        }
         let ws = ws.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
             Workspace::new()
@@ -76,15 +119,17 @@ impl WorkspacePool {
         self.created.load(Ordering::Relaxed)
     }
 
-    /// Workspaces currently parked in the pool.
+    /// Workspaces currently parked in the pool (all shards).
     pub fn available(&self) -> usize {
-        self.free_list().len()
+        (0..SHARDS).map(|i| self.shard(i).len()).sum()
     }
 
     /// Summed scratch footprint of the parked workspaces in bytes.
     /// Stable across steady-state iterations (grow-once, reuse forever).
     pub fn bytes(&self) -> usize {
-        self.free_list().iter().map(Workspace::bytes).sum()
+        (0..SHARDS)
+            .map(|i| self.shard(i).iter().map(Workspace::bytes).sum::<usize>())
+            .sum()
     }
 }
 
@@ -118,7 +163,10 @@ impl Drop for PooledWorkspace<'_> {
             if std::thread::panicking() {
                 ws.scrub();
             }
-            self.pool.free_list().push(ws);
+            // Return to the dropping thread's home shard: under
+            // inter-item parallelism that is the worker that just used
+            // it, which will re-borrow it for its next item.
+            self.pool.shard(home_shard()).push(ws);
         }
     }
 }
@@ -167,5 +215,28 @@ mod tests {
             assert_eq!(pool.bytes(), grown, "no realloc in steady state");
             assert_eq!(pool.created(), 1);
         }
+    }
+
+    #[test]
+    fn cross_shard_adoption_beats_allocation() {
+        use rayon::prelude::*;
+        // Workspaces parked in pool-worker home shards must be found by
+        // checkouts from other threads instead of allocating anew.
+        rayon::set_num_threads(4);
+        let pool = WorkspacePool::new();
+        let jobs: Vec<usize> = (0..8).collect();
+        jobs.into_par_iter().for_each(|_| {
+            let _ws = pool.checkout();
+            std::thread::yield_now();
+        });
+        let created = pool.created();
+        assert!(created >= 1);
+        assert_eq!(pool.available(), created, "all returned");
+        // The external submitter homes to the last shard; adopting from
+        // the worker shards must cover every checkout without allocating.
+        let guards: Vec<_> = (0..created).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.created(), created, "adopt, never allocate");
+        drop(guards);
+        rayon::set_num_threads(0);
     }
 }

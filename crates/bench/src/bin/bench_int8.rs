@@ -11,15 +11,22 @@
 //! batch), recording items/s and the speedup, after asserting the batched
 //! results bit-identical to the loop's.
 //!
+//! `--workers=N` sizes the work-stealing pool for the run (same knob as
+//! `OZAKI_WORKERS`); the report records the configured pool width, the
+//! host's physical core count, and the shared-operand batch's scaling
+//! ratio vs a 1-worker run of the same pool, so the numbers stay honest
+//! on single-core runners where configured workers > physical cores.
+//!
 //! With `--check-against=<baseline.json>` the run doubles as the CI
 //! perf-regression gate: the freshly measured int8 GOPS, convert
-//! throughput, end-to-end pipeline time and batched speedups are compared
-//! against the checked-in baseline and the process exits non-zero when any
-//! of them regresses past `--tolerance` (default 0.8). Best-of-reps
-//! measurement on both sides keeps the gate noise-tolerant.
+//! throughput, end-to-end pipeline time, batched speedups and the
+//! worker-scaling ratio are compared against the checked-in baseline and
+//! the process exits non-zero when any of them regresses past
+//! `--tolerance` (default 0.8). Best-of-reps measurement on both sides
+//! keeps the gate noise-tolerant.
 //!
 //! Usage: `cargo run --release -p gemm_bench --bin bench_int8 --
-//! [--n=1024] [--reps=3] [--out=BENCH_int8.json]
+//! [--n=1024] [--reps=3] [--workers=2] [--out=BENCH_int8.json]
 //! [--check-against=BENCH_baseline.json] [--tolerance=0.8]`
 
 use gemm_batch::{BatchedOzaki2, StridedBatchF64};
@@ -61,6 +68,9 @@ fn main() {
     let n: usize = args.get("n").unwrap_or(1024);
     let reps: usize = args.get("reps").unwrap_or(3);
     let out_path: String = args.get("out").unwrap_or_else(|| "BENCH_int8.json".into());
+    if let Some(w) = args.get::<usize>("workers") {
+        rayon::set_num_threads(w);
+    }
     let gops = |secs: f64| 2.0 * (n * n * n) as f64 / secs / 1e9;
 
     let a = pattern_vec(n * n, 1);
@@ -223,9 +233,21 @@ fn main() {
         assert_eq!(outs, naive_out, "batched must stay bit-identical");
         (count as f64 / t_batched, t_naive / t_batched)
     };
+    // Worker scaling: the shared-operand batch once on a degenerate
+    // 1-worker pool, then on the configured pool. The ratio isolates what
+    // the work-stealing pool itself buys (inter-item overlap) from what
+    // caching + pooling buy (present in both runs). On a host with fewer
+    // physical cores than configured workers the ratio honestly hovers
+    // near 1.0 — the report records both numbers so nobody mistakes pool
+    // width for hardware parallelism.
+    let workers = rayon::current_num_threads();
+    rayon::set_num_threads(1);
+    let (shared64_w1_items_per_s, _) = bench_batched(64, 256);
+    rayon::set_num_threads(workers);
     let (shared64_items_per_s, shared64_speedup) = bench_batched(64, 256);
     let (large256_items_per_s, large256_speedup) = bench_batched(256, 16);
-    let workers = std::thread::available_parallelism()
+    let shared64_scaling = shared64_items_per_s / shared64_w1_items_per_s;
+    let physical_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
@@ -337,12 +359,15 @@ fn main() {
         gres(t_fold_scalar),
         gres(t_fold_vec)
     ));
-    // `workers` contextualizes the speedups: on a single-core host the
-    // inter-item schedule cannot overlap items, so the shared-operand
-    // speedup reflects only caching + pooling + per-call overhead removal;
-    // with W workers the small-item case additionally scales ~W-fold.
+    // `workers` is the configured pool width (`--workers`/`OZAKI_WORKERS`
+    // or the machine default), `physical_cores` what the host actually
+    // has; the scaling ratio compares the same pool at W=1 so the two can
+    // be read together. On a single-core host the inter-item schedule
+    // cannot overlap items (scaling ~1.0) and the shared-operand speedup
+    // reflects caching + pooling + per-call overhead removal; with real
+    // cores the small-item case additionally scales with W.
     json.push_str(&format!(
-        "  \"batched\": {{\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"shared64\": {{\n      \"shape\": [64, 64, 64],\n      \"items\": 256,\n      \"shared64_items_per_s\": {shared64_items_per_s:.3},\n      \"shared64_speedup_vs_naive\": {shared64_speedup:.3}\n    }},\n    \"large256\": {{\n      \"shape\": [256, 256, 256],\n      \"items\": 16,\n      \"large256_items_per_s\": {large256_items_per_s:.3},\n      \"large256_speedup_vs_naive\": {large256_speedup:.3}\n    }}\n  }},\n"
+        "  \"batched\": {{\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"physical_cores\": {physical_cores},\n    \"shared64\": {{\n      \"shape\": [64, 64, 64],\n      \"items\": 256,\n      \"shared64_1worker_items_per_s\": {shared64_w1_items_per_s:.3},\n      \"shared64_items_per_s\": {shared64_items_per_s:.3},\n      \"shared64_scaling_vs_1worker\": {shared64_scaling:.3},\n      \"shared64_speedup_vs_naive\": {shared64_speedup:.3}\n    }},\n    \"large256\": {{\n      \"shape\": [256, 256, 256],\n      \"items\": 16,\n      \"large256_items_per_s\": {large256_items_per_s:.3},\n      \"large256_speedup_vs_naive\": {large256_speedup:.3}\n    }}\n  }},\n"
     ));
     json.push_str(&format!(
         "  \"blas_view\": {{\n    \"shape\": [{pn}, {pn}, {pn}],\n    \"n_moduli\": 15,\n    \"transposed_b_materialize_ms\": {:.3},\n    \"transposed_b_view_ms\": {:.3},\n    \"blas_view_speedup_vs_materialize\": {blas_view_speedup:.3}\n  }},\n",
@@ -412,9 +437,11 @@ fn main() {
         gres(t_fold_scalar),
         gres(t_fold_vec)
     );
-    println!("batched runtime, N={nmod}, {workers} worker(s) (vs naive sequential per-item loop)");
     println!(
-        "  shared-B 64^3 x256 : {shared64_items_per_s:8.1} items/s  ({shared64_speedup:.2}x)\n  large 256^3 x16    : {large256_items_per_s:8.1} items/s  ({large256_speedup:.2}x)"
+        "batched runtime, N={nmod}, {workers} worker(s) on {physical_cores} core(s) (vs naive sequential per-item loop)"
+    );
+    println!(
+        "  shared-B 64^3 x256 : {shared64_items_per_s:8.1} items/s  ({shared64_speedup:.2}x, {shared64_scaling:.2}x vs 1 worker)\n  large 256^3 x16    : {large256_items_per_s:8.1} items/s  ({large256_speedup:.2}x)"
     );
     println!("pipeline @ {pn}^3, N=15: {end_to_end_ms:.1} ms end-to-end (steady state)");
     println!("abft checksum verify @ {pn}^3, N=15 (FaultPolicy::Detect vs Off)");
@@ -489,6 +516,18 @@ fn main() {
                 name: "large256_speedup_vs_naive",
                 current: large256_speedup,
                 baseline: pull("large256_speedup_vs_naive"),
+                higher_is_better: true,
+            },
+            // Pool scaling on the shared-operand batch, relative to the
+            // same pool at W=1. Baseline-relative like the other ratios:
+            // on a single-core runner both sides sit near 1.0, on a
+            // many-core runner both sides reflect real overlap — either
+            // way a scheduling regression (lost inter-item parallelism,
+            // serialized stealing) drags `current` below the floor.
+            GateMetric {
+                name: "shared64_scaling_vs_1worker",
+                current: shared64_scaling,
+                baseline: pull("shared64_scaling_vs_1worker"),
                 higher_is_better: true,
             },
             // Absolute protected-run time (lower is better): keeps the

@@ -604,6 +604,7 @@ pub struct Ozaki2Builder {
     mode: Mode,
     k: Option<usize>,
     fault: Option<FaultPolicy>,
+    workers: Option<usize>,
 }
 
 impl Default for Ozaki2Builder {
@@ -613,6 +614,7 @@ impl Default for Ozaki2Builder {
             mode: Mode::Fast,
             k: None,
             fault: None,
+            workers: None,
         }
     }
 }
@@ -654,6 +656,17 @@ impl Ozaki2Builder {
         self
     }
 
+    /// Set the worker-pool size used by parallel regions (stripe sweeps,
+    /// convert jobs). **Process-global**: the pool is shared by every
+    /// emulator in the process, so the last build wins. Unset, the pool
+    /// resolves `OZAKI_WORKERS`, then `available_parallelism()`. Results
+    /// are bit-identical for any worker count; this knob only trades
+    /// throughput.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
     /// Resolve the accuracy request to a moduli count and build.
     ///
     /// # Errors
@@ -675,6 +688,9 @@ impl Ozaki2Builder {
             Accuracy::Fp64Equivalent => self.resolve(2f64.powi(-52), false)?,
             Accuracy::Fp32Equivalent => self.resolve(2f64.powi(-23), true)?,
         };
+        if let Some(workers) = self.workers {
+            rayon::set_num_threads(workers);
+        }
         let emu = Ozaki2::new(n, self.mode);
         Ok(match self.fault {
             Some(policy) => emu.with_fault_policy(policy),

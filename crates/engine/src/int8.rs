@@ -925,6 +925,19 @@ fn stripe_worker<E: Epilogue>(
     stripe_compute(m, kp, kp, kp, apack, bpack, nc, c, out, epi);
 }
 
+/// Column-stripe count for a parallel sweep over `n_panels` B-panels:
+/// two stripes per pool worker (capped at the panel count) so the
+/// work-stealing pool has slack to rebalance, one stripe when the pool is
+/// a single worker (no parallelism to feed, so no reason to split).
+fn stripe_count(n_panels: usize) -> usize {
+    let workers = rayon::current_num_threads();
+    if workers <= 1 {
+        1
+    } else {
+        (2 * workers).clamp(1, n_panels.max(1))
+    }
+}
+
 /// The blocked INT8 GEMM with optional fused epilogue and strided inputs.
 ///
 /// `C = A * B` where `A` is row-major `m x k` with row stride `lda >= k`,
@@ -974,13 +987,12 @@ pub fn int8_gemm_fused<E: Epilogue>(
     pack_panels_i16(&mut ws.apack, a, lda, m, m_pad, k, kp);
     let apack: &[i16] = &ws.apack;
 
-    // One stripe of whole B-panels per worker (fewer when n is small).
+    // Stripes of whole B-panels, oversubscribed 2x against the worker count
+    // so the work-stealing pool can rebalance when stripes finish unevenly
+    // (fewer when n is small). Stripe boundaries never change per-element
+    // accumulation order, so the stripe count cannot affect results.
     let n_panels = n.div_ceil(NR);
-    let stripes = if parallel {
-        rayon::current_num_threads().clamp(1, n_panels)
-    } else {
-        1
-    };
+    let stripes = if parallel { stripe_count(n_panels) } else { 1 };
     if ws.bpacks.len() < stripes {
         ws.bpacks.resize_with(stripes, Vec::new);
     }
@@ -1102,11 +1114,7 @@ pub fn int8_gemm_prepacked_fused<E: Epilogue>(
     let a_base = &apack[depth_off..];
 
     let n_panels = n.div_ceil(NR);
-    let stripes = if parallel {
-        rayon::current_num_threads().clamp(1, n_panels)
-    } else {
-        1
-    };
+    let stripes = if parallel { stripe_count(n_panels) } else { 1 };
 
     struct PrepackedJob<'a, E: Epilogue> {
         j0: usize,

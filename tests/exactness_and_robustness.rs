@@ -190,6 +190,52 @@ fn all_n_values_work_sgemm() {
     }
 }
 
+/// Worker-count bit-identity for the facade surface: the same products
+/// at `W ∈ {1, 2, 4, 8}` (monolithic DGEMM/SGEMM with engine stripes,
+/// strided views, both modes) must match the 1-worker result bitwise —
+/// parallelism is a throughput knob, never an accuracy knob. Runs under
+/// the forced-scalar and fault-injection CI jobs too, so the scalar
+/// kernels and concurrent ABFT recovery are held to the same bar.
+#[test]
+fn facade_results_are_bit_identical_across_worker_counts() {
+    let a = phi_matrix_f64(96, 80, 0.6, 77, 0);
+    let b = phi_matrix_f64(80, 88, 0.6, 78, 1);
+    let af = phi_matrix_f32(64, 48, 0.5, 79, 0);
+    let bf = phi_matrix_f32(48, 56, 0.5, 80, 1);
+
+    rayon::set_num_threads(1);
+    let want_d_fast = Ozaki2::new(12, Mode::Fast).dgemm(&a, &b);
+    let want_d_acc = Ozaki2::new(12, Mode::Accurate).dgemm(&a, &b);
+    let want_s = Ozaki2::new(8, Mode::Fast).sgemm(&af, &bf);
+
+    for w in [2usize, 4, 8] {
+        // The builder override is the public road to the same pool knob.
+        let emu = Ozaki2::builder()
+            .accuracy(Accuracy::FixedN(12))
+            .mode(Mode::Fast)
+            .workers(w)
+            .build()
+            .unwrap();
+        assert_eq!(rayon::current_num_threads(), w);
+        assert_eq!(
+            emu.dgemm(&a, &b),
+            want_d_fast,
+            "DGEMM fast diverged at W={w}"
+        );
+        assert_eq!(
+            Ozaki2::new(12, Mode::Accurate).dgemm(&a, &b),
+            want_d_acc,
+            "DGEMM accurate diverged at W={w}"
+        );
+        assert_eq!(
+            Ozaki2::new(8, Mode::Fast).sgemm(&af, &bf),
+            want_s,
+            "SGEMM diverged at W={w}"
+        );
+    }
+    rayon::set_num_threads(0);
+}
+
 #[test]
 fn report_phases_cover_total() {
     let a = phi_matrix_f64(48, 48, 0.5, 8, 0);
