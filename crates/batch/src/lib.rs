@@ -376,17 +376,35 @@ impl BatchedOzaki2 {
         &self,
         items: &[(&MatF64, &MatF64)],
     ) -> Result<Vec<MatF64>, EmulationError> {
-        for (a, b) in items {
-            if a.cols() != b.rows() {
-                return Err(EmulationError::ShapeMismatch);
-            }
-        }
         let mut outs: Vec<MatF64> = items
             .iter()
             .map(|(a, b)| Matrix::zeros(a.rows(), b.cols()))
             .collect();
+        self.try_dgemm_group_into(items, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// [`BatchedOzaki2::try_dgemm_group`] into caller-owned outputs
+    /// (each must already have shape `(a.rows(), b.cols())`; fully
+    /// overwritten). The allocation-free form for serving loops that
+    /// recycle output buffers round after round — together with the
+    /// workspace pool and operand cache, steady-state group rounds
+    /// allocate nothing.
+    pub fn try_dgemm_group_into(
+        &self,
+        items: &[(&MatF64, &MatF64)],
+        outs: &mut [MatF64],
+    ) -> Result<(), EmulationError> {
+        if outs.len() != items.len() {
+            return Err(EmulationError::ShapeMismatch);
+        }
+        for ((a, b), out) in items.iter().zip(outs.iter()) {
+            if a.cols() != b.rows() || out.shape() != (a.rows(), b.cols()) {
+                return Err(EmulationError::ShapeMismatch);
+            }
+        }
         if items.is_empty() {
-            return Ok(outs);
+            return Ok(());
         }
 
         if self.emu.mode() != Mode::Fast {
@@ -394,7 +412,7 @@ impl BatchedOzaki2 {
             for ((a, b), out) in items.iter().zip(outs.iter_mut()) {
                 self.emu.try_dgemm_into_ws(a, b, out, &mut ws)?;
             }
-            return Ok(outs);
+            return Ok(());
         }
 
         // Identity-based sharing: operands referenced by >= 2 items are
@@ -437,7 +455,7 @@ impl BatchedOzaki2 {
         self.run_jobs(large, Schedule::IntraItem);
         self.run_jobs(small, Schedule::InterItem);
         collect_errors(errs)?;
-        Ok(outs)
+        Ok(())
     }
 
     // -- internals -------------------------------------------------------

@@ -1,0 +1,281 @@
+//! Serving-runtime load generator: replays a mixed-size, multi-tenant
+//! trace against `gemm_serve::Server` and records sustained GEMMs/s,
+//! p50/p99 request latency, the coalesce rate, and the operand cache hit
+//! rate into a `serving` section of `BENCH_int8.json` (spliced into the
+//! snapshot `bench_int8` writes, preserving its sections).
+//!
+//! The trace is three tenants: two weight-stationary inference tenants
+//! (`svc-a`, `svc-b`) streaming small below-crossover GEMMs against their
+//! own pinned weight matrix, and one HPC tenant (`hpc`) submitting large
+//! above-crossover GEMMs that take the solo striped path. Requests are
+//! driven in bursts (pause → submit → resume → drain), which makes the
+//! coalescing outcome — and therefore the coalesce and cache-hit rates —
+//! exactly reproducible run to run. Every response is asserted
+//! bit-identical to the sequential `Ozaki2::dgemm` oracle before any
+//! timing counts for anything.
+//!
+//! With `--check-against=<baseline.json>` the run doubles as a CI gate:
+//! the deterministic ratio metrics (coalesce rate, cache hit rate) are
+//! always gated; the timing metrics (GEMMs/s, p99) are gated only in
+//! full (non-`--smoke`) runs, since the smoke trace is too short to time
+//! reliably on shared runners. A baseline measured with a different INT8
+//! microkernel, or predating the serving section, skips loudly instead
+//! of gating on noise.
+//!
+//! Usage: `cargo run --release -p gemm_bench --bin loadgen --
+//! [--smoke] [--workers=2] [--out=BENCH_int8.json]
+//! [--check-against=BENCH_baseline.json] [--tolerance=0.8]`
+
+use gemm_bench::check::{check_regressions, json_number, json_string, upsert_section, GateMetric};
+use gemm_bench::report::Args;
+use gemm_dense::workload::phi_matrix_f64;
+use gemm_dense::MatF64;
+use gemm_engine::microkernel_name;
+use gemm_serve::{GemmRequest, JobHandle, Server};
+use ozaki2::{Mode, Ozaki2};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One tenant's replayable traffic: a pinned weight matrix and a cycled
+/// pool of activation matrices (the weight-stationary pattern), plus the
+/// per-pair oracle results.
+struct Tenant {
+    name: &'static str,
+    acts: Vec<Arc<MatF64>>,
+    weights: Arc<MatF64>,
+    oracle: Vec<MatF64>,
+}
+
+impl Tenant {
+    fn new(name: &'static str, m: usize, k: usize, n: usize, pool: usize, seed: u64) -> Self {
+        let acts: Vec<Arc<MatF64>> = (0..pool)
+            .map(|i| Arc::new(phi_matrix_f64(m, k, 0.5, seed + i as u64, 0)))
+            .collect();
+        let weights = Arc::new(phi_matrix_f64(k, n, 0.5, seed + 1000, 1));
+        Self {
+            name,
+            acts,
+            weights,
+            oracle: Vec::new(),
+        }
+    }
+
+    /// Precompute the per-activation oracle with the sequential emulator.
+    fn bake_oracle(&mut self, emu: &Ozaki2) {
+        self.oracle = self
+            .acts
+            .iter()
+            .map(|a| emu.dgemm(a, &self.weights))
+            .collect();
+    }
+
+    fn request(&self, i: usize) -> (GemmRequest, &MatF64) {
+        let idx = i % self.acts.len();
+        (
+            GemmRequest::new(self.name, self.acts[idx].clone(), self.weights.clone()),
+            &self.oracle[idx],
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.flag("smoke");
+    let out_path: String = args.get("out").unwrap_or_else(|| "BENCH_int8.json".into());
+    if let Some(w) = args.get::<usize>("workers") {
+        rayon::set_num_threads(w);
+    }
+    let workers = rayon::current_num_threads();
+    let nmod = 15usize; // the paper's DGEMM-accuracy setting
+
+    // Trace scale: smoke keeps CI runs in the seconds, full sizes the
+    // measurement for a perf snapshot.
+    let (small, large, n_small, n_large, burst) = if smoke {
+        (48usize, 192usize, 96usize, 4usize, 8usize)
+    } else {
+        (64, 256, 1024, 16, 16)
+    };
+
+    let emu = Ozaki2::new(nmod, Mode::Fast);
+    let mut tenants = [
+        Tenant::new("svc-a", small, small, small, 16, 10),
+        Tenant::new("svc-b", small, small, small, 16, 500),
+    ];
+    let mut hpc = Tenant::new("hpc", large, large, large, 2, 900);
+    for t in &mut tenants {
+        t.bake_oracle(&emu);
+    }
+    hpc.bake_oracle(&emu);
+
+    let server = Server::builder(nmod, Mode::Fast)
+        .queue_depth(burst + 2)
+        .max_batch(burst)
+        .coalesce_window(Duration::from_micros(500))
+        .build();
+
+    // Burst-driven closed loop: pause, enqueue one burst of small jobs
+    // (tenants alternating) plus any due large job, resume, drain. Each
+    // burst coalesces into exactly one group round and each large job
+    // runs solo, so the coalesce rate is a property of the trace, not of
+    // scheduler timing — which is what lets CI gate on it.
+    let n_bursts = n_small / burst;
+    let large_every = n_bursts.max(1) / n_large.max(1);
+    let mut latencies: Vec<f64> = Vec::with_capacity(n_small + n_large);
+    let mut submitted_small = 0usize;
+    let mut submitted_large = 0usize;
+    let t_start = Instant::now();
+    for b in 0..n_bursts {
+        server.pause();
+        let mut inflight: Vec<(Instant, JobHandle, &MatF64)> = Vec::with_capacity(burst + 1);
+        for _ in 0..burst {
+            let tenant = &tenants[submitted_small % 2];
+            let (req, want) = tenant.request(submitted_small / 2);
+            inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
+            submitted_small += 1;
+        }
+        if large_every > 0 && b % large_every == 0 && submitted_large < n_large {
+            let (req, want) = hpc.request(submitted_large);
+            inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
+            submitted_large += 1;
+        }
+        server.resume();
+        for (t0, handle, want) in inflight {
+            let got = handle.wait().expect("trace jobs complete");
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(&got, want, "served result must stay bit-identical");
+        }
+    }
+    let wall = t_start.elapsed().as_secs_f64();
+    let total = submitted_small + submitted_large;
+
+    let stats = server.stats();
+    assert_eq!(stats.completed as usize, total, "every request completed");
+    let gemms_per_s = total as f64 / wall;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50_ms = percentile(&latencies, 0.50);
+    let p99_ms = percentile(&latencies, 0.99);
+    let coalesce_rate = stats.coalesce_rate();
+    let (mut hits, mut submissions) = (0u64, 0u64);
+    for (_, t) in server.tenants() {
+        hits += t.cache_hits;
+        submissions += t.submitted;
+    }
+    // Two operands per submission; hits are identity re-sightings.
+    let cache_hit_rate = hits as f64 / (2 * submissions) as f64;
+
+    println!(
+        "serving loadgen: {total} reqs ({submitted_small} x {small}^3 across 2 tenants, \
+         {submitted_large} x {large}^3 hpc), N={nmod}, {workers} worker(s), burst {burst}"
+    );
+    println!(
+        "  sustained   : {gemms_per_s:8.1} GEMMs/s\n  p50 latency : {p50_ms:8.3} ms\n  p99 latency : {p99_ms:8.3} ms"
+    );
+    println!(
+        "  coalesce    : {:8.1} %  ({} coalesced, {} solo, {} rounds)\n  cache hits  : {:8.1} %",
+        coalesce_rate * 100.0,
+        stats.coalesced,
+        stats.solo,
+        stats.rounds,
+        cache_hit_rate * 100.0
+    );
+    for (name, t) in server.tenants() {
+        println!(
+            "  tenant {name:6}: {} submitted, {} completed, {} residue-GEMMs, {} operand hits",
+            t.submitted, t.completed, t.residue_gemms, t.cache_hits
+        );
+    }
+    server.shutdown();
+
+    let section = format!(
+        "{{\n    \"mode\": \"{}\",\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"requests\": {total},\n    \"small_shape\": [{small}, {small}, {small}],\n    \"large_shape\": [{large}, {large}, {large}],\n    \"burst\": {burst},\n    \"serving_gemms_per_s\": {gemms_per_s:.3},\n    \"serving_p50_ms\": {p50_ms:.3},\n    \"serving_p99_ms\": {p99_ms:.3},\n    \"serving_coalesce_rate\": {coalesce_rate:.4},\n    \"serving_cache_hit_rate\": {cache_hit_rate:.4}\n  }}",
+        if smoke { "smoke" } else { "full" }
+    );
+    let doc = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".into());
+    let doc = upsert_section(&doc, "serving", &section);
+    std::fs::File::create(&out_path)
+        .and_then(|mut f| f.write_all(doc.as_bytes()))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote serving section into {out_path}");
+
+    // ---- CI gate ---------------------------------------------------------
+    if let Some(baseline_path) = args.get::<String>("check-against") {
+        let tolerance: f64 = args.get("tolerance").unwrap_or(0.8);
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        // Same hardware-class shield as bench_int8's gate.
+        let base_kernel = json_string(&baseline, "microkernel").unwrap_or("<missing>");
+        if base_kernel != microkernel_name() {
+            println!(
+                "serving gate SKIPPED: baseline {baseline_path} was measured with the \
+                 '{base_kernel}' microkernel, this machine dispatches '{}'. Refresh the \
+                 baseline on this runner class to re-arm the gate.",
+                microkernel_name()
+            );
+            return;
+        }
+        if json_number(&baseline, "serving_coalesce_rate").is_none() {
+            println!(
+                "serving gate SKIPPED: baseline {baseline_path} has no serving section \
+                 (predates the serving runtime). Refresh it to arm the gate."
+            );
+            return;
+        }
+        let pull = |key: &str| {
+            json_number(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks \"{key}\""))
+        };
+        // The ratio metrics are exact properties of the replayed trace —
+        // gate them in every mode. Timing only gates in full runs.
+        let mut metrics = vec![
+            GateMetric {
+                name: "serving_coalesce_rate",
+                current: coalesce_rate,
+                baseline: pull("serving_coalesce_rate"),
+                higher_is_better: true,
+            },
+            GateMetric {
+                name: "serving_cache_hit_rate",
+                current: cache_hit_rate,
+                baseline: pull("serving_cache_hit_rate"),
+                higher_is_better: true,
+            },
+        ];
+        if !smoke {
+            metrics.push(GateMetric {
+                name: "serving_gemms_per_s",
+                current: gemms_per_s,
+                baseline: pull("serving_gemms_per_s"),
+                higher_is_better: true,
+            });
+            metrics.push(GateMetric {
+                name: "serving_p99_ms",
+                current: p99_ms,
+                baseline: pull("serving_p99_ms"),
+                higher_is_better: false,
+            });
+        }
+        let failures = check_regressions(&metrics, tolerance);
+        for m in &metrics {
+            let status = if m.passes(tolerance) { "ok" } else { "FAIL" };
+            println!(
+                "gate {:24} current {:10.3} baseline {:10.3}  [{status}]",
+                m.name, m.current, m.baseline
+            );
+        }
+        if failures.is_empty() {
+            println!("serving gate PASSED vs {baseline_path} (tolerance {tolerance})");
+        } else {
+            for f in &failures {
+                eprintln!("{f}");
+            }
+            eprintln!("serving gate FAILED vs {baseline_path} (tolerance {tolerance})");
+            std::process::exit(1);
+        }
+    }
+}

@@ -24,7 +24,9 @@ use gemm_dense::{MatF64, MatView, MatViewMut, Matrix};
 /// intra-GEMM stripe parallelism; low intensity means a single item is
 /// memory/latency-bound and a batched runtime is better off running whole
 /// items concurrently (inter-GEMM parallelism) — the crossover the
-/// `gemm_batch` scheduler picks from.
+/// `gemm_batch` scheduler picks from, and the same classifier
+/// `gemm_serve::Server` applies at admission to decide whether a request
+/// waits in the coalesce buffer or dispatches solo.
 pub fn arithmetic_intensity(m: usize, n: usize, k: usize, n_moduli: usize) -> f64 {
     if m == 0 || n == 0 || k == 0 {
         return 0.0;

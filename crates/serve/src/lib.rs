@@ -1,0 +1,57 @@
+//! # gemm-serve — async many-tenant GEMM serving runtime
+//!
+//! Production matrix-engine traffic is many concurrent callers, not one
+//! loop: inference tenants streaming small weight-stationary products,
+//! the occasional large compute-bound GEMM, all against one machine.
+//! This crate turns the batched Ozaki-II runtime
+//! ([`gemm_batch::BatchedOzaki2`]) into a *service*:
+//!
+//! * **Submission queue** — [`Server::submit`] (blocking) and
+//!   [`Server::try_submit`] ([`SubmitError::QueueFull`]) against a
+//!   bounded queue: backpressure is a first-class, configurable
+//!   boundary, not an OOM.
+//! * **Intensity-driven coalescing** — every request's
+//!   [`ozaki2::arithmetic_intensity`] is computed at admission. Jobs
+//!   below the inter/intra crossover wait (up to a configurable window)
+//!   to coalesce into shared-operand group rounds — weight-stationary
+//!   tenants resubmitting the same `Arc`'d matrix share one prepared
+//!   operand through the fingerprint-guarded cache — while jobs above
+//!   it dispatch immediately with intra-GEMM stripe parallelism.
+//! * **Deadline shedding** — overloaded queues degrade by abandoning
+//!   jobs that out-wait their deadline ([`JobError::Shed`]) instead of
+//!   serving everyone late.
+//! * **Exact accounting** — per-tenant [`TenantStats`]
+//!   (submitted/completed/rejected/shed, bytes, residue-GEMMs, operand
+//!   cache hits) and server-wide [`ServerStats`] with the coalesce
+//!   rate.
+//!
+//! Every served result is **bit-identical** to [`ozaki2::Ozaki2::dgemm`]
+//! on the same operands — at any worker count, under any coalescing
+//! outcome, and under any [`ozaki2::FaultPolicy`]. The operator's guide
+//! lives in `docs/SERVING.md`.
+//!
+//! ```
+//! use gemm_dense::workload::phi_matrix_f64;
+//! use gemm_serve::{GemmRequest, Server};
+//! use ozaki2::{Mode, Ozaki2};
+//! use std::sync::Arc;
+//!
+//! let server = Server::builder(12, Mode::Fast).build();
+//! let weights = Arc::new(phi_matrix_f64(48, 32, 0.5, 7, 1));
+//! let acts = Arc::new(phi_matrix_f64(16, 48, 0.5, 1, 0));
+//! let handle = server
+//!     .submit(GemmRequest::new("tenant-a", acts.clone(), weights.clone()))
+//!     .expect("admitted");
+//! let c = handle.wait().expect("served");
+//! assert_eq!(c, Ozaki2::new(12, Mode::Fast).dgemm(&acts, &weights));
+//! ```
+
+#![warn(missing_docs)]
+
+mod request;
+mod server;
+mod stats;
+
+pub use request::{GemmRequest, JobError, JobHandle, SubmitError};
+pub use server::{Server, ServerBuilder};
+pub use stats::{ServerStats, TenantStats};

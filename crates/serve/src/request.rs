@@ -1,0 +1,221 @@
+//! Submission-side types: [`GemmRequest`], [`JobHandle`], and the error
+//! taxonomy ([`SubmitError`] for admission, [`JobError`] for execution).
+
+use gemm_dense::MatF64;
+use ozaki2::EmulationError;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One emulated-DGEMM product submitted to a [`crate::Server`]:
+/// `C = A · B` on behalf of a named tenant.
+///
+/// Operands are `Arc`-shared so a weight-stationary tenant can submit the
+/// same prepared matrix thousands of times without copying it — operand
+/// *identity* (pointer + shape) is what the server's coalescer and the
+/// underlying prepared-operand cache key on, so resubmitting the same
+/// `Arc` is what makes the Algorithm 1 front end amortize.
+///
+/// # Examples
+/// ```
+/// use gemm_dense::workload::phi_matrix_f64;
+/// use gemm_serve::GemmRequest;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let weights = Arc::new(phi_matrix_f64(64, 64, 0.5, 7, 1));
+/// let acts = Arc::new(phi_matrix_f64(8, 64, 0.5, 1, 0));
+/// let req = GemmRequest::new("tenant-a", acts, weights.clone())
+///     .deadline(Duration::from_millis(50));
+/// assert_eq!(req.tenant(), "tenant-a");
+/// assert_eq!(req.shape(), (8, 64, 64)); // (m, k, n)
+/// ```
+#[derive(Clone)]
+pub struct GemmRequest {
+    pub(crate) tenant: Arc<str>,
+    pub(crate) a: Arc<MatF64>,
+    pub(crate) b: Arc<MatF64>,
+    pub(crate) deadline: Option<Duration>,
+}
+
+impl GemmRequest {
+    /// A request computing `a · b` for `tenant`. The shape is validated
+    /// at submission, not here.
+    pub fn new(tenant: impl Into<Arc<str>>, a: Arc<MatF64>, b: Arc<MatF64>) -> Self {
+        Self {
+            tenant: tenant.into(),
+            a,
+            b,
+            deadline: None,
+        }
+    }
+
+    /// Maximum time this request may wait in the queue, measured from
+    /// submission. A request still queued past its deadline is **shed**
+    /// (completed with [`JobError::Shed`]) instead of executed — the
+    /// overload degradation knob. Overrides the server's
+    /// `default_deadline`; requests without either never shed.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The submitting tenant's name.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Product shape `(m, k, n)`: `A` is `m x k`, `B` is `k x n`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.a.rows(), self.a.cols(), self.b.cols())
+    }
+
+    /// Operand + output footprint in bytes (what [`crate::TenantStats`]
+    /// accounts per completed product).
+    pub fn bytes(&self) -> u64 {
+        let (m, k, n) = self.shape();
+        (8 * (m * k + k * n + m * n)) as u64
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The bounded queue is at its configured depth (`try_submit` only;
+    /// the blocking `submit` waits instead). This is the backpressure
+    /// signal: the caller should retry later, slow down, or shed.
+    QueueFull,
+    /// The request is malformed: inner dimensions disagree
+    /// ([`EmulationError::ShapeMismatch`]) or an operand holds a NaN or
+    /// infinity ([`EmulationError::NonFiniteInput`]). Validated at
+    /// admission so one tenant's bad payload cannot poison a coalesced
+    /// round of another's.
+    Invalid(EmulationError),
+    /// The server is shutting down and no longer admits work.
+    Shutdown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is at its configured depth"),
+            SubmitError::Invalid(e) => write!(f, "invalid request: {e}"),
+            SubmitError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted job did not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// The job sat in the queue past its deadline and was shed without
+    /// executing (overload degradation). `queued_for` is how long it
+    /// waited before the dispatcher gave up on it.
+    Shed {
+        /// Queue residence time at the moment the job was shed.
+        queued_for: Duration,
+    },
+    /// The emulation pipeline rejected or failed the job.
+    Emulation(EmulationError),
+    /// The execution round panicked (an internal engine bug — the
+    /// dispatcher survives and the message is preserved here).
+    Internal(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Shed { queued_for } => {
+                write!(f, "shed after {queued_for:?} in queue (deadline exceeded)")
+            }
+            JobError::Emulation(e) => write!(f, "emulation failed: {e}"),
+            JobError::Internal(msg) => write!(f, "execution round panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Shared completion cell between a [`JobHandle`] and the dispatcher.
+pub(crate) struct JobCell {
+    slot: Mutex<Option<Result<MatF64, JobError>>>,
+    done: Condvar,
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Complete the job (dispatcher side). Double completion is a bug.
+    pub(crate) fn complete(&self, result: Result<MatF64, JobError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(slot.is_none(), "job completed twice");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// The caller's side of one submitted job: block on [`JobHandle::wait`]
+/// for the result, or poll with [`JobHandle::is_done`] /
+/// [`JobHandle::try_wait`].
+///
+/// Results are **bit-identical** to `Ozaki2::dgemm` on the same operands
+/// — coalescing, caching, and scheduling change when work happens, never
+/// what is computed.
+pub struct JobHandle {
+    pub(crate) cell: Arc<JobCell>,
+    pub(crate) tenant: Arc<str>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("tenant", &self.tenant)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The tenant this job was submitted for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Whether the result (or error) is ready; never blocks.
+    pub fn is_done(&self) -> bool {
+        self.cell
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Block until the job completes and return its result.
+    pub fn wait(self) -> Result<MatF64, JobError> {
+        let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cell.done.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking variant of [`JobHandle::wait`]: the result if ready,
+    /// otherwise the handle back for a later attempt.
+    pub fn try_wait(self) -> Result<Result<MatF64, JobError>, JobHandle> {
+        {
+            let mut slot = self.cell.slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+        }
+        Err(self)
+    }
+}

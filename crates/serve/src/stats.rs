@@ -1,0 +1,117 @@
+//! Accounting: per-tenant [`TenantStats`] and server-wide [`ServerStats`].
+//!
+//! Every counter is updated under one short-lived lock at well-defined
+//! events (admission, shed, completion), so the numbers are **exact** —
+//! test suites assert them with `assert_eq!`, not tolerances.
+
+/// Per-tenant accounting, exact at every instant.
+///
+/// `submitted` counts admissions; `rejected` counts submissions refused
+/// at the door (queue full or invalid); `shed` counts admitted jobs
+/// abandoned past their deadline; `completed`/`failed` split the jobs
+/// that reached execution. At quiescence
+/// `submitted == completed + failed + shed` and the in-flight difference
+/// is the queue residue.
+///
+/// # Examples
+/// ```
+/// use gemm_dense::workload::phi_matrix_f64;
+/// use gemm_serve::{GemmRequest, Server};
+/// use std::sync::Arc;
+///
+/// let server = Server::builder(8, ozaki2::Mode::Fast).build();
+/// let w = Arc::new(phi_matrix_f64(16, 16, 0.5, 7, 1));
+/// let mut handles = Vec::new();
+/// for s in 0..3u64 {
+///     let a = Arc::new(phi_matrix_f64(16, 16, 0.5, s, 0));
+///     handles.push(server.submit(GemmRequest::new("t0", a, w.clone())).unwrap());
+/// }
+/// for h in handles {
+///     h.wait().unwrap();
+/// }
+/// let stats = server.tenant_stats("t0").unwrap();
+/// assert_eq!(stats.submitted, 3);
+/// assert_eq!(stats.completed, 3);
+/// assert_eq!(stats.residue_gemms, 3 * 8); // N plane-GEMMs per product
+/// assert_eq!(stats.cache_hits, 2); // the shared B resubmitted twice
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests admitted to the queue.
+    pub submitted: u64,
+    /// Jobs executed to a bit-exact result.
+    pub completed: u64,
+    /// Submissions refused at admission (`QueueFull` from `try_submit`,
+    /// or an invalid shape / non-finite operand).
+    pub rejected: u64,
+    /// Admitted jobs abandoned unexecuted because they out-waited their
+    /// deadline (overload degradation; see `GemmRequest::deadline`).
+    pub shed: u64,
+    /// Jobs that reached execution and failed (emulation error or an
+    /// internal panic).
+    pub failed: u64,
+    /// Operand + output bytes of completed products.
+    pub bytes: u64,
+    /// Residue-plane INT8 GEMMs executed for this tenant: `N` (the
+    /// moduli count) per completed product. ABFT checksum or recovery
+    /// re-runs are not counted — this is the useful work metric.
+    pub residue_gemms: u64,
+    /// Operand resubmissions: sides whose data identity (pointer +
+    /// shape) had already been admitted before, i.e. the submissions
+    /// the prepared-operand cache exists to make cheap. Two hits per
+    /// request when both sides recur.
+    pub cache_hits: u64,
+}
+
+/// Whole-server counters plus coalescing outcomes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted across all tenants.
+    pub submitted: u64,
+    /// Jobs completed across all tenants.
+    pub completed: u64,
+    /// Admission rejections across all tenants.
+    pub rejected: u64,
+    /// Deadline sheds across all tenants.
+    pub shed: u64,
+    /// Execution failures across all tenants.
+    pub failed: u64,
+    /// Execution rounds dispatched (a coalesced group, or one large job
+    /// running with intra-GEMM stripes).
+    pub rounds: u64,
+    /// Jobs executed inside a coalesced round of ≥ 2 items.
+    pub coalesced: u64,
+    /// Jobs executed alone: every intensity-admitted large job, plus
+    /// small jobs whose coalesce window closed with no companions.
+    pub solo: u64,
+    /// Highest queue occupancy observed at any admission.
+    pub peak_queue_depth: usize,
+}
+
+impl ServerStats {
+    /// Fraction of executed jobs that rode a coalesced round:
+    /// `coalesced / (coalesced + solo)`, `0.0` before any execution.
+    /// The tuning target of the coalesce window (see `docs/SERVING.md`).
+    pub fn coalesce_rate(&self) -> f64 {
+        let executed = self.coalesced + self.solo;
+        if executed == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_rate_handles_empty_and_partial() {
+        let mut s = ServerStats::default();
+        assert_eq!(s.coalesce_rate(), 0.0);
+        s.coalesced = 3;
+        s.solo = 1;
+        assert_eq!(s.coalesce_rate(), 0.75);
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`ozaki2`] — the paper's contribution (Algorithm 1);
 //! * [`gemm_batch`] — batched runtime: prepared-operand cache, workspace
 //!   pool, many-GEMM scheduler;
+//! * [`gemm_serve`] — many-tenant serving runtime: bounded submission
+//!   queue, intensity-driven coalescing, deadline shedding, per-tenant
+//!   accounting (see docs/SERVING.md);
 //! * [`gemm_dense`] — matrices, native GEMM, Philox RNG, workloads;
 //! * [`gemm_engine`] — the simulated INT8 / FP16 / BF16 / TF32 engines;
 //! * [`gemm_lowfp`] — software low-precision formats;
@@ -42,6 +45,7 @@ pub use gemm_engine;
 pub use gemm_exact;
 pub use gemm_lowfp;
 pub use gemm_perfmodel;
+pub use gemm_serve;
 pub use ozaki2;
 
 /// Everything a typical user needs in scope.
@@ -55,6 +59,7 @@ pub mod prelude {
         NativeSgemm, Philox4x32,
     };
     pub use gemm_exact::{dd_gemm, max_rel_error_vs_dd, Dd};
+    pub use gemm_serve::{GemmRequest, JobHandle, Server, TenantStats};
     pub use ozaki2::{
         Accuracy, GemmArgs, GemmOp, GemmOut, GemmPlan, Mode, Ozaki2, PreparedOperand, Workspace,
     };
