@@ -337,10 +337,12 @@ impl OperandCache {
             let hit = entry.1.clone();
             drop(entries);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            gemm_obs::catalog::CACHE_HITS.inc();
             Some(hit)
         } else {
             drop(entries);
             self.misses.fetch_add(1, Ordering::Relaxed);
+            gemm_obs::catalog::CACHE_MISSES.inc();
             None
         }
     }

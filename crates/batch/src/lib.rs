@@ -348,9 +348,18 @@ impl BatchedOzaki2 {
             })
             .collect();
         let run = |job: SgemmJob<'_>| self.run_sgemm_job(job);
-        match schedule {
-            Schedule::InterItem => jobs.into_par_iter().for_each(run),
-            Schedule::IntraItem => jobs.into_iter().for_each(run),
+        {
+            let _span = gemm_obs::span("batch_round", "batch");
+            match schedule {
+                Schedule::InterItem => {
+                    gemm_obs::catalog::BATCH_ITEMS_INTER.add(jobs.len() as u64);
+                    jobs.into_par_iter().for_each(run)
+                }
+                Schedule::IntraItem => {
+                    gemm_obs::catalog::BATCH_ITEMS_INTRA.add(jobs.len() as u64);
+                    jobs.into_iter().for_each(run)
+                }
+            }
         }
         collect_errors(errs)?;
         Ok(outs)
@@ -562,10 +571,17 @@ impl BatchedOzaki2 {
 
     /// Execute jobs under the chosen schedule.
     fn run_jobs(&self, jobs: Vec<Job<'_>>, schedule: Schedule) {
+        let _span = gemm_obs::span("batch_round", "batch");
         let run = |job: Job<'_>| self.run_job(job);
         match schedule {
-            Schedule::InterItem => jobs.into_par_iter().for_each(run),
-            Schedule::IntraItem => jobs.into_iter().for_each(run),
+            Schedule::InterItem => {
+                gemm_obs::catalog::BATCH_ITEMS_INTER.add(jobs.len() as u64);
+                jobs.into_par_iter().for_each(run)
+            }
+            Schedule::IntraItem => {
+                gemm_obs::catalog::BATCH_ITEMS_INTRA.add(jobs.len() as u64);
+                jobs.into_iter().for_each(run)
+            }
         }
     }
 

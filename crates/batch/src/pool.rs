@@ -91,6 +91,7 @@ impl WorkspacePool {
     /// Check out a workspace (reusing a returned one when available).
     /// The guard returns it to the pool on drop.
     pub fn checkout(&self) -> PooledWorkspace<'_> {
+        gemm_obs::catalog::WORKSPACE_CHECKOUTS.inc();
         let home = home_shard();
         let mut ws = self.shard(home).pop();
         if ws.is_none() {
@@ -105,6 +106,7 @@ impl WorkspacePool {
         }
         let ws = ws.unwrap_or_else(|| {
             self.created.fetch_add(1, Ordering::Relaxed);
+            gemm_obs::catalog::WORKSPACE_CREATED.inc();
             Workspace::new()
         });
         PooledWorkspace {

@@ -24,7 +24,14 @@
 //!
 //! Usage: `cargo run --release -p gemm_bench --bin loadgen --
 //! [--smoke] [--workers=2] [--out=BENCH_int8.json]
-//! [--check-against=BENCH_baseline.json] [--tolerance=0.8]`
+//! [--check-against=BENCH_baseline.json] [--tolerance=0.8]
+//! [--trace-out=loadgen-trace.json]`
+//!
+//! With `OZAKI_OBS=1` the run opens a [`gemm_obs::ObsSession`] around
+//! the trace replay, exports a chrome://tracing JSON of every captured
+//! span to `--trace-out`, and asserts that per-phase span sums reconcile
+//! with the Prometheus histogram totals (exactly when no span ring
+//! wrapped; see `docs/OBSERVABILITY.md`).
 
 use gemm_bench::check::{check_regressions, json_number, json_string, upsert_section, GateMetric};
 use gemm_bench::report::Args;
@@ -113,6 +120,12 @@ fn main() {
     }
     hpc.bake_oracle(&emu);
 
+    // Observability session: opened *after* oracle baking so the baked
+    // sequential GEMMs (pure setup) stay out of the trace and out of the
+    // span/histogram reconciliation window, and *before* the server is
+    // built so every admission falls inside it.
+    let obs = gemm_obs::enabled().then(gemm_obs::ObsSession::begin);
+
     let server = Server::builder(nmod, Mode::Fast)
         .queue_depth(burst + 2)
         .max_batch(burst)
@@ -191,6 +204,71 @@ fn main() {
         );
     }
     server.shutdown();
+
+    // Observability read-back (OZAKI_OBS=1): export a Chrome trace of
+    // every span the session captured, then cross-check each paired
+    // histogram's `_sum` delta against the summed span durations. The
+    // two sides record the same nanosecond value per observation, so
+    // they reconcile exactly whenever no per-thread span ring wrapped;
+    // the 1% tolerance only exists to absorb ring-drop truncation, and
+    // the assert is skipped (loudly) when drops occurred.
+    if let Some(session) = &obs {
+        let trace_path: String = args
+            .get("trace-out")
+            .unwrap_or_else(|| "loadgen-trace.json".into());
+        session
+            .export_chrome_trace_to(&trace_path)
+            .unwrap_or_else(|e| panic!("write {trace_path}: {e}"));
+        println!(
+            "wrote chrome trace to {trace_path} ({} spans, {} dropped)",
+            session.events().len(),
+            session.dropped()
+        );
+        use gemm_obs::catalog as cat;
+        println!(
+            "  obs registry: {} submitted, {} completed, {} rounds, {} int8 engine calls",
+            cat::SERVE_SUBMITTED.value(),
+            cat::SERVE_COMPLETED.value(),
+            cat::SERVE_ROUNDS.value(),
+            cat::ENGINE_INT8_CALLS.value()
+        );
+        assert_eq!(
+            cat::SERVE_COMPLETED.value(),
+            stats.completed,
+            "registry completion counter must agree with server stats"
+        );
+        let recs = session.reconcile();
+        for r in &recs {
+            println!(
+                "  obs {:16} spans {:10.3} ms  histogram {:10.3} ms  ({} samples)",
+                r.span_name,
+                r.span_ns as f64 / 1e6,
+                r.hist_ns as f64 / 1e6,
+                r.hist_count
+            );
+        }
+        if session.dropped() == 0 {
+            for r in &recs {
+                assert!(
+                    r.within(0.01),
+                    "span/histogram mismatch for {}: spans {} ns vs histogram {} ns",
+                    r.span_name,
+                    r.span_ns,
+                    r.hist_ns
+                );
+            }
+            println!(
+                "  obs reconciliation: {} histograms agree within 1%",
+                recs.len()
+            );
+        } else {
+            println!(
+                "  obs reconciliation SKIPPED: {} spans dropped (ring wrapped); \
+                 histogram totals remain exact",
+                session.dropped()
+            );
+        }
+    }
 
     let section = format!(
         "{{\n    \"mode\": \"{}\",\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"requests\": {total},\n    \"small_shape\": [{small}, {small}, {small}],\n    \"large_shape\": [{large}, {large}, {large}],\n    \"burst\": {burst},\n    \"serving_gemms_per_s\": {gemms_per_s:.3},\n    \"serving_p50_ms\": {p50_ms:.3},\n    \"serving_p99_ms\": {p99_ms:.3},\n    \"serving_coalesce_rate\": {coalesce_rate:.4},\n    \"serving_cache_hit_rate\": {cache_hit_rate:.4}\n  }}",

@@ -44,8 +44,8 @@
 
 use crate::consts::Constants;
 use crate::scale::{pow2_split, strunc_row, strunc_row_inplace};
+use gemm_obs::TimeShare;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Correction-step thresholds for the DGEMM (`b = 64`) kernel.
@@ -405,36 +405,6 @@ pub enum TruncSource<'a> {
     },
 }
 
-/// Phase-attribution counters for the fused sweep: nanoseconds spent in the
-/// scale+trunc portion of each job vs the job totals, summed over all jobs
-/// (CPU time). The caller splits its wall-clock measurement of the whole
-/// call proportionally — exact on one worker, a faithful CPU-share
-/// attribution on many.
-#[derive(Default)]
-pub struct ConvertTiming {
-    /// Summed nanoseconds the jobs spent gathering + scaling + truncating.
-    pub trunc_ns: AtomicU64,
-    /// Summed nanoseconds of whole jobs (trunc + rmod + pack).
-    pub job_ns: AtomicU64,
-}
-
-impl ConvertTiming {
-    /// Fresh zeroed counters.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Fraction of job CPU time spent in the trunc portion (0 when no job
-    /// has run).
-    pub fn trunc_fraction(&self) -> f64 {
-        let total = self.job_ns.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0.0;
-        }
-        self.trunc_ns.load(Ordering::Relaxed) as f64 / total as f64
-    }
-}
-
 /// One parallel unit of the fused convert: vectors `[v0, v0 + nv)` of every
 /// residue panel.
 struct ConvertJob<'a> {
@@ -510,7 +480,10 @@ pub fn convert_pack_panels(
 /// every kernel, thread count and split.
 ///
 /// `timing`, when given, accumulates per-job trunc vs total CPU
-/// nanoseconds for phase attribution (see [`ConvertTiming`]).
+/// nanoseconds for phase attribution (a [`TimeShare`] from `gemm_obs`:
+/// the caller splits its wall-clock measurement by `fraction()` — exact
+/// on one worker, a faithful CPU-share attribution on many). Each job
+/// additionally emits a `convert_job` span when observability is enabled.
 ///
 /// # Panics
 /// As [`convert_pack_panels`]; additionally if a fused source's `exps`
@@ -526,7 +499,7 @@ pub fn trunc_convert_pack_panels(
     b64: bool,
     parallel: bool,
     out: &mut [i16],
-    timing: Option<&ConvertTiming>,
+    timing: Option<&TimeShare>,
 ) {
     let nmod = consts.n;
     assert!(vecs_pad >= vecs, "vector padding below count");
@@ -600,7 +573,7 @@ fn convert_job(
     kp: usize,
     consts: &Constants,
     steps: u8,
-    timing: Option<&ConvertTiming>,
+    timing: Option<&TimeShare>,
     job: ConvertJob<'_>,
 ) {
     let ConvertJob { v0, nv, mut planes } = job;
@@ -678,9 +651,15 @@ fn convert_job(
         }
     }
     if let (Some(t), Some(t0)) = (timing, job_t0) {
-        t.trunc_ns.fetch_add(trunc_ns, Ordering::Relaxed);
-        t.job_ns
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let job_ns = t0.elapsed().as_nanos() as u64;
+        t.add(trunc_ns, job_ns);
+        // One span per job (not per tile): end-anchored on the obs clock
+        // using the already-measured duration, so the disabled path never
+        // reads the clock.
+        let end = gemm_obs::now_ns();
+        if end != 0 {
+            gemm_obs::record_span("convert_job", "convert", end.saturating_sub(job_ns), end);
+        }
     }
 }
 
@@ -1016,7 +995,7 @@ mod tests {
             convert_pack_panels(&pretrunc, vecs, vecs_pad, k, kp, c, true, false, &mut want);
             for parallel in [false, true] {
                 let mut got = vec![-1i16; nmod * vecs_pad * kp];
-                let timing = ConvertTiming::new();
+                let timing = TimeShare::new();
                 trunc_convert_pack_panels(
                     TruncSource::Gathered {
                         data: ElemSlice::F64(a.as_slice()),
@@ -1034,8 +1013,8 @@ mod tests {
                     Some(&timing),
                 );
                 assert_eq!(got, want, "A-source vecs={vecs} k={k} parallel={parallel}");
-                assert!(timing.job_ns.load(std::sync::atomic::Ordering::Relaxed) > 0);
-                assert!(timing.trunc_fraction() > 0.0 && timing.trunc_fraction() < 1.0);
+                assert!(timing.total_ns() > 0);
+                assert!(timing.fraction() > 0.0 && timing.fraction() < 1.0);
             }
 
             // Operand B: columns of a column-major k × vecs matrix.

@@ -21,7 +21,7 @@
 use crate::abft::{execute_panels_ft, FaultPolicy, FaultReport, FtScratch, PanelsRef};
 use crate::blas::GemmOp;
 use crate::consts::{constants, Constants};
-use crate::convert::{trunc_convert_pack_panels, ConvertTiming, TruncSource};
+use crate::convert::{trunc_convert_pack_panels, TruncSource};
 use crate::element::Element;
 use crate::moduli::N_MAX;
 use crate::nselect;
@@ -32,6 +32,7 @@ use crate::prepared::OperandSide;
 use crate::scale::{accurate_scale_view, fast_scale_a_view, fast_scale_b_view};
 use gemm_dense::{Layout, MatView, MatViewMut, Matrix};
 use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
+use gemm_obs::TimeShare;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -390,6 +391,7 @@ pub(crate) fn emulate_view_into<T: Element>(
     }
 
     // ---- Line 1: scale vectors ------------------------------------------
+    let obs_start = gemm_obs::now_ns();
     let t0 = Instant::now();
     let (exps_a, exps_b) = match mode {
         Mode::Fast => (
@@ -429,7 +431,7 @@ pub(crate) fn emulate_view_into<T: Element>(
     let kp = padded_depth(k);
     let m_pad = padded_a_rows(m);
     let n_pad = padded_b_cols(n);
-    let timing = ConvertTiming::new();
+    let timing = TimeShare::new();
     let a16 = &mut a16[..nmod * m_pad * kp];
     trunc_convert_pack_panels(
         vectors_source(&a, true, &exps_a),
@@ -457,7 +459,7 @@ pub(crate) fn emulate_view_into<T: Element>(
         Some(&timing),
     );
     let sweep = t0.elapsed();
-    phases.trunc = sweep.mul_f64(timing.trunc_fraction());
+    phases.trunc = sweep.mul_f64(timing.fraction());
     phases.convert = sweep.saturating_sub(phases.trunc);
 
     // ---- Lines 6–12 over the packed panels -------------------------------
@@ -550,14 +552,16 @@ pub(crate) fn emulate_view_into<T: Element>(
         phases.fold += t0.elapsed();
     }
 
-    Ok(EmulationReport {
+    let report = EmulationReport {
         shape: (m, n, k),
         n_moduli: nmod,
         mode,
         phases,
         int8_gemm_calls: gemm_calls,
         fault,
-    })
+    };
+    crate::pipeline::obs_record_report(obs_start, &report);
+    Ok(report)
 }
 
 // ---------------------------------------------------------------------------

@@ -51,11 +51,12 @@ pub use accumulate::{fold_kernel_name, fold_planes, fold_span, fold_span_scalar,
 pub use blas::{dgemm_emulated, GemmOp};
 pub use consts::{constants, Constants};
 pub use convert::{
-    convert_kernel_name, convert_pack_panels, residue_planes, trunc_convert_pack_panels,
-    ConvertTiming, ElemSlice, TruncSource,
+    convert_kernel_name, convert_pack_panels, residue_planes, trunc_convert_pack_panels, ElemSlice,
+    TruncSource,
 };
 pub use element::Element;
 pub use facade::{Accuracy, GemmArgs, GemmOut, Ozaki2Builder};
+pub use gemm_obs::TimeShare;
 pub use mixed::{dgemm_dd, gemm_f32xf64, gemm_f64xf32};
 pub use moduli::{moduli, MODULI, N_MAX, N_MAX_SGEMM};
 pub use nselect::{

@@ -186,6 +186,57 @@ impl PhaseTimes {
     }
 }
 
+/// Mirror one call's phase attribution into the observability registry:
+/// each nonzero phase becomes one histogram observation *and* one span
+/// event with the same nanosecond value (so Chrome-trace span sums
+/// reconcile exactly against the Prometheus `_sum` series). The spans are
+/// laid out end-to-end from `call_start_ns` in Algorithm-1 order — a
+/// synthetic sequential timeline, since `int8_gemm` and `mod_reduce`
+/// physically interleave per residue plane but are *attributed*
+/// separately by the executor. No-op when observability is disabled.
+pub(crate) fn obs_record_phases(call_start_ns: u64, phases: &PhaseTimes) {
+    if !gemm_obs::enabled() {
+        return;
+    }
+    use gemm_obs::catalog as cat;
+    let mut t = call_start_ns;
+    for (hist, d) in [
+        (&cat::PHASE_SCALE, phases.scale),
+        (&cat::PHASE_TRUNC, phases.trunc),
+        (&cat::PHASE_CONVERT, phases.convert),
+        (&cat::PHASE_INT8_GEMM, phases.int8_gemm),
+        (&cat::PHASE_MOD_REDUCE, phases.mod_reduce),
+        (&cat::PHASE_FOLD, phases.fold),
+        (&cat::PHASE_VERIFY, phases.verify),
+    ] {
+        let ns = d.as_nanos() as u64;
+        if ns == 0 {
+            continue;
+        }
+        gemm_obs::observe_span(hist.span_name(), "pipeline", hist, t, ns);
+        t += ns;
+    }
+}
+
+/// [`obs_record_phases`] plus the per-call counters (emulated GEMMs,
+/// issued INT8 GEMMs, ABFT outcome) — the shared tail of every execution
+/// entry point (facade and prepared/batched paths).
+pub(crate) fn obs_record_report(call_start_ns: u64, report: &EmulationReport) {
+    if !gemm_obs::enabled() {
+        return;
+    }
+    use gemm_obs::catalog as cat;
+    obs_record_phases(call_start_ns, &report.phases);
+    cat::EMULATED_GEMMS.inc();
+    cat::INT8_GEMM_CALLS.add(report.int8_gemm_calls as u64);
+    if let Some(f) = &report.fault {
+        cat::ABFT_DETECTIONS.add(f.detected as u64);
+        cat::ABFT_RETRIES.add(f.retries as u64);
+        cat::ABFT_SCALAR_FALLBACKS.add(f.scalar_fallbacks as u64);
+        cat::ABFT_UNRECOVERED.add(f.unrecovered as u64);
+    }
+}
+
 /// Metadata returned by the `*_with_report` entry points.
 #[derive(Clone, Debug)]
 pub struct EmulationReport {

@@ -26,7 +26,7 @@
 
 use crate::abft::{execute_panels_ft, FtScratch, PanelsRef};
 use crate::consts::{constants, Constants};
-use crate::convert::{trunc_convert_pack_panels, ConvertTiming};
+use crate::convert::trunc_convert_pack_panels;
 use crate::element::Element;
 use crate::facade::{validate_view, vectors_source};
 use crate::pipeline::{
@@ -35,6 +35,7 @@ use crate::pipeline::{
 use crate::scale::{fast_scale_a_view, fast_scale_b_view};
 use gemm_dense::{MatF32, MatF64, MatView, Matrix};
 use gemm_engine::{padded_a_rows, padded_b_cols, padded_depth};
+use gemm_obs::TimeShare;
 use std::time::Instant;
 
 /// Which side of the product an operand was prepared for. The sides pack
@@ -196,6 +197,7 @@ fn prepare_view<T: Element>(
 
     // Line 1 (one-sided): row scales for A, column scales for B. These are
     // exactly the fast-mode exponents the monolithic pipeline computes.
+    let obs_start = gemm_obs::now_ns();
     let t0 = Instant::now();
     let exps = match side {
         OperandSide::A => fast_scale_a_view(view, consts.p_fast),
@@ -213,7 +215,7 @@ fn prepare_view<T: Element>(
         OperandSide::B => padded_b_cols(vecs),
     };
     let mut panels = vec![0i16; nmod * vecs_pad * kp];
-    let timing = ConvertTiming::new();
+    let timing = TimeShare::new();
     trunc_convert_pack_panels(
         vectors_source(view, side == OperandSide::A, &exps),
         vecs,
@@ -227,8 +229,10 @@ fn prepare_view<T: Element>(
         Some(&timing),
     );
     let sweep = t0.elapsed();
-    phases.trunc = sweep.mul_f64(timing.trunc_fraction());
+    phases.trunc = sweep.mul_f64(timing.fraction());
     phases.convert = sweep.saturating_sub(phases.trunc);
+    crate::pipeline::obs_record_phases(obs_start, &phases);
+    gemm_obs::catalog::PREPARED_OPERANDS.inc();
 
     Ok(PreparedOperand {
         side,
@@ -523,6 +527,7 @@ impl Ozaki2 {
             });
         }
 
+        let obs_start = gemm_obs::now_ns();
         if matches!(a, OperandInput::RawView(_)) {
             ws.reserve_a(m, k, nmod);
         }
@@ -559,7 +564,7 @@ impl Ozaki2 {
         let (a_ref, exps_a): (PanelsRef<'_>, &[i32]) = match &a {
             OperandInput::Prepared(p) => (PanelsRef::Fixed(&p.panels), &p.exps),
             OperandInput::RawView(v) => {
-                let timing = ConvertTiming::new();
+                let timing = TimeShare::new();
                 let t0 = Instant::now();
                 exps_a_own = fast_scale_a_view(v, consts.p_fast);
                 phases.scale += t0.elapsed();
@@ -578,7 +583,7 @@ impl Ozaki2 {
                     Some(&timing),
                 );
                 let sweep = t0.elapsed();
-                let trunc = sweep.mul_f64(timing.trunc_fraction());
+                let trunc = sweep.mul_f64(timing.fraction());
                 phases.trunc += trunc;
                 phases.convert += sweep.saturating_sub(trunc);
                 (
@@ -596,7 +601,7 @@ impl Ozaki2 {
         let (b_ref, exps_b): (PanelsRef<'_>, &[i32]) = match &b {
             OperandInput::Prepared(p) => (PanelsRef::Fixed(&p.panels), &p.exps),
             OperandInput::RawView(v) => {
-                let timing = ConvertTiming::new();
+                let timing = TimeShare::new();
                 let t0 = Instant::now();
                 exps_b_own = fast_scale_b_view(v, consts.p_fast);
                 phases.scale += t0.elapsed();
@@ -615,7 +620,7 @@ impl Ozaki2 {
                     Some(&timing),
                 );
                 let sweep = t0.elapsed();
-                let trunc = sweep.mul_f64(timing.trunc_fraction());
+                let trunc = sweep.mul_f64(timing.fraction());
                 phases.trunc += trunc;
                 phases.convert += sweep.saturating_sub(trunc);
                 (
@@ -678,14 +683,16 @@ impl Ozaki2 {
             );
             (calls, None)
         };
-        Ok(EmulationReport {
+        let report = EmulationReport {
             shape: (m, n, k),
             n_moduli: nmod,
             mode: self.mode(),
             phases,
             int8_gemm_calls: gemm_calls,
             fault,
-        })
+        };
+        crate::pipeline::obs_record_report(obs_start, &report);
+        Ok(report)
     }
 }
 

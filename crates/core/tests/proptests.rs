@@ -6,13 +6,14 @@ use ozaki2::accumulate::{fold_planes, fold_span, fold_span_scalar, FoldPrecision
 use ozaki2::consts::constants;
 use ozaki2::convert::{
     convert_pack_panels, residue_planes, rmod_reference, rmod_row, rmod_row_scalar, rmod_to_i8,
-    steps_for, trunc_convert_pack_panels, ConvertTiming, ElemSlice, TruncSource,
+    steps_for, trunc_convert_pack_panels, ElemSlice, TruncSource,
 };
 use ozaki2::modred::mod_i32_to_u8;
 use ozaki2::scale::{
     condition3_holds, fast_scale_cols, fast_scale_rows, pow2_split, scale_by_pow2,
     scale_trunc_a_rowmajor, scale_trunc_b_colmajor, strunc_row, strunc_row_scalar,
 };
+use ozaki2::TimeShare;
 use ozaki2::{Mode, Ozaki2};
 use proptest::prelude::*;
 
@@ -273,7 +274,7 @@ proptest! {
         convert_pack_panels(&pre, vecs, vecs_pad, k, kp, c, b64, false, &mut want);
         for parallel in [false, true] {
             let mut got = vec![-1i16; nmod * vecs_pad * kp];
-            let timing = ConvertTiming::new();
+            let timing = TimeShare::new();
             trunc_convert_pack_panels(
                 TruncSource::Gathered { data: ElemSlice::F64(a.as_slice()), ld: vecs, exps: &exps_a },
                 vecs, vecs_pad, k, kp, c, b64, parallel, &mut got, Some(&timing),

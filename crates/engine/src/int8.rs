@@ -978,6 +978,8 @@ pub fn int8_gemm_fused<E: Epilogue>(
         assert_eq!(out.len(), m * n, "epilogue plane mismatch");
     }
     INT8_STATS.record_gemm(m, n, k);
+    gemm_obs::catalog::ENGINE_INT8_CALLS.inc();
+    gemm_obs::catalog::ENGINE_INT8_MACS.add((m as u64) * (n as u64) * (k as u64));
     if m == 0 || n == 0 {
         return;
     }
@@ -1101,6 +1103,8 @@ pub fn int8_gemm_prepacked_fused<E: Epilogue>(
         assert_eq!(out.len(), m * n, "epilogue plane mismatch");
     }
     INT8_STATS.record_gemm(m, n, k);
+    gemm_obs::catalog::ENGINE_INT8_CALLS.inc();
+    gemm_obs::catalog::ENGINE_INT8_MACS.add((m as u64) * (n as u64) * (k as u64));
     if m == 0 || n == 0 {
         return;
     }

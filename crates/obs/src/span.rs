@@ -1,0 +1,337 @@
+//! Structured spans: completed-interval events recorded into per-thread
+//! ring buffers and exported as chrome://tracing `trace_event` JSON
+//! (openable directly in Perfetto / `chrome://tracing`).
+//!
+//! Recording is wait-free in practice: each thread owns one ring guarded
+//! by a mutex that only that thread locks on the write path (export
+//! takes the same locks, briefly, from the reading thread). Rings are
+//! fixed-capacity; once full, the oldest events are overwritten and a
+//! global drop counter advances so sessions know their window is partial.
+//!
+//! An [`ObsSession`] brackets a measurement window: it snapshots every
+//! histogram's exact sum at `begin`, and [`ObsSession::reconcile`]
+//! compares each histogram's sum delta against the sum of its paired
+//! span durations in the window. Spans and histograms paired through
+//! [`observe_span`] record the *same* nanosecond value on both sides, so
+//! with zero drops the reconciliation is exact — the 1% CI tolerance
+//! only absorbs ring-drop truncation.
+
+use crate::registry::Histogram;
+use crate::{catalog, clock_ns, enabled};
+use std::cell::OnceCell;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Events each thread's ring holds before overwriting the oldest.
+pub const RING_CAP: usize = 16384;
+
+/// One completed span: a named interval on one thread's timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Event name (pairs with a histogram's `span_name` when emitted via
+    /// [`observe_span`]).
+    pub name: &'static str,
+    /// Category lane (`pipeline`, `serve`, `batch`, ...).
+    pub cat: &'static str,
+    /// Recording thread's stable trace id.
+    pub tid: u64,
+    /// Start, nanoseconds on the process observability clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    tid: u64,
+    events: Vec<SpanEvent>,
+    /// Overwrite cursor once `events` has grown to capacity.
+    next: usize,
+}
+
+/// All per-thread rings ever created (threads may exit; their rings live
+/// on so their events still export).
+static RINGS: Mutex<Vec<Arc<Mutex<Ring>>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Events overwritten by ring wraparound, process-wide.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_RING: OnceCell<Arc<Mutex<Ring>>> = const { OnceCell::new() };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Record a completed span from explicit clock readings (both from
+/// [`crate::now_ns`]); no-op while the gate is off.
+#[inline]
+pub fn record_span(name: &'static str, cat: &'static str, start_ns: u64, end_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let dur_ns = end_ns.saturating_sub(start_ns);
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(Ring {
+                tid,
+                events: Vec::with_capacity(RING_CAP),
+                next: 0,
+            }));
+            lock(&RINGS).push(ring.clone());
+            ring
+        });
+        let mut r = lock(ring);
+        let ev = SpanEvent {
+            name,
+            cat,
+            tid: r.tid,
+            start_ns,
+            dur_ns,
+        };
+        if r.events.len() < RING_CAP {
+            r.events.push(ev);
+        } else {
+            let at = r.next;
+            r.events[at] = ev;
+            r.next = (at + 1) % RING_CAP;
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Record a span *and* its paired histogram observation from one
+/// nanosecond value — the invariant [`ObsSession::reconcile`] relies on.
+/// No-op while the gate is off.
+#[inline]
+pub fn observe_span(
+    name: &'static str,
+    cat: &'static str,
+    hist: &Histogram,
+    start_ns: u64,
+    dur_ns: u64,
+) {
+    if !enabled() {
+        return;
+    }
+    debug_assert_eq!(name, hist.span_name(), "span/histogram pairing mismatch");
+    record_span(name, cat, start_ns, start_ns.saturating_add(dur_ns));
+    hist.observe_ns(dur_ns);
+}
+
+/// RAII span: times from construction to drop. Construct via [`span`] or
+/// [`span_timed`]; disarmed (free) while the gate is off.
+pub struct SpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    hist: Option<&'static Histogram>,
+    start_ns: u64,
+    armed: bool,
+}
+
+/// Open a plain span (no histogram pairing).
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> SpanGuard {
+    let armed = enabled();
+    SpanGuard {
+        name,
+        cat,
+        hist: None,
+        start_ns: if armed { clock_ns() } else { 0 },
+        armed,
+    }
+}
+
+/// Open a span that also feeds its paired histogram on drop.
+#[inline]
+pub fn span_timed(name: &'static str, cat: &'static str, hist: &'static Histogram) -> SpanGuard {
+    let mut g = span(name, cat);
+    g.hist = Some(hist);
+    g
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed || !enabled() {
+            return;
+        }
+        let end = clock_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        match self.hist {
+            Some(h) => observe_span(self.name, self.cat, h, self.start_ns, dur),
+            None => record_span(self.name, self.cat, self.start_ns, end),
+        }
+    }
+}
+
+/// Process-wide count of span events lost to ring wraparound.
+pub fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Every recorded event with `start_ns >= since`, across all threads,
+/// sorted by start time.
+fn snapshot_since(since: u64) -> Vec<SpanEvent> {
+    let rings: Vec<Arc<Mutex<Ring>>> = lock(&RINGS).clone();
+    let mut out = Vec::new();
+    for ring in rings {
+        let r = lock(&ring);
+        out.extend(r.events.iter().filter(|e| e.start_ns >= since).copied());
+    }
+    out.sort_by_key(|e| (e.start_ns, e.tid));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render events as a chrome://tracing `trace_event` JSON document
+/// (`ph:"X"` complete events, `ts`/`dur` in microseconds relative to
+/// `epoch_ns`). Pure function — proptests validate its output shape
+/// without touching the global rings.
+pub fn render_chrome_trace(events: &[SpanEvent], epoch_ns: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_escaped(&mut out, ev.name);
+        out.push_str(",\"cat\":");
+        push_json_escaped(&mut out, ev.cat);
+        let ts = ev.start_ns.saturating_sub(epoch_ns) as f64 / 1e3;
+        let dur = ev.dur_ns as f64 / 1e3;
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                ",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3}}}",
+                ev.tid
+            ),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// One histogram's span-vs-histogram reconciliation over a session window.
+#[derive(Clone, Copy, Debug)]
+pub struct Reconciliation {
+    /// Histogram exposition name.
+    pub name: &'static str,
+    /// The paired span event name.
+    pub span_name: &'static str,
+    /// Sum of paired span durations captured in the session window.
+    pub span_ns: u64,
+    /// Histogram `_sum` delta over the session window.
+    pub hist_ns: u64,
+    /// Histogram `_count` delta over the session window.
+    pub hist_count: u64,
+}
+
+impl Reconciliation {
+    /// Whether the two sums agree within `frac` relative tolerance.
+    pub fn within(&self, frac: f64) -> bool {
+        let (a, b) = (self.span_ns as f64, self.hist_ns as f64);
+        (a - b).abs() <= frac * a.max(b)
+    }
+}
+
+/// A measurement window over the global registry and rings: snapshot at
+/// [`ObsSession::begin`], then export the window's Chrome trace and
+/// reconcile span sums against histogram deltas at the end.
+pub struct ObsSession {
+    start_ns: u64,
+    hist_sum_base: Vec<u64>,
+    hist_count_base: Vec<u64>,
+    dropped_base: u64,
+}
+
+impl ObsSession {
+    /// Open a session window starting now.
+    pub fn begin() -> Self {
+        let hists = catalog::histograms();
+        Self {
+            start_ns: if enabled() { clock_ns() } else { 0 },
+            hist_sum_base: hists.iter().map(|h| h.sum_ns()).collect(),
+            hist_count_base: hists.iter().map(|h| h.count()).collect(),
+            dropped_base: dropped(),
+        }
+    }
+
+    /// All span events recorded in this session's window, sorted.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        snapshot_since(self.start_ns)
+    }
+
+    /// Span events lost to ring wraparound during the window (when
+    /// nonzero, [`ObsSession::reconcile`] sums are lower bounds).
+    pub fn dropped(&self) -> u64 {
+        dropped() - self.dropped_base
+    }
+
+    /// The window's Chrome trace JSON (timestamps relative to session
+    /// start).
+    pub fn export_chrome_trace(&self) -> String {
+        render_chrome_trace(&self.events(), self.start_ns)
+    }
+
+    /// Write the Chrome trace to `path`.
+    pub fn export_chrome_trace_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.export_chrome_trace())
+    }
+
+    /// Span-sum vs histogram-sum agreement for every histogram that
+    /// recorded observations during the window.
+    pub fn reconcile(&self) -> Vec<Reconciliation> {
+        let events = self.events();
+        catalog::histograms()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| {
+                let hist_count = h.count() - self.hist_count_base[i];
+                if hist_count == 0 {
+                    return None;
+                }
+                let span_ns = events
+                    .iter()
+                    .filter(|e| e.name == h.span_name())
+                    .map(|e| e.dur_ns)
+                    .sum();
+                Some(Reconciliation {
+                    name: h.name(),
+                    span_name: h.span_name(),
+                    span_ns,
+                    hist_ns: h.sum_ns() - self.hist_sum_base[i],
+                    hist_count,
+                })
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the Chrome `trace_event` exporter, plus an
+//! end-to-end [`ObsSession`] smoke proving exact span/histogram
+//! reconciliation.
+//!
+//! The JSON validator below is deliberately tiny — a full parser would
+//! be overkill and the container has none to lean on — but it checks
+//! what Perfetto actually cares about: balanced structure, legal string
+//! escaping, and numeric `ts`/`dur` fields that are never negative.
+
+use gemm_obs::{render_chrome_trace, SpanEvent};
+use proptest::prelude::*;
+
+/// Minimal JSON well-formedness check: every brace/bracket balances
+/// outside of strings, strings only contain legal escapes, and no
+/// control character appears raw. Returns the number of objects seen.
+fn validate_json(s: &str) -> Result<usize, String> {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut objects = 0usize;
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '{' => {
+                depth_obj += 1;
+                objects += 1;
+            }
+            '}' => {
+                depth_obj -= 1;
+                if depth_obj < 0 {
+                    return Err("unbalanced '}'".into());
+                }
+            }
+            '[' => depth_arr += 1,
+            ']' => {
+                depth_arr -= 1;
+                if depth_arr < 0 {
+                    return Err("unbalanced ']'".into());
+                }
+            }
+            '"' => loop {
+                match chars.next() {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                        Some('u') => {
+                            for _ in 0..4 {
+                                match chars.next() {
+                                    Some(h) if h.is_ascii_hexdigit() => {}
+                                    other => return Err(format!("bad \\u escape: {other:?}")),
+                                }
+                            }
+                        }
+                        other => return Err(format!("bad escape: {other:?}")),
+                    },
+                    Some(c) if (c as u32) < 0x20 => {
+                        return Err(format!("raw control char {:#x} in string", c as u32))
+                    }
+                    Some(_) => {}
+                }
+            },
+            c if (c as u32) < 0x20 && c != '\n' && c != '\t' && c != '\r' => {
+                return Err(format!("raw control char {:#x} outside string", c as u32))
+            }
+            _ => {}
+        }
+    }
+    if depth_obj != 0 || depth_arr != 0 {
+        return Err(format!(
+            "unbalanced structure: {depth_obj} objects, {depth_arr} arrays open"
+        ));
+    }
+    Ok(objects)
+}
+
+/// Every numeric value of `field` in the rendered trace, in textual
+/// order. `ts`/`dur` are microseconds rendered as `{:.3}` decimals.
+fn field_values(s: &str, field: &str) -> Vec<f64> {
+    let needle = format!("\"{field}\":");
+    let mut out = Vec::new();
+    let mut rest = s;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find([',', '}'])
+            .expect("field value terminated by , or }");
+        out.push(
+            rest[..end]
+                .trim()
+                .parse::<f64>()
+                .unwrap_or_else(|e| panic!("non-numeric {field}: {e}")),
+        );
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary span soups — adversarial names included — must render
+    /// to well-formed JSON with one trace event per span and strictly
+    /// non-negative ts/dur microsecond fields.
+    #[test]
+    fn chrome_trace_is_well_formed(
+        n_events in 0usize..40,
+        epoch_ns in 0u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        // Names cycle through an adversarial set: quotes, backslashes,
+        // control characters, unicode — everything the escaper must
+        // neutralise.
+        const NAMES: [&str; 6] = [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "ctrl\u{1}\u{1f}chars",
+            "newline\nand\ttab",
+            "uni\u{2603}code",
+        ];
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let events: Vec<SpanEvent> = (0..n_events)
+            .map(|i| {
+                let start_ns = epoch_ns + next() % 10_000_000;
+                SpanEvent {
+                    name: NAMES[i % NAMES.len()],
+                    cat: NAMES[(i + 3) % NAMES.len()],
+                    tid: next() % 8,
+                    start_ns,
+                    dur_ns: next() % 5_000_000,
+                }
+            })
+            .collect();
+        let json = render_chrome_trace(&events, epoch_ns);
+        let objects = validate_json(&json).map_err(|e| {
+            proptest::TestCaseError::Fail(format!("{e}\nin trace:\n{json}"))
+        })?;
+        // The envelope object plus one object per event.
+        prop_assert_eq!(objects, 1 + events.len());
+        let ts = field_values(&json, "ts");
+        let dur = field_values(&json, "dur");
+        prop_assert_eq!(ts.len(), events.len());
+        prop_assert_eq!(dur.len(), events.len());
+        for &v in ts.iter().chain(dur.iter()) {
+            prop_assert!(v >= 0.0 && v.is_finite(), "bad ts/dur {v} in trace");
+        }
+    }
+}
+
+/// End-to-end smoke: spans recorded through `observe_span` reconcile
+/// *exactly* with their paired histograms when nothing was dropped, and
+/// the exported trace carries them all.
+#[test]
+fn session_reconciles_exactly() {
+    gemm_obs::set_enabled(true);
+    let session = gemm_obs::ObsSession::begin();
+    let hist = &gemm_obs::catalog::SERVE_EXECUTE;
+    let base = gemm_obs::now_ns();
+    let durations = [1_500u64, 42_000, 7, 999_999];
+    let mut t = base;
+    for &d in &durations {
+        gemm_obs::observe_span("execute_round", "serve", hist, t, d);
+        t += d;
+    }
+    assert_eq!(session.dropped(), 0);
+    let recs = session.reconcile();
+    let r = recs
+        .iter()
+        .find(|r| r.span_name == "execute_round")
+        .expect("execute_round reconciled");
+    assert_eq!(r.hist_count, durations.len() as u64);
+    assert_eq!(r.span_ns, durations.iter().sum::<u64>());
+    assert_eq!(
+        r.span_ns, r.hist_ns,
+        "observe_span feeds the identical value to both sides"
+    );
+    assert!(r.within(0.0), "exact agreement needs no tolerance");
+    let json = session.export_chrome_trace();
+    assert!(validate_json(&json).is_ok());
+    assert!(json.contains("\"execute_round\""));
+}

@@ -1,0 +1,87 @@
+//! Disabled-mode cost: with the gate off, every record path must be a
+//! single relaxed load and an early return — no clock reads feeding
+//! state, no thread-local ring creation, and above all **zero heap
+//! allocations**. A counting wrapper around the system allocator proves
+//! it: the measuring thread's allocation count must stay flat across a
+//! million gated calls.
+//!
+//! Counting is per-thread (armed via a const-init thread-local flag the
+//! allocator checks), because the claim under test is about *the record
+//! paths on the calling thread* — the libtest harness keeps a watchdog
+//! thread alive that occasionally allocates, and a process-global count
+//! would flake on its heartbeats.
+//!
+//! This lives in its own test binary because the gate is process-global:
+//! the other suites arm it, this one must keep it off.
+
+use gemm_obs::{set_enabled, Counter, Histogram};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Armed only on the measuring thread, only inside the measured
+    /// window. Const-init so reading it in the allocator never itself
+    /// allocates.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.with(Cell::get) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_instrumentation_never_allocates() {
+    // Force the gate off *before* measuring: the first `enabled()` query
+    // otherwise reads OZAKI_OBS from the environment, and that lazy env
+    // read is allowed to allocate. After this latch the hot paths must
+    // not.
+    set_enabled(false);
+
+    static C: Counter = Counter::new("test_noop_total", "test");
+    static H: Histogram = Histogram::new("test_noop_seconds", "test", "test_noop");
+
+    // Warm everything the disabled paths could conceivably touch once.
+    C.add(1);
+    H.observe_ns(1);
+    gemm_obs::record_span("warm", "test", 0, 1);
+    let _ = gemm_obs::now_ns();
+    drop(gemm_obs::span("warm", "test"));
+
+    COUNTING.with(|c| c.set(true));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..1_000_000u64 {
+        C.add(i);
+        C.inc();
+        H.observe_ns(i);
+        gemm_obs::record_span("noop", "test", i, i + 1);
+        let _g = gemm_obs::span("noop", "test");
+        assert_eq!(gemm_obs::now_ns(), 0, "disabled clock must read 0");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-mode record paths must not allocate"
+    );
+    assert_eq!(C.value(), 0, "gated counter must stay untouched");
+    assert_eq!(H.count(), 0, "gated histogram must stay untouched");
+    assert_eq!(gemm_obs::dropped(), 0, "no span ring activity");
+}

@@ -36,6 +36,9 @@ struct Admitted {
     req: GemmRequest,
     cell: Arc<JobCell>,
     submitted_at: Instant,
+    /// Admission time on the observability clock (0 when disabled) — the
+    /// anchor of the job's `queue_wait` span.
+    submitted_ns: u64,
     deadline: Option<Duration>,
     /// `true` when the job's arithmetic intensity sits below the
     /// crossover: it waits in the coalesce buffer for companions.
@@ -400,6 +403,7 @@ impl Server {
             deadline: req.deadline.or(shared.cfg.default_deadline),
             cell: cell.clone(),
             submitted_at: Instant::now(),
+            submitted_ns: gemm_obs::now_ns(),
             coalesce,
             req,
         };
@@ -470,8 +474,13 @@ impl Server {
             // Bound the identity set on long-lived servers: past the cap
             // it resets, costing at most a finiteness rescan and an
             // undercounted hit per recurring operand — never correctness.
+            // The reset is announced through the (always-on) registry so
+            // operators know `cache_hits` undercounts from here on,
+            // instead of silently reading a too-low hit rate.
             if seen.len() >= SEEN_CAP {
                 seen.clear();
+                gemm_obs::catalog::SERVE_SEEN_RESETS.add_always(1);
+                gemm_obs::catalog::SERVE_SEEN_SATURATED.set(1);
             }
             for id in [a_id, b_id] {
                 if !seen.insert(id) {
@@ -486,6 +495,16 @@ impl Server {
         let mut totals = lock(&self.shared.totals);
         totals.submitted += 1;
         totals.peak_queue_depth = totals.peak_queue_depth.max(depth);
+        drop(totals);
+        gemm_obs::catalog::SERVE_SUBMITTED.inc();
+    }
+
+    /// The whole registry plus the server-level derived series
+    /// (coalesce rate, cache-hit rate, per-tenant counters) in the
+    /// Prometheus text exposition format — the same numbers the
+    /// dispatcher dumps to `OZAKI_METRICS_FILE` and CI gates on.
+    pub fn metrics_text(&self) -> String {
+        render_metrics(&self.shared, &self.runtime)
     }
 }
 
@@ -517,8 +536,16 @@ impl Dispatcher {
     fn run(self) {
         let window = self.shared.cfg.coalesce_window;
         let max_batch = self.shared.cfg.max_batch;
+        // Periodic Prometheus dump for scrapers: set OZAKI_METRICS_FILE
+        // to a path and the dispatcher rewrites it about twice a second
+        // (plus once at shutdown, so short runs always leave a snapshot).
+        let metrics_file = std::env::var("OZAKI_METRICS_FILE").ok();
+        let mut last_dump = Instant::now();
         let mut pending: Vec<Admitted> = Vec::new();
         let mut window_opened: Option<Instant> = None;
+        // Observability-clock twin of `window_opened`, anchoring the
+        // `coalesce_window` residency span.
+        let mut window_opened_ns = 0u64;
         loop {
             let flush_at = window_opened.map(|t| t + window);
             let (popped, shutdown) = self.poll(flush_at, pending.is_empty());
@@ -527,6 +554,7 @@ impl Dispatcher {
                 if item.coalesce {
                     if pending.is_empty() {
                         window_opened = Some(Instant::now());
+                        window_opened_ns = gemm_obs::now_ns();
                     }
                     pending.push(item);
                 } else {
@@ -536,6 +564,7 @@ impl Dispatcher {
             // Full rounds flush regardless of the window.
             while pending.len() >= max_batch {
                 let round: Vec<Admitted> = pending.drain(..max_batch).collect();
+                window_opened_ns = self.note_window_flush(window_opened_ns);
                 self.execute_round(round);
                 window_opened = (!pending.is_empty()).then(Instant::now);
             }
@@ -549,15 +578,38 @@ impl Dispatcher {
                 .map(|t| Instant::now() >= t + window)
                 .unwrap_or(false);
             if (expired || shutdown) && !pending.is_empty() {
+                self.note_window_flush(window_opened_ns);
                 self.execute_round(std::mem::take(&mut pending));
             }
             if pending.is_empty() {
                 window_opened = None;
             }
+            if let Some(path) = &metrics_file {
+                if shutdown || last_dump.elapsed() >= METRICS_DUMP_PERIOD {
+                    let _ = std::fs::write(path, render_metrics(&self.shared, &self.runtime));
+                    last_dump = Instant::now();
+                }
+            }
             if shutdown && pending.is_empty() {
                 return;
             }
         }
+    }
+
+    /// Record the coalesce-window residency span ending now; returns the
+    /// new window anchor (now) for the case where pending items remain.
+    fn note_window_flush(&self, window_opened_ns: u64) -> u64 {
+        let now = gemm_obs::now_ns();
+        if now != 0 && window_opened_ns != 0 {
+            gemm_obs::observe_span(
+                "coalesce_window",
+                "serve",
+                &gemm_obs::catalog::SERVE_COALESCE_WINDOW,
+                window_opened_ns,
+                now.saturating_sub(window_opened_ns),
+            );
+        }
+        now
     }
 
     /// Block until there is something to do: queue items (returned,
@@ -614,12 +666,38 @@ impl Dispatcher {
         if live.is_empty() {
             return;
         }
+        // Queue-wait spans close here: admission to dispatch. (On the
+        // rare failure-isolation re-run below each surviving job records
+        // a second, longer wait — the re-dispatch genuinely waited.)
+        let dispatch_ns = gemm_obs::now_ns();
+        if dispatch_ns != 0 {
+            for item in &live {
+                gemm_obs::observe_span(
+                    "queue_wait",
+                    "serve",
+                    &gemm_obs::catalog::SERVE_QUEUE_WAIT,
+                    item.submitted_ns,
+                    dispatch_ns.saturating_sub(item.submitted_ns),
+                );
+            }
+        }
         let coalesced = live.len() >= 2;
         let outcome = {
             let pairs: Vec<(&MatF64, &MatF64)> =
                 live.iter().map(|it| (&*it.req.a, &*it.req.b)).collect();
             catch_unwind(AssertUnwindSafe(|| self.runtime.try_dgemm_group(&pairs)))
         };
+        let end_ns = gemm_obs::now_ns();
+        if end_ns != 0 {
+            gemm_obs::observe_span(
+                "execute_round",
+                "serve",
+                &gemm_obs::catalog::SERVE_EXECUTE,
+                dispatch_ns,
+                end_ns.saturating_sub(dispatch_ns),
+            );
+        }
+        gemm_obs::catalog::SERVE_ROUNDS.inc();
         lock(&self.shared.totals).rounds += 1;
         match outcome {
             Ok(Ok(outs)) => {
@@ -662,12 +740,14 @@ impl Dispatcher {
                 totals.solo += 1;
             }
         }
+        gemm_obs::catalog::SERVE_COMPLETED.inc();
         item.cell.complete(Ok(out));
     }
 
     fn complete_shed(&self, item: Admitted, queued_for: Duration) {
         self.shared.with_tenant(&item.req.tenant, |t| t.shed += 1);
         lock(&self.shared.totals).shed += 1;
+        gemm_obs::catalog::SERVE_SHED.inc();
         item.cell.complete(Err(JobError::Shed { queued_for }));
     }
 
@@ -676,6 +756,96 @@ impl Dispatcher {
         lock(&self.shared.totals).failed += 1;
         item.cell.complete(Err(err));
     }
+}
+
+/// How often the dispatcher rewrites `OZAKI_METRICS_FILE`.
+const METRICS_DUMP_PERIOD: Duration = Duration::from_millis(500);
+
+/// The full Prometheus exposition: the `gemm_obs` registry first, then
+/// the server-level series computed from the exact (always-on)
+/// accounting — the ratio metrics CI gates on, runtime capacity
+/// counters, and one labelled line set per tenant.
+fn render_metrics(shared: &Shared, runtime: &BatchedOzaki2) -> String {
+    use std::fmt::Write as _;
+    let mut out = gemm_obs::render_prometheus();
+    let totals = lock(&shared.totals).clone();
+    let tenants = lock(&shared.tenants);
+    let (mut hits, mut submissions) = (0u64, 0u64);
+    for t in tenants.values() {
+        hits += t.cache_hits;
+        submissions += t.submitted;
+    }
+    // Two operands per submission; hits are identity re-sightings.
+    let cache_hit_rate = if submissions == 0 {
+        0.0
+    } else {
+        hits as f64 / (2 * submissions) as f64
+    };
+    let gauges: [(&str, &str, f64); 5] = [
+        (
+            "ozaki_serve_coalesce_rate",
+            "Fraction of completed jobs that ran in a coalesced round",
+            totals.coalesce_rate(),
+        ),
+        (
+            "ozaki_serve_cache_hit_rate",
+            "Operand identity re-sighting rate at admission (see saturation gauge)",
+            cache_hit_rate,
+        ),
+        (
+            "ozaki_serve_peak_queue_depth",
+            "Deepest the submission queue has been",
+            totals.peak_queue_depth as f64,
+        ),
+        (
+            "ozaki_operand_cache_bytes",
+            "Bytes held by the prepared-operand cache",
+            runtime.cache().bytes() as f64,
+        ),
+        (
+            "ozaki_workspace_pool_created",
+            "Workspaces ever created by the pool (peak checkout concurrency)",
+            runtime.pool().created() as f64,
+        ),
+    ];
+    for (name, help, v) in gauges {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    let mut rows: Vec<(&Arc<str>, &TenantStats)> = tenants.iter().collect();
+    rows.sort_by(|x, y| x.0.cmp(y.0));
+    let _ = writeln!(
+        out,
+        "# HELP ozaki_serve_tenant_requests_total Per-tenant request outcomes\n\
+         # TYPE ozaki_serve_tenant_requests_total counter"
+    );
+    for (name, t) in &rows {
+        for (outcome, v) in [
+            ("completed", t.completed),
+            ("rejected", t.rejected),
+            ("shed", t.shed),
+            ("failed", t.failed),
+        ] {
+            let _ = writeln!(
+                out,
+                "ozaki_serve_tenant_requests_total{{tenant=\"{name}\",outcome=\"{outcome}\"}} {v}"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ozaki_serve_tenant_bytes_total Per-tenant operand+result bytes moved\n\
+         # TYPE ozaki_serve_tenant_bytes_total counter"
+    );
+    for (name, t) in &rows {
+        let _ = writeln!(
+            out,
+            "ozaki_serve_tenant_bytes_total{{tenant=\"{name}\"}} {}",
+            t.bytes
+        );
+    }
+    out
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

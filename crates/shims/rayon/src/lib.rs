@@ -196,14 +196,19 @@ impl PoolShared {
             if victim == me {
                 continue;
             }
-            let mut stolen: VecDeque<Task> = {
+            let (mut stolen, left): (VecDeque<Task>, usize) = {
                 let mut vq = lock(&self.deques[victim]);
                 let take = vq.len().div_ceil(2);
                 if take == 0 {
                     continue;
                 }
-                vq.drain(..take).collect()
+                let stolen = vq.drain(..take).collect();
+                (stolen, vq.len())
             };
+            // Recorded outside the deque lock: one steal, and the victim's
+            // post-steal depth as a sampled load signal.
+            gemm_obs::catalog::POOL_STEALS.inc();
+            gemm_obs::catalog::POOL_QUEUE_DEPTH.set(victim, left as i64);
             let first = stolen.pop_front();
             if !stolen.is_empty() {
                 let mut mine = lock(&self.deques[me]);
@@ -336,6 +341,7 @@ impl PoolShared {
 /// Run one task: catch panics into the region, then retire the task. The
 /// last retirement wakes the submitter.
 fn execute_task(task: Task) {
+    gemm_obs::catalog::POOL_TASKS.inc();
     let Task { region, job } = task;
     if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
         let mut slot = lock(&region.panic);
@@ -363,6 +369,9 @@ fn worker_main(shared: Arc<PoolShared>, index: usize) {
         }
         let generation = lock(&shared.sleep);
         if *generation == seen_generation && !shared.shutdown.load(Ordering::Acquire) {
+            // Counted, not spanned: idle workers park ~200x/s each and
+            // would flood the span rings with no information.
+            gemm_obs::catalog::POOL_PARKS.inc();
             // Timed wait: a stray lost wakeup costs 5 ms, not a hang.
             let _ = shared
                 .sleep_cv
