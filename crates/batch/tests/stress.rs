@@ -12,7 +12,7 @@
 use gemm_batch::{BatchedOzaki2, OperandCache, OperandKey, StridedBatchF64, WorkspacePool};
 use gemm_dense::workload::phi_matrix_f64;
 use gemm_dense::MatF64;
-use ozaki2::{Mode, OperandSide, Ozaki2, PreparedOperand};
+use ozaki2::{BackendKind, Mode, OperandSide, Ozaki2, PreparedOperand};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -36,7 +36,15 @@ fn tenants(count: usize, nmod: usize) -> Vec<(Vec<f64>, Arc<PreparedOperand>)> {
 }
 
 fn key_of(data: &[f64], nmod: usize) -> OperandKey {
-    OperandKey::f64(data, 8, 6, OperandSide::B, nmod, Mode::Fast)
+    OperandKey::f64(
+        data,
+        8,
+        6,
+        OperandSide::B,
+        nmod,
+        Mode::Fast,
+        BackendKind::Int8,
+    )
 }
 
 /// N threads hammering get/insert/repeat_miss over an overlapping key set

@@ -22,8 +22,22 @@
 //! microkernel, or predating the serving section, skips loudly instead
 //! of gating on noise.
 //!
+//! With `--open-loop` the burst-driven closed loop is replaced by an
+//! **open-loop Poisson trace**: arrivals follow exponential inter-arrival
+//! gaps at `--rate=<reqs/s>` sampled from a seeded Philox stream (the
+//! offered trace is reproducible even though service order is not), and
+//! submission never waits on service — `try_submit` sheds to the bounded
+//! queue's backpressure exactly as a real open-loop client would. The
+//! `serving` section then records the offered arrival rate, the shed
+//! count, and the achieved throughput next to the latency percentiles,
+//! which is the honest way to report a saturating server (closed loops
+//! hide overload by slowing the client down). Open-loop timing is
+//! scheduler-dependent, so `--check-against` gating is loudly skipped in
+//! this mode.
+//!
 //! Usage: `cargo run --release -p gemm_bench --bin loadgen --
-//! [--smoke] [--workers=2] [--out=BENCH_int8.json]
+//! [--smoke] [--workers=2] [--open-loop] [--rate=400]
+//! [--out=BENCH_int8.json]
 //! [--check-against=BENCH_baseline.json] [--tolerance=0.8]
 //! [--trace-out=loadgen-trace.json]`
 //!
@@ -36,7 +50,7 @@
 use gemm_bench::check::{check_regressions, json_number, json_string, upsert_section, GateMetric};
 use gemm_bench::report::Args;
 use gemm_dense::workload::phi_matrix_f64;
-use gemm_dense::MatF64;
+use gemm_dense::{MatF64, Philox4x32};
 use gemm_engine::microkernel_name;
 use gemm_serve::{GemmRequest, JobHandle, Server};
 use ozaki2::{Mode, Ozaki2};
@@ -91,9 +105,30 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// Reap every completed in-flight job: record its latency and assert the
+/// result bit-identical to the oracle. Called between open-loop arrivals
+/// so latency is measured at completion, not at drain order.
+fn drain_done(pending: &mut Vec<(Instant, JobHandle, &MatF64)>, latencies: &mut Vec<f64>) {
+    let mut i = 0;
+    while i < pending.len() {
+        if pending[i].1.is_done() {
+            let (t0, handle, want) = pending.swap_remove(i);
+            let got = handle.wait().expect("open-loop jobs complete");
+            latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(&got, want, "served result must stay bit-identical");
+        } else {
+            i += 1;
+        }
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let smoke = args.flag("smoke");
+    let open_loop = args.flag("open-loop");
+    let rate: f64 = args
+        .get("rate")
+        .unwrap_or(if smoke { 400.0 } else { 200.0 });
     let out_path: String = args.get("out").unwrap_or_else(|| "BENCH_int8.json".into());
     if let Some(w) = args.get::<usize>("workers") {
         rayon::set_num_threads(w);
@@ -132,40 +167,85 @@ fn main() {
         .coalesce_window(Duration::from_micros(500))
         .build();
 
-    // Burst-driven closed loop: pause, enqueue one burst of small jobs
-    // (tenants alternating) plus any due large job, resume, drain. Each
-    // burst coalesces into exactly one group round and each large job
-    // runs solo, so the coalesce rate is a property of the trace, not of
-    // scheduler timing — which is what lets CI gate on it.
-    let n_bursts = n_small / burst;
-    let large_every = n_bursts.max(1) / n_large.max(1);
     let mut latencies: Vec<f64> = Vec::with_capacity(n_small + n_large);
     let mut submitted_small = 0usize;
     let mut submitted_large = 0usize;
+    let mut shed = 0usize;
     let t_start = Instant::now();
-    for b in 0..n_bursts {
-        server.pause();
-        let mut inflight: Vec<(Instant, JobHandle, &MatF64)> = Vec::with_capacity(burst + 1);
-        for _ in 0..burst {
-            let tenant = &tenants[submitted_small % 2];
-            let (req, want) = tenant.request(submitted_small / 2);
-            inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
-            submitted_small += 1;
+    if open_loop {
+        // Open-loop Poisson trace: exponential inter-arrival gaps at
+        // `rate` req/s from a seeded Philox stream. Arrivals never wait
+        // on service; a full queue sheds the request (counted, not
+        // fatal) — so the latency percentiles below describe the server
+        // under the *offered* load, not under a client throttled by its
+        // own waits.
+        let mut rng = Philox4x32::new_stream(4242, 7);
+        let n_total = n_small + n_large;
+        let large_every = n_total / n_large.max(1);
+        let mut pending: Vec<(Instant, JobHandle, &MatF64)> = Vec::new();
+        let mut arrival = Duration::ZERO;
+        for i in 0..n_total {
+            let u = rng.uniform_f64();
+            arrival += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+            while t_start.elapsed() < arrival {
+                drain_done(&mut pending, &mut latencies);
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            let (req, want) = if large_every > 0
+                && i % large_every == large_every - 1
+                && submitted_large < n_large
+            {
+                submitted_large += 1;
+                hpc.request(submitted_large - 1)
+            } else {
+                submitted_small += 1;
+                tenants[(submitted_small - 1) % 2].request((submitted_small - 1) / 2)
+            };
+            match server.try_submit(req) {
+                Ok(handle) => pending.push((Instant::now(), handle, want)),
+                Err(_) => shed += 1,
+            }
+            drain_done(&mut pending, &mut latencies);
         }
-        if large_every > 0 && b % large_every == 0 && submitted_large < n_large {
-            let (req, want) = hpc.request(submitted_large);
-            inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
-            submitted_large += 1;
-        }
-        server.resume();
-        for (t0, handle, want) in inflight {
-            let got = handle.wait().expect("trace jobs complete");
+        for (t0, handle, want) in pending {
+            let got = handle.wait().expect("open-loop jobs complete");
             latencies.push(t0.elapsed().as_secs_f64() * 1e3);
             assert_eq!(&got, want, "served result must stay bit-identical");
         }
+    } else {
+        // Burst-driven closed loop: pause, enqueue one burst of small
+        // jobs (tenants alternating) plus any due large job, resume,
+        // drain. Each burst coalesces into exactly one group round and
+        // each large job runs solo, so the coalesce rate is a property
+        // of the trace, not of scheduler timing — which is what lets CI
+        // gate on it.
+        let n_bursts = n_small / burst;
+        let large_every = n_bursts.max(1) / n_large.max(1);
+        for b in 0..n_bursts {
+            server.pause();
+            let mut inflight: Vec<(Instant, JobHandle, &MatF64)> = Vec::with_capacity(burst + 1);
+            for _ in 0..burst {
+                let tenant = &tenants[submitted_small % 2];
+                let (req, want) = tenant.request(submitted_small / 2);
+                inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
+                submitted_small += 1;
+            }
+            if large_every > 0 && b % large_every == 0 && submitted_large < n_large {
+                let (req, want) = hpc.request(submitted_large);
+                inflight.push((Instant::now(), server.submit(req).expect("admit"), want));
+                submitted_large += 1;
+            }
+            server.resume();
+            for (t0, handle, want) in inflight {
+                let got = handle.wait().expect("trace jobs complete");
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(&got, want, "served result must stay bit-identical");
+            }
+        }
     }
     let wall = t_start.elapsed().as_secs_f64();
-    let total = submitted_small + submitted_large;
+    let offered = submitted_small + submitted_large;
+    let total = offered - shed;
 
     let stats = server.stats();
     assert_eq!(stats.completed as usize, total, "every request completed");
@@ -186,6 +266,13 @@ fn main() {
         "serving loadgen: {total} reqs ({submitted_small} x {small}^3 across 2 tenants, \
          {submitted_large} x {large}^3 hpc), N={nmod}, {workers} worker(s), burst {burst}"
     );
+    if open_loop {
+        let arrival_rate = offered as f64 / wall;
+        println!(
+            "  open loop   : offered {rate:.1} req/s (measured {arrival_rate:.1}), \
+             {shed} shed at the queue"
+        );
+    }
     println!(
         "  sustained   : {gemms_per_s:8.1} GEMMs/s\n  p50 latency : {p50_ms:8.3} ms\n  p99 latency : {p99_ms:8.3} ms"
     );
@@ -270,9 +357,20 @@ fn main() {
         }
     }
 
+    // Open-loop runs additionally record the offered (Poisson) arrival
+    // rate and the shed count next to the achieved throughput —
+    // `serving_gemms_per_s` is always *achieved* (completed / wall).
+    let open_loop_fields = if open_loop {
+        format!(
+            "\n    \"serving_arrival_rate_per_s\": {rate:.3},\n    \"serving_offered\": {offered},\n    \"serving_shed\": {shed},",
+        )
+    } else {
+        String::new()
+    };
     let section = format!(
-        "{{\n    \"mode\": \"{}\",\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"requests\": {total},\n    \"small_shape\": [{small}, {small}, {small}],\n    \"large_shape\": [{large}, {large}, {large}],\n    \"burst\": {burst},\n    \"serving_gemms_per_s\": {gemms_per_s:.3},\n    \"serving_p50_ms\": {p50_ms:.3},\n    \"serving_p99_ms\": {p99_ms:.3},\n    \"serving_coalesce_rate\": {coalesce_rate:.4},\n    \"serving_cache_hit_rate\": {cache_hit_rate:.4}\n  }}",
-        if smoke { "smoke" } else { "full" }
+        "{{\n    \"mode\": \"{}\",\n    \"loop\": \"{}\",\n    \"n_moduli\": {nmod},\n    \"workers\": {workers},\n    \"requests\": {total},\n    \"small_shape\": [{small}, {small}, {small}],\n    \"large_shape\": [{large}, {large}, {large}],\n    \"burst\": {burst},{open_loop_fields}\n    \"serving_gemms_per_s\": {gemms_per_s:.3},\n    \"serving_p50_ms\": {p50_ms:.3},\n    \"serving_p99_ms\": {p99_ms:.3},\n    \"serving_coalesce_rate\": {coalesce_rate:.4},\n    \"serving_cache_hit_rate\": {cache_hit_rate:.4}\n  }}",
+        if smoke { "smoke" } else { "full" },
+        if open_loop { "open" } else { "closed" }
     );
     let doc = std::fs::read_to_string(&out_path).unwrap_or_else(|_| "{\n}\n".into());
     let doc = upsert_section(&doc, "serving", &section);
@@ -282,6 +380,15 @@ fn main() {
     println!("wrote serving section into {out_path}");
 
     // ---- CI gate ---------------------------------------------------------
+    if open_loop {
+        if args.get::<String>("check-against").is_some() {
+            println!(
+                "serving gate SKIPPED: open-loop coalescing and timing depend on \
+                 scheduler interleaving; gate on a closed-loop (burst) run instead."
+            );
+        }
+        return;
+    }
     if let Some(baseline_path) = args.get::<String>("check-against") {
         let tolerance: f64 = args.get("tolerance").unwrap_or(0.8);
         let baseline = std::fs::read_to_string(&baseline_path)

@@ -104,6 +104,7 @@ impl GemmPlan {
             b,
             self.emu.n_moduli(),
             self.emu.mode(),
+            self.emu.backend(),
             self.emu.fault_policy(),
             &mut self.ws,
             true,
@@ -131,6 +132,7 @@ impl GemmPlan {
             b,
             self.emu.n_moduli(),
             self.emu.mode(),
+            self.emu.backend(),
             &mut self.ws,
             true,
             1.0,
